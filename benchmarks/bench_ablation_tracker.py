@@ -1,0 +1,53 @@
+"""Ablation: basic boolean conflict flags vs enhanced commit-time-ordered
+references (paper Section 3.6, Figs 3.9/3.10).
+
+The enhanced tracker exists to kill the Fig 3.8 class of false positives.
+Measured here: unsafe-abort rate and throughput of each tracker on the
+same workload; the enhanced tracker must abort at most as often and never
+less safely (both remain serializable — the test suite proves that; this
+bench quantifies the abort saving).
+"""
+
+import pytest
+
+from repro.bench.harness import Experiment, run_experiment
+from repro.bench.report import format_throughput_table
+from repro.engine.config import EngineConfig
+from repro.sim.scheduler import SimConfig
+from repro.workloads.smallbank import make_smallbank
+
+
+def tracker_experiment(precise: bool) -> Experiment:
+    return Experiment(
+        exp_id=f"ablation.tracker.{'enhanced' if precise else 'basic'}",
+        title=f"SmallBank under SSI, {'enhanced' if precise else 'basic'} tracker",
+        workload_factory=lambda: make_smallbank(customers=200),
+        engine_config_factory=lambda: EngineConfig(precise_conflicts=precise),
+        sim_config=SimConfig(duration=0.6, warmup=0.1),
+        levels=("ssi",),
+        expectation="enhanced tracker: fewer unsafe aborts, >= throughput",
+    )
+
+
+@pytest.mark.benchmark(group="ablation-tracker")
+def test_tracker_precision(benchmark):
+    def run():
+        return {
+            precise: run_experiment(tracker_experiment(precise), mpls=[10, 20])
+            for precise in (False, True)
+        }
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for precise, outcome in outcomes.items():
+        label = "enhanced" if precise else "basic"
+        result = outcome.result("ssi", 20)
+        print(f"  {label:<9} MPL=20: {result.throughput:8.0f} commits/s, "
+              f"unsafe={result.aborts['unsafe']}, "
+              f"conflict={result.aborts['conflict']}")
+
+    basic = outcomes[False].result("ssi", 20)
+    enhanced = outcomes[True].result("ssi", 20)
+    # The enhanced tracker never aborts more.
+    assert enhanced.aborts["unsafe"] <= basic.aborts["unsafe"]
+    assert enhanced.throughput >= basic.throughput * 0.9

@@ -1,0 +1,34 @@
+"""Figure 6.1 — Berkeley DB SmallBank, short transactions, no log flush.
+
+Paper result: SI and Serializable SI nearly coincide and exceed S2PL by
+roughly an order of magnitude at MPL 20 (S2PL suffers read/write blocking
+plus periodic-only deadlock detection); Serializable SI's aborts are
+mostly "unsafe" errors, its total error rate slightly above SI's.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_1
+
+from conftest import run_figure
+
+MPLS = [1, 2, 5, 10, 20]
+
+
+@pytest.mark.benchmark(group="fig6.1")
+def test_fig6_1_smallbank_short(benchmark):
+    outcome = run_figure(benchmark, fig6_1(), MPLS)
+
+    # SI and SSI comparable throughout (within 15%).
+    for mpl in MPLS:
+        si, ssi = outcome.throughput("si", mpl), outcome.throughput("ssi", mpl)
+        assert ssi > si * 0.85
+
+    # Both multiversion levels dominate S2PL heavily at MPL 20.
+    assert outcome.throughput("si", 20) > outcome.throughput("s2pl", 20) * 5
+    assert outcome.throughput("ssi", 20) > outcome.throughput("s2pl", 20) * 5
+
+    # SSI's new error class appears; deadlocks are S2PL's failure mode.
+    ssi_20 = outcome.result("ssi", 20)
+    assert ssi_20.aborts["unsafe"] > 0
+    assert outcome.result("si", 20).aborts["unsafe"] == 0

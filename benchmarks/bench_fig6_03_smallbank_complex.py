@@ -1,0 +1,33 @@
+"""Figure 6.3 — Berkeley DB SmallBank, complex transactions (10 ops each),
+log flushed at commit.
+
+Paper result: transactions do ten times the work but still flush once, so
+the curves resemble Figure 6.2 — the workload stays I/O bound.  SSI's
+error rate rises (longer transactions, more rw-conflicts).
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_2, fig6_3
+
+from conftest import run_figure
+
+MPLS = [1, 5, 10, 20]
+
+
+@pytest.mark.benchmark(group="fig6.3")
+def test_fig6_3_smallbank_complex(benchmark):
+    outcome = run_figure(benchmark, fig6_3(), MPLS)
+
+    # Still I/O bound at MPL 1 despite 10x work per transaction.
+    assert outcome.throughput("si", 1) <= 150
+
+    # Group commit still scales SI/SSI.
+    assert outcome.throughput("si", 20) > outcome.throughput("si", 1) * 3
+
+    # SSI close to SI.
+    assert outcome.throughput("ssi", 20) > outcome.throughput("si", 20) * 0.7
+
+    # Longer transactions raise the conflict rate vs the short workload.
+    ssi_20 = outcome.result("ssi", 20)
+    assert ssi_20.cc_aborts > 0

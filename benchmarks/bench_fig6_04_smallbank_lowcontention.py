@@ -1,0 +1,34 @@
+"""Figure 6.4 — Berkeley DB SmallBank with 1/10th of the contention
+(10x data), log flushed at commit.
+
+Paper result: with conflicts rare, S2PL and SI become nearly identical;
+Serializable SI runs 10-15% below them.  The gap is false-positive
+"unsafe" aborts caused by *page-level* conflict granularity: unrelated
+customers sharing a B+-tree page register rw-dependencies.  This is the
+headline cost of the Berkeley DB prototype.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_4
+
+from conftest import run_figure
+
+MPLS = [1, 5, 10, 20]
+
+
+@pytest.mark.benchmark(group="fig6.4")
+def test_fig6_4_smallbank_low_contention(benchmark):
+    outcome = run_figure(benchmark, fig6_4(), MPLS)
+
+    # S2PL ~ SI at low contention (within 25%).
+    si, s2pl = outcome.throughput("si", 20), outcome.throughput("s2pl", 20)
+    assert s2pl > si * 0.75
+
+    # SSI trails SI, but not catastrophically (paper: 10-15% overhead).
+    ssi = outcome.throughput("ssi", 20)
+    assert si * 0.6 < ssi <= si * 1.05
+
+    # The SSI gap is attributable to unsafe aborts that SI does not have.
+    assert outcome.result("ssi", 20).aborts["unsafe"] >= 0
+    assert outcome.result("si", 20).aborts["unsafe"] == 0

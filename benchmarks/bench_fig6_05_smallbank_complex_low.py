@@ -1,0 +1,32 @@
+"""Figure 6.5 — Berkeley DB SmallBank, complex transactions at low
+contention, log flushed at commit.
+
+Paper result: as Figure 6.4 but with smaller gaps — each transaction does
+ten operations against one flush, so the flush amortisation dominates and
+the three levels bunch together.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_5
+
+from conftest import run_figure
+
+MPLS = [1, 5, 10, 20]
+
+
+@pytest.mark.benchmark(group="fig6.5")
+def test_fig6_5_smallbank_complex_low(benchmark):
+    outcome = run_figure(benchmark, fig6_5(), MPLS)
+
+    si = outcome.throughput("si", 20)
+    ssi = outcome.throughput("ssi", 20)
+    s2pl = outcome.throughput("s2pl", 20)
+
+    # All three bunch together at low contention + heavy I/O.
+    assert ssi > si * 0.6
+    assert s2pl > si * 0.5
+
+    # Throughput scales with MPL via group commit for everyone.
+    for level in ("si", "ssi", "s2pl"):
+        assert outcome.throughput(level, 10) > outcome.throughput(level, 1) * 2

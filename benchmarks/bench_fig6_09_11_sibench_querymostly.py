@@ -1,0 +1,43 @@
+"""Figures 6.9-6.11 — InnoDB sibench, query-mostly workload (10 queries
+per update), table sizes 10 / 100 / 1000 rows.
+
+Paper result: with reads dominating, the advantage of non-blocking reads
+compounds: SI leads, Serializable SI follows at a distance set by the
+table size (SIREAD cost per row scanned), and S2PL trails because every
+query serialises against the occasional update's flush window.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_9, fig6_10, fig6_11
+
+from conftest import run_figure
+
+MPLS = [1, 5, 10, 20]
+
+
+@pytest.mark.benchmark(group="fig6.9")
+def test_fig6_9_sibench_10_items_querymostly(benchmark):
+    outcome = run_figure(benchmark, fig6_9(), MPLS)
+    assert outcome.throughput("ssi", 20) > outcome.throughput("si", 20) * 0.7
+    assert outcome.throughput("si", 20) > outcome.throughput("s2pl", 20) * 2
+    # Queries dominate the commit mix ~10:1.
+    mix = outcome.result("si", 20).commits_by_type
+    assert mix.get("query", 0) > mix.get("update", 1) * 5
+
+
+@pytest.mark.benchmark(group="fig6.10")
+def test_fig6_10_sibench_100_items_querymostly(benchmark):
+    outcome = run_figure(benchmark, fig6_10(), MPLS)
+    assert outcome.throughput("si", 20) >= outcome.throughput("ssi", 20)
+    assert outcome.throughput("si", 20) > outcome.throughput("s2pl", 20)
+
+
+@pytest.mark.benchmark(group="fig6.11")
+def test_fig6_11_sibench_1000_items_querymostly(benchmark):
+    outcome = run_figure(benchmark, fig6_11(), [1, 5, 10])
+    si, ssi = outcome.throughput("si", 10), outcome.throughput("ssi", 10)
+    assert si > ssi  # per-row SIREAD cost on 1000-row scans
+    # no rollbacks in sibench at any level
+    for level in ("si", "ssi", "s2pl"):
+        assert outcome.result(level, 10).cc_aborts == 0

@@ -1,0 +1,33 @@
+"""Figure 6.12 — InnoDB TPC-C++, 1 warehouse, skipping year-to-date
+updates.
+
+Paper result: Serializable SI stays within ~10% of SI across the MPL
+sweep; S2PL falls behind once concurrency rises, because its readers
+stall inside writers' commit-flush windows.  Unsafe aborts exist but are
+rare relative to commits.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_12
+
+from conftest import run_figure
+
+MPLS = [1, 5, 10, 20]
+
+
+@pytest.mark.benchmark(group="fig6.12")
+def test_fig6_12_tpccpp_w1_noytd(benchmark):
+    outcome = run_figure(benchmark, fig6_12(), MPLS)
+
+    # SSI within ~10% of SI (allow 15% noise margin at small durations).
+    for mpl in (10, 20):
+        si, ssi = outcome.throughput("si", mpl), outcome.throughput("ssi", mpl)
+        assert ssi > si * 0.85, (mpl, si, ssi)
+
+    # S2PL behind the multiversion levels at high MPL.
+    assert outcome.throughput("s2pl", 20) < outcome.throughput("si", 20)
+
+    # The unsafe error rate stays small (paper: <1% in most cases).
+    ssi_20 = outcome.result("ssi", 20)
+    assert ssi_20.abort_rate("unsafe") < 0.10

@@ -1,0 +1,30 @@
+"""Figure 6.13 — InnoDB TPC-C++, 10 warehouses, standard scale, including
+the year-to-date updates.
+
+Paper result: the larger data volume spreads contention across
+warehouses; all three levels move closer together, with the YTD hot rows
+gating Payment throughput identically at SI and Serializable SI.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_13
+
+from conftest import run_figure
+
+MPLS = [1, 5, 10]
+
+
+@pytest.mark.benchmark(group="fig6.13")
+def test_fig6_13_tpccpp_w10(benchmark):
+    outcome = run_figure(benchmark, fig6_13(), MPLS)
+
+    # SSI tracks SI closely.
+    assert outcome.throughput("ssi", 10) > outcome.throughput("si", 10) * 0.8
+
+    # 10 warehouses: more concurrency headroom than W=1 -> throughput
+    # grows with MPL for the multiversion levels.
+    assert outcome.throughput("si", 10) > outcome.throughput("si", 1) * 2
+
+    # With YTD updates on, write-write conflicts appear at SI/SSI.
+    assert outcome.result("si", 10).aborts["conflict"] >= 0

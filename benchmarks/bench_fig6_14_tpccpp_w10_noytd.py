@@ -1,0 +1,27 @@
+"""Figure 6.14 — InnoDB TPC-C++, 10 warehouses, skipping year-to-date
+updates.
+
+Paper result: without the w_ytd/d_ytd hot rows, Payment loses its
+write-write bottleneck; Serializable SI tracks SI closely and S2PL sits
+below both at higher MPL.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_14
+
+from conftest import run_figure
+
+MPLS = [1, 5, 10]
+
+
+@pytest.mark.benchmark(group="fig6.14")
+def test_fig6_14_tpccpp_w10_noytd(benchmark):
+    outcome = run_figure(benchmark, fig6_14(), MPLS)
+
+    assert outcome.throughput("ssi", 10) > outcome.throughput("si", 10) * 0.85
+    assert outcome.throughput("s2pl", 10) <= outcome.throughput("si", 10) * 1.02
+
+    # Removing YTD lowers the conflict-abort rate relative to commits.
+    si_10 = outcome.result("si", 10)
+    assert si_10.abort_rate("conflict") < 0.2

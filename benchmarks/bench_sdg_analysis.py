@@ -1,0 +1,39 @@
+"""Static-analysis benchmarks: SDG derivation for the paper's suites.
+
+Regenerates Figures 2.8 (TPC-C), 2.9/2.10 (SmallBank and its PromoteBW
+fix) and 5.3 (TPC-C++) as computed artefacts, and times the analysis —
+the cost that Section 1.3 argues must be re-paid on every application
+change, motivating the runtime algorithm.
+"""
+
+import pytest
+
+from repro.analysis import build_sdg, smallbank_specs, tpcc_specs, tpccpp_specs
+
+
+@pytest.mark.benchmark(group="sdg")
+def test_sdg_smallbank(benchmark):
+    sdg = benchmark(lambda: build_sdg(smallbank_specs()))
+    print("\n  SmallBank pivots:", sdg.pivots())
+    assert sdg.pivots() == ["WC"]
+
+
+@pytest.mark.benchmark(group="sdg")
+def test_sdg_smallbank_promote_bw(benchmark):
+    sdg = benchmark(lambda: build_sdg(smallbank_specs("promote_bw")))
+    print("\n  PromoteBW pivots:", sdg.pivots() or "none (Fig 2.10)")
+    assert sdg.is_serializable_under_si()
+
+
+@pytest.mark.benchmark(group="sdg")
+def test_sdg_tpcc(benchmark):
+    sdg = benchmark(lambda: build_sdg(tpcc_specs()))
+    print("\n  TPC-C pivots:", sdg.pivots() or "none (Fig 2.8)")
+    assert sdg.is_serializable_under_si()
+
+
+@pytest.mark.benchmark(group="sdg")
+def test_sdg_tpccpp(benchmark):
+    sdg = benchmark(lambda: build_sdg(tpccpp_specs()))
+    print("\n  TPC-C++ pivots:", sdg.pivots())
+    assert sdg.pivots() == ["CCHECK", "NEWO"]

@@ -1,0 +1,30 @@
+"""Shared helpers for the figure benchmarks.
+
+Every file here regenerates one table/figure of the paper's evaluation:
+it runs the experiment grid once under pytest-benchmark (wall time of the
+full grid is the benchmarked quantity), prints the throughput and
+error-rate series in the paper's layout, and asserts the paper's
+*qualitative* claims (who wins, roughly by how much) as loose shape
+checks.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
+
+from repro.bench.harness import run_experiment  # noqa: E402
+from repro.bench.report import summarize  # noqa: E402
+
+
+def run_figure(benchmark, experiment, mpls, levels=None):
+    """Run one experiment grid under the benchmark fixture and print the
+    paper-style tables."""
+    outcome = benchmark.pedantic(
+        lambda: run_experiment(experiment, mpls=mpls, levels=levels),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(summarize(outcome))
+    return outcome

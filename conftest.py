@@ -1,0 +1,12 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on sys.path so the test and benchmark suites run even when
+the package has not been pip-installed (this sandbox is offline and its
+setuptools cannot build PEP 660 editable wheels; ``python setup.py
+develop`` installs it properly).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

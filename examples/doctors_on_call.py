@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The paper's Example 1: doctors going off duty.
+
+A hospital requires at least one doctor on duty per shift.  Each
+transaction moves one doctor to "reserve" *after checking* that another
+doctor remains on duty — a check that is correct in isolation but, under
+snapshot isolation, is evaluated against a stale snapshot: two such
+transactions can interleave so that both pass the check and the shift
+ends up unstaffed.  Serializable SI aborts one of them.
+
+Run:  python examples/doctors_on_call.py
+"""
+
+from repro import Database, TransactionAbortedError
+
+
+def go_on_reserve(db, doctor, shift, level):
+    """The parametrized application program from Example 1."""
+    txn = db.begin(level)
+    try:
+        status = txn.get("duties", (shift, doctor))
+        if status != "on duty":
+            txn.abort()
+            return "not on duty"
+        txn.write("duties", (shift, doctor), "reserve")
+        still_on_duty = [
+            key for key, value in txn.scan("duties", (shift, ""), (shift, "~"))
+            if value == "on duty"
+        ]
+        if not still_on_duty:
+            txn.abort()
+            return "rolled back: would leave shift empty"
+        txn.commit()
+        return "committed"
+    except TransactionAbortedError as error:
+        return f"aborted by engine ({error.reason})"
+
+
+def interleaved_run(level):
+    """Run the two doctors' requests concurrently (interleaved)."""
+    db = Database()
+    db.create_table("duties")
+    db.load("duties", [(("night", "dr_jekyll"), "on duty"),
+                       (("night", "dr_hyde"), "on duty")])
+
+    t1 = db.begin(level)
+    t2 = db.begin(level)
+    outcomes = []
+    verdicts = {}
+    # Interleaved execution: both updates first, then both checks —
+    # each check runs against its own (stale) snapshot.
+    for txn, doctor in ((t1, "dr_jekyll"), (t2, "dr_hyde")):
+        try:
+            txn.write("duties", ("night", doctor), "reserve")
+        except TransactionAbortedError as error:
+            outcomes.append(f"{doctor}: aborted by engine ({error.reason})")
+    for txn, doctor in ((t1, "dr_jekyll"), (t2, "dr_hyde")):
+        if not txn.is_active:
+            continue
+        try:
+            on_duty = [
+                key for key, value in txn.scan("duties")
+                if value == "on duty"
+            ]
+            verdicts[doctor] = len(on_duty)
+            if not on_duty:
+                txn.abort()
+                outcomes.append(f"{doctor}: rolled back (no cover)")
+        except TransactionAbortedError as error:
+            outcomes.append(f"{doctor}: aborted by engine ({error.reason})")
+    for txn, doctor in ((t1, "dr_jekyll"), (t2, "dr_hyde")):
+        if not txn.is_active:
+            continue
+        try:
+            txn.commit()
+            outcomes.append(
+                f"{doctor}: committed (check saw {verdicts[doctor]} still on duty)"
+            )
+        except TransactionAbortedError as error:
+            outcomes.append(f"{doctor}: aborted by engine ({error.reason})")
+
+    check = db.begin("si")
+    remaining = [key for key, value in check.scan("duties") if value == "on duty"]
+    check.commit()
+    return outcomes, remaining
+
+
+def main():
+    for level, label in (("si", "snapshot isolation"),
+                         ("ssi", "Serializable SI")):
+        outcomes, remaining = interleaved_run(level)
+        print(f"== {label} ==")
+        for outcome in outcomes:
+            print("  ", outcome)
+        status = "OK" if remaining else "VIOLATED — nobody on duty!"
+        print(f"   invariant (>=1 on duty): {status}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The serializability oracle: after-the-fact execution analysis.
+
+The paper's authors first considered a tool that inspects execution
+traces for serializability violations (Section 3.1.1) before settling on
+the runtime algorithm.  This engine ships that tool: with history
+recording enabled, every operation is logged, and the multiversion
+serialization graph (MVSG) can be rebuilt and checked for cycles.
+
+This example produces a write-skew execution at snapshot isolation,
+prints the oracle's verdict and the offending cycle, and emits a
+Graphviz rendering of the MVSG (paste into `dot -Tpng`).
+
+Run:  python examples/history_oracle.py
+"""
+
+from repro import Database, EngineConfig
+from repro.sgt import build_mvsg, check_serializable
+
+
+def produce_write_skew():
+    db = Database(EngineConfig(record_history=True))
+    db.create_table("acct")
+    db.load("acct", [("x", 50), ("y", 50)])
+
+    t1 = db.begin("si")
+    t2 = db.begin("si")
+    t1.write("acct", "x", t1.read("acct", "x") - (t1.read("acct", "y") + 20))
+    t2.write("acct", "y", t2.read("acct", "y") - (t2.read("acct", "x") + 30))
+    t1.commit()
+    t2.commit()
+    return db
+
+
+def main():
+    db = produce_write_skew()
+    report = check_serializable(db.history)
+    print("oracle verdict:")
+    print(" ", report.describe().replace("\n", "\n  "))
+    print()
+
+    graph = build_mvsg(db.history)
+    print(f"MVSG: {len(graph.nodes)} committed transactions, "
+          f"{len(graph.edges)} dependencies, "
+          f"{len(graph.rw_edges())} rw-antidependencies")
+    print("pivots realised in the cycle:", graph.pivots_in_cycle())
+    print()
+    print(graph.to_dot())
+
+
+if __name__ == "__main__":
+    main()

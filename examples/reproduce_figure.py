@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Reproduce any figure of the paper's Chapter 6 from the command line.
+
+Usage:
+    python examples/reproduce_figure.py fig6.1
+    python examples/reproduce_figure.py fig6.8 --mpls 1,5,20 --duration 0.5
+    python examples/reproduce_figure.py --list
+"""
+
+import argparse
+import sys
+
+from repro.bench.experiments import FIGURES
+from repro.bench.harness import run_experiment
+from repro.bench.report import summarize
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", nargs="?", help="figure id, e.g. fig6.1")
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--mpls", default="1,5,10,20",
+                        help="comma-separated MPL sweep")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override simulated seconds per point")
+    parser.add_argument("--levels", default=None,
+                        help="comma-separated isolation levels (si,ssi,s2pl,sgt)")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figure:
+        for exp_id, factory in sorted(FIGURES.items()):
+            print(f"{exp_id:<10} {factory().title}")
+        return 0
+
+    if args.figure not in FIGURES:
+        print(f"unknown figure {args.figure!r}; use --list", file=sys.stderr)
+        return 1
+
+    experiment = FIGURES[args.figure]()
+    if args.duration:
+        experiment.sim_config.duration = args.duration
+    mpls = [int(part) for part in args.mpls.split(",")]
+    levels = args.levels.split(",") if args.levels else None
+    outcome = run_experiment(experiment, mpls=mpls, levels=levels)
+    print(summarize(outcome))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools predates PEP 660 editable wheels
+(pip then falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

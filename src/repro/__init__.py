@@ -1,0 +1,59 @@
+"""repro — Serializable Snapshot Isolation for Python.
+
+A from-scratch reproduction of Cahill, Fekete & Röhm, *Serializable
+Isolation for Snapshot Databases* (SIGMOD 2008 / Cahill's 2009 thesis):
+a multiversion transactional engine offering snapshot isolation, strict
+two-phase locking, and the paper's Serializable SI algorithm, plus the
+benchmarks (SmallBank, sibench, TPC-C++) and analysis tools (static
+dependency graphs, multiversion serialization graph checking) used in its
+evaluation.
+
+Quickstart::
+
+    from repro import Database, IsolationLevel
+
+    db = Database()
+    db.create_table("accounts")
+    db.load("accounts", [("x", 50), ("y", 50)])
+
+    txn = db.begin(IsolationLevel.SERIALIZABLE_SSI)
+    balance = txn.read("accounts", "x") + txn.read("accounts", "y")
+    txn.write("accounts", "x", balance - 80)
+    txn.commit()
+"""
+
+from repro.engine.config import DeadlockMode, EngineConfig, LockGranularity
+from repro.engine.database import Database
+from repro.engine.isolation import IsolationLevel
+from repro.engine.transaction import Transaction, TransactionStatus
+from repro.errors import (
+    ConstraintError,
+    DeadlockError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    ReproError,
+    TransactionAbortedError,
+    UnsafeError,
+    UpdateConflictError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Transaction",
+    "TransactionStatus",
+    "IsolationLevel",
+    "EngineConfig",
+    "LockGranularity",
+    "DeadlockMode",
+    "ReproError",
+    "TransactionAbortedError",
+    "UnsafeError",
+    "UpdateConflictError",
+    "DeadlockError",
+    "ConstraintError",
+    "KeyNotFoundError",
+    "DuplicateKeyError",
+    "__version__",
+]

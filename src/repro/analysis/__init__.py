@@ -1,0 +1,37 @@
+"""Static dependency graph analysis (paper Sections 2.6 and 2.8).
+
+Implements the design-time technique the paper's runtime algorithm
+replaces: model each transaction program's reads/writes, build the static
+dependency graph (SDG), find vulnerable anti-dependency edges and
+dangerous structures (Definition 1), and identify pivots.  Prebuilt
+specifications reproduce the paper's SDG figures: SmallBank (Fig 2.9,
+pivot = WriteCheck), its PromoteBW fix (Fig 2.10), TPC-C (Fig 2.8, no
+dangerous structure) and TPC-C++ (Fig 5.3, pivots = {NEWO, CCHECK}).
+"""
+
+from repro.analysis.programs import Access, ProgramSpec, read, write, predicate_read, insert
+from repro.analysis.sdg import SDG, SdgEdge, build_sdg, DangerousStructure
+from repro.analysis.advisor import FixCandidate, suggest_fixes
+from repro.analysis.catalog import (
+    smallbank_specs,
+    tpcc_specs,
+    tpccpp_specs,
+)
+
+__all__ = [
+    "FixCandidate",
+    "suggest_fixes",
+    "Access",
+    "ProgramSpec",
+    "read",
+    "write",
+    "predicate_read",
+    "insert",
+    "SDG",
+    "SdgEdge",
+    "DangerousStructure",
+    "build_sdg",
+    "smallbank_specs",
+    "tpcc_specs",
+    "tpccpp_specs",
+]

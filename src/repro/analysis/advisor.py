@@ -1,0 +1,193 @@
+"""Automated fix suggestion for SI anomalies (paper Sections 2.6, 2.8.5).
+
+Given program specifications whose SDG contains dangerous structures,
+enumerate the candidate application-level fixes — breaking either
+vulnerable edge of each structure by *promotion* (an identity write on
+the item read) or *materialisation* (both programs update a row of a
+dedicated conflict table) — apply each candidate, rebuild the SDG, and
+report which candidates actually restore serializability.
+
+Candidates are ranked by the guidance the paper distils from Alomari et
+al.: prefer fixes that do not turn a read-only program into an update,
+and prefer fewer modified programs.  (Choosing a globally minimal set of
+edges is NP-hard — Jorwekar et al., quoted in Section 2.6 — so the
+advisor evaluates single-edge fixes, which suffices for SmallBank-sized
+applications and mirrors the paper's manual analysis.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.programs import (
+    Access,
+    ProgramSpec,
+    conflicts_under,
+    matchings,
+    write,
+)
+from repro.analysis.sdg import SDG, SdgEdge, build_sdg
+
+
+@dataclass(frozen=True, slots=True)
+class FixCandidate:
+    """One evaluated fix.
+
+    Attributes:
+        edge: (src, dst) names of the vulnerable edge being broken.
+        technique: "promote" or "materialize".
+        modified: names of the programs the fix alters.
+        queries_modified: read-only programs the fix turns into updates
+            (the cost Section 2.8.5 warns about).
+        serializable: True if the fixed application's SDG has no
+            dangerous structure (Theorem 3 then applies).
+        residual_pivots: pivots remaining after the fix.
+    """
+
+    edge: tuple[str, str]
+    technique: str
+    modified: tuple[str, ...]
+    queries_modified: tuple[str, ...]
+    serializable: bool
+    residual_pivots: tuple[str, ...]
+
+    def sort_key(self) -> tuple:
+        return (
+            not self.serializable,
+            len(self.queries_modified),
+            len(self.modified),
+            self.edge,
+            self.technique,
+        )
+
+    def describe(self) -> str:
+        status = "OK" if self.serializable else (
+            f"residual pivots: {', '.join(self.residual_pivots)}"
+        )
+        cost = (
+            f" (turns {'/'.join(self.queries_modified)} into updates)"
+            if self.queries_modified else ""
+        )
+        return (
+            f"{self.technique} {self.edge[0]}->{self.edge[1]}: "
+            f"modify {', '.join(self.modified)}{cost} -> {status}"
+        )
+
+
+def _rw_witnesses(src: ProgramSpec, dst: ProgramSpec) -> list[tuple[Access, Access, dict]]:
+    """The (read, write, matching) triples witnessing rw conflicts on the
+    src -> dst edge."""
+    witnesses = []
+    for matching in matchings(src.row_vars(), dst.row_vars()):
+        for read_access in src.accesses:
+            if not read_access.is_read:
+                continue
+            for write_access in dst.accesses:
+                if not write_access.is_write:
+                    continue
+                if conflicts_under(read_access, write_access, matching):
+                    witnesses.append((read_access, write_access, matching))
+    return witnesses
+
+
+def _promote(src: ProgramSpec, witnesses) -> ProgramSpec | None:
+    """Identity-write every item src reads in the conflict; inapplicable
+    when the conflict is predicate-based (Section 2.6.2: promotion cannot
+    cover predicate evaluation changes)."""
+    extra: list[Access] = []
+    for read_access, _write_access, _matching in witnesses:
+        if read_access.row == "*":
+            return None
+        promoted = write(read_access.table, read_access.row, read_access.domain)
+        if promoted not in extra and promoted not in src.accesses:
+            extra.append(promoted)
+    if not extra:
+        return None
+    return src.with_extra(*extra)
+
+
+def _materialize(
+    src: ProgramSpec, dst: ProgramSpec, witnesses
+) -> tuple[ProgramSpec, ProgramSpec]:
+    """Both programs update a row of a dedicated Conflict table.  When the
+    conflicting accesses share a row binding, the conflict row is keyed by
+    it (contention only where needed, Section 2.6.1); predicate conflicts
+    fall back to a single fixed row."""
+    for read_access, write_access, matching in witnesses:
+        if (
+            read_access.row != "*"
+            and write_access.row != "*"
+            and matching.get(read_access.row) == write_access.row
+        ):
+            src_fix = write("__conflict__", read_access.row, read_access.domain)
+            dst_fix = write("__conflict__", write_access.row, write_access.domain)
+            break
+    else:
+        # Predicate conflict: a fixed, shared conflict row.
+        src_fix = write("__conflict__", "fixed", "__conflict_row__")
+        dst_fix = write("__conflict__", "fixed", "__conflict_row__")
+    return src.with_extra(src_fix), dst.with_extra(dst_fix)
+
+
+def suggest_fixes(programs: Sequence[ProgramSpec]) -> list[FixCandidate]:
+    """Evaluate every single-edge fix of the application's dangerous
+    structures, best candidates first.  Empty if already serializable."""
+    by_name = {program.name: program for program in programs}
+    sdg = build_sdg(list(programs))
+    structures = sdg.dangerous_structures()
+    if not structures:
+        return []
+
+    candidate_edges: set[tuple[str, str]] = set()
+    for witness in structures:
+        candidate_edges.add((witness.incoming, witness.pivot))
+        candidate_edges.add((witness.pivot, witness.outgoing))
+
+    results: list[FixCandidate] = []
+    for src_name, dst_name in sorted(candidate_edges):
+        src, dst = by_name[src_name], by_name[dst_name]
+        witnesses = _rw_witnesses(src, dst)
+        if not witnesses:
+            continue
+        promoted = _promote(src, witnesses)
+        if promoted is not None:
+            results.append(
+                _evaluate(by_name, {src_name: promoted}, (src_name, dst_name), "promote")
+            )
+        mat_src, mat_dst = _materialize(src, dst, witnesses)
+        replacements = {src_name: mat_src, dst_name: mat_dst}
+        if src_name == dst_name:
+            replacements = {src_name: mat_src.with_extra(*(
+                access for access in mat_dst.accesses
+                if access not in mat_src.accesses
+            ))}
+        results.append(
+            _evaluate(by_name, replacements, (src_name, dst_name), "materialize")
+        )
+    results.sort(key=FixCandidate.sort_key)
+    return results
+
+
+def _evaluate(
+    by_name: dict[str, ProgramSpec],
+    replacements: dict[str, ProgramSpec],
+    edge: tuple[str, str],
+    technique: str,
+) -> FixCandidate:
+    fixed_programs = [
+        replacements.get(name, program) for name, program in by_name.items()
+    ]
+    fixed_sdg = build_sdg(fixed_programs)
+    pivots = tuple(fixed_sdg.pivots())
+    queries_modified = tuple(
+        name for name in replacements if by_name[name].readonly
+    )
+    return FixCandidate(
+        edge=edge,
+        technique=technique,
+        modified=tuple(sorted(replacements)),
+        queries_modified=queries_modified,
+        serializable=not pivots,
+        residual_pivots=pivots,
+    )

@@ -1,0 +1,135 @@
+"""Program specifications for the paper's benchmark applications.
+
+These reproduce, as computed artefacts, the SDG figures of the paper:
+
+* :func:`smallbank_specs` — Fig 2.9 (pivot = WC) and, via ``variant``,
+  the Section 2.8.5 fixes (Fig 2.10 is the ``promote_bw`` variant);
+* :func:`tpcc_specs` — Fig 2.8 (no dangerous structure: TPC-C is
+  serializable under SI);
+* :func:`tpccpp_specs` — Fig 5.3 (pivots = {CCHECK, NEWO}).
+
+Column-level partitioning is modelled with partition-qualified table
+names (``customer.bal`` vs ``customer.credit``), following the paper's
+Section 5.3.3 discussion of partitioning the Customer table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.programs import (
+    ProgramSpec,
+    insert,
+    predicate_read,
+    read,
+    write,
+)
+
+
+def smallbank_specs(variant: str = "plain") -> list[ProgramSpec]:
+    """The five SmallBank programs, optionally transformed.
+
+    Variants (Section 2.8.5): ``materialize_wt``, ``promote_wt``,
+    ``materialize_bw``, ``promote_bw``.
+    """
+    bal = ProgramSpec("Bal", (
+        read("saving", "c", "customer"),
+        read("checking", "c", "customer"),
+    ))
+    dc = ProgramSpec("DC", (
+        read("checking", "c", "customer"),
+        write("checking", "c", "customer"),
+    ))
+    ts = ProgramSpec("TS", (
+        read("saving", "c", "customer"),
+        write("saving", "c", "customer"),
+    ))
+    amg = ProgramSpec("Amg", (
+        read("saving", "c1", "customer"),
+        read("checking", "c1", "customer"),
+        read("checking", "c2", "customer"),
+        write("saving", "c1", "customer"),
+        write("checking", "c1", "customer"),
+        write("checking", "c2", "customer"),
+    ))
+    wc = ProgramSpec("WC", (
+        read("saving", "c", "customer"),
+        read("checking", "c", "customer"),
+        write("checking", "c", "customer"),
+    ))
+
+    if variant == "promote_wt":
+        wc = wc.with_extra(write("saving", "c", "customer"))
+    elif variant == "materialize_wt":
+        wc = wc.with_extra(write("conflict", "c", "customer"))
+        ts = ts.with_extra(write("conflict", "c", "customer"))
+    elif variant == "promote_bw":
+        bal = bal.with_extra(write("checking", "c", "customer"))
+    elif variant == "materialize_bw":
+        bal = bal.with_extra(write("conflict", "c", "customer"))
+        wc = wc.with_extra(write("conflict", "c", "customer"))
+    elif variant != "plain":
+        raise ValueError(f"unknown variant {variant!r}")
+    return [bal, dc, ts, amg, wc]
+
+
+def tpcc_specs() -> list[ProgramSpec]:
+    """TPC-C with the Delivery split (DLVY1/DLVY2) of Fekete et al."""
+    newo = ProgramSpec("NEWO", (
+        read("district.next", "d", "district"),
+        write("district.next", "d", "district"),
+        read("customer.info", "c", "customer"),
+        read("item", "i", "item"),
+        read("stock.qty", "i", "item"),
+        write("stock.qty", "i", "item"),
+        insert("orders", "order"),
+        insert("new_order", "order"),
+        insert("order_line", "order"),
+    ))
+    pay = ProgramSpec("PAY", (
+        read("customer.bal", "c", "customer"),
+        write("customer.bal", "c", "customer"),
+        read("warehouse.ytd", "w", "warehouse"),
+        write("warehouse.ytd", "w", "warehouse"),
+        read("district.ytd", "d", "district"),
+        write("district.ytd", "d", "district"),
+    ))
+    ostat = ProgramSpec("OSTAT", (
+        read("customer.bal", "c", "customer"),
+        read("customer.info", "c", "customer"),
+        predicate_read("orders", "order"),
+        predicate_read("order_line", "order"),
+    ))
+    slev = ProgramSpec("SLEV", (
+        read("district.next", "d", "district"),
+        predicate_read("order_line", "order"),
+        read("stock.qty", "i", "item"),
+    ))
+    dlvy1 = ProgramSpec("DLVY1", (
+        predicate_read("new_order", "order"),
+    ))
+    dlvy2 = ProgramSpec("DLVY2", (
+        predicate_read("new_order", "order"),
+        insert("new_order", "order"),  # the delete: a write on the queue
+        predicate_read("orders", "order"),
+        insert("orders", "order"),
+        predicate_read("order_line", "order"),
+        insert("order_line", "order"),
+        read("customer.bal", "c", "customer"),
+        write("customer.bal", "c", "customer"),
+    ))
+    return [newo, pay, ostat, slev, dlvy1, dlvy2]
+
+
+def tpccpp_specs() -> list[ProgramSpec]:
+    """TPC-C++ = TPC-C + Credit Check, + New Order reading the credit
+    status (the customer is told about a bad rating, Section 5.3.3)."""
+    specs = {spec.name: spec for spec in tpcc_specs()}
+    specs["NEWO"] = specs["NEWO"].with_extra(
+        read("customer.credit", "c", "customer")
+    )
+    ccheck = ProgramSpec("CCHECK", (
+        read("customer.bal", "c", "customer"),
+        predicate_read("new_order", "order"),
+        predicate_read("order_line", "order"),
+        write("customer.credit", "c", "customer"),
+    ))
+    return list(specs.values()) + [ccheck]

@@ -1,0 +1,131 @@
+"""Abstract transaction-program specifications for SDG analysis.
+
+A program is a set of :class:`Access` records over *row variables*: local
+names for the rows a program instance touches, tagged with the domain
+they range over (two row variables can only denote the same row when
+their domains match).  The analysis enumerates row-variable matchings
+between program pairs to decide which conflicts can occur — this captures
+the paper's SmallBank subtlety that WriteCheck -> Amalgamate is *not*
+vulnerable (whenever Amg writes Saving for customer c it also writes
+Checking for the same c, which WC writes too; Section 2.8.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One table access of a program.
+
+    Attributes:
+        table: table (or table partition / column group) name.  Column-
+            level partitioning — e.g. TPC-C++'s customer.balance vs
+            customer.credit (Section 5.3.3) — is modelled by using a
+            distinct table name per partition.
+        row: local row-variable name ("c", "c2", ...).  The special value
+            ``"*"`` denotes a predicate over the whole table (range
+            scans and the rows inserts create), which can conflict with
+            any row variable of the same domain.
+        domain: the key space the row ranges over ("customer", ...).
+        mode: "read", "write", or "predicate_read" / "insert" for
+            phantom-sensitive accesses.
+    """
+
+    table: str
+    row: str
+    domain: str
+    mode: str
+
+    @property
+    def is_write(self) -> bool:
+        return self.mode in ("write", "insert")
+
+    @property
+    def is_read(self) -> bool:
+        return self.mode in ("read", "predicate_read")
+
+
+def read(table: str, row: str, domain: str | None = None) -> Access:
+    return Access(table, row, domain or table, "read")
+
+
+def write(table: str, row: str, domain: str | None = None) -> Access:
+    return Access(table, row, domain or table, "write")
+
+
+def predicate_read(table: str, domain: str | None = None) -> Access:
+    return Access(table, "*", domain or table, "predicate_read")
+
+
+def insert(table: str, domain: str | None = None) -> Access:
+    return Access(table, "*", domain or table, "insert")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A named transaction program with its accesses."""
+
+    name: str
+    accesses: tuple[Access, ...]
+
+    @property
+    def readonly(self) -> bool:
+        return not any(access.is_write for access in self.accesses)
+
+    def row_vars(self) -> list[tuple[str, str]]:
+        """Distinct (row, domain) pairs, '*' excluded."""
+        seen = []
+        for access in self.accesses:
+            pair = (access.row, access.domain)
+            if access.row != "*" and pair not in seen:
+                seen.append(pair)
+        return seen
+
+    def with_extra(self, *extra: Access, name: str | None = None) -> "ProgramSpec":
+        """A copy with added accesses — how materialisation/promotion
+        transforms are expressed (Sections 2.6.1/2.6.2)."""
+        return ProgramSpec(name or self.name, self.accesses + tuple(extra))
+
+    def __repr__(self) -> str:
+        return f"ProgramSpec({self.name!r}, {len(self.accesses)} accesses)"
+
+
+def matchings(
+    left: Iterable[tuple[str, str]], right: Iterable[tuple[str, str]]
+) -> Iterator[dict[str, str]]:
+    """Enumerate partial injective matchings of row variables with equal
+    domains.  Each matching is one scenario of which rows coincide
+    between two concurrent program instances."""
+    left = list(left)
+    right = list(right)
+
+    def recurse(index: int, used: set[str], current: dict[str, str]) -> Iterator[dict[str, str]]:
+        if index == len(left):
+            yield dict(current)
+            return
+        lrow, ldomain = left[index]
+        # Option: leave this variable unmatched.
+        yield from recurse(index + 1, used, current)
+        for rrow, rdomain in right:
+            if rdomain == ldomain and rrow not in used:
+                current[lrow] = rrow
+                used.add(rrow)
+                yield from recurse(index + 1, used, current)
+                used.discard(rrow)
+                del current[lrow]
+
+    yield from recurse(0, set(), {})
+
+
+def conflicts_under(
+    p_access: Access, q_access: Access, matching: dict[str, str]
+) -> bool:
+    """Can these two accesses touch the same row under ``matching``?"""
+    if p_access.table != q_access.table:
+        return False
+    if p_access.row == "*" or q_access.row == "*":
+        return p_access.domain == q_access.domain
+    return matching.get(p_access.row) == q_access.row

@@ -1,0 +1,180 @@
+"""Static dependency graph construction and dangerous-structure detection.
+
+Implements Definition 1 (Fekete et al. 2005, quoted in paper Section
+2.6): SDG(A) has a dangerous structure when there are programs P, Q, R
+(not necessarily distinct) with vulnerable anti-dependency edges R -> P
+and P -> Q such that Q == R or Q reaches R through the graph.  P is the
+*pivot*; Theorem 3 says an application with no dangerous structure is
+serializable under SI.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.programs import (
+    Access,
+    ProgramSpec,
+    conflicts_under,
+    matchings,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SdgEdge:
+    """An edge in the SDG.
+
+    ``kinds`` holds the conflict kinds observed across matchings
+    ("rw", "ww", "wr"); ``vulnerable`` is True when some matching yields
+    an rw conflict src -> dst with no write-write conflict between the
+    pair in that same scenario — the condition under which the two
+    instances can actually run concurrently with the anti-dependency
+    (Section 2.6)."""
+
+    src: str
+    dst: str
+    kinds: frozenset[str]
+    vulnerable: bool
+
+    def __repr__(self) -> str:
+        mark = "~" if self.vulnerable else "-"
+        return f"{self.src} {mark}{'/'.join(sorted(self.kinds))}{mark}> {self.dst}"
+
+
+@dataclass(frozen=True, slots=True)
+class DangerousStructure:
+    """A witness of Definition 1: R ~rw~> P ~rw~> Q with Q ->* R."""
+
+    incoming: str  # R
+    pivot: str     # P
+    outgoing: str  # Q
+
+    def __repr__(self) -> str:
+        return f"{self.incoming} ~> [{self.pivot}] ~> {self.outgoing}"
+
+
+class SDG:
+    """The static dependency graph of an application's program mix."""
+
+    def __init__(self, programs: Sequence[ProgramSpec], edges: Sequence[SdgEdge]):
+        self.programs = {program.name: program for program in programs}
+        self.edges = list(edges)
+        self._adjacency: dict[str, set[str]] = defaultdict(set)
+        for edge in self.edges:
+            self._adjacency[edge.src].add(edge.dst)
+
+    def edge(self, src: str, dst: str) -> SdgEdge | None:
+        for edge in self.edges:
+            if edge.src == src and edge.dst == dst:
+                return edge
+        return None
+
+    def vulnerable_edges(self) -> list[SdgEdge]:
+        return [edge for edge in self.edges if edge.vulnerable]
+
+    def reaches(self, src: str, dst: str) -> bool:
+        """Reflexive-transitive reachability src ->* dst."""
+        if src == dst:
+            return True
+        stack, seen = [src], {src}
+        while stack:
+            node = stack.pop()
+            for target in self._adjacency.get(node, ()):
+                if target == dst:
+                    return True
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return False
+
+    def dangerous_structures(self) -> list[DangerousStructure]:
+        """All Definition-1 witnesses."""
+        vulnerable = self.vulnerable_edges()
+        found = []
+        for into_pivot in vulnerable:
+            for out_of_pivot in vulnerable:
+                if into_pivot.dst != out_of_pivot.src:
+                    continue
+                pivot = into_pivot.dst
+                incoming, outgoing = into_pivot.src, out_of_pivot.dst
+                if self.reaches(outgoing, incoming):
+                    found.append(DangerousStructure(incoming, pivot, outgoing))
+        return found
+
+    def pivots(self) -> list[str]:
+        """Programs at the junction of consecutive vulnerable edges in a
+        (potential) cycle — the transactions to fix or run at S2PL
+        (Section 2.6.3)."""
+        return sorted({witness.pivot for witness in self.dangerous_structures()})
+
+    def is_serializable_under_si(self) -> bool:
+        """Theorem 3: no dangerous structure -> serializable under SI."""
+        return not self.dangerous_structures()
+
+    def to_dot(self) -> str:
+        """Graphviz rendering in the paper's visual language: dashed =
+        vulnerable rw, bold = ww, shaded = update program, diamond =
+        pivot."""
+        pivots = set(self.pivots())
+        lines = ["digraph SDG {", "  rankdir=LR;"]
+        for name, program in self.programs.items():
+            shape = "diamond" if name in pivots else "ellipse"
+            style = "filled" if not program.readonly else "solid"
+            lines.append(f'  "{name}" [shape={shape}, style={style}];')
+        for edge in self.edges:
+            style = "dashed" if edge.vulnerable else (
+                "bold" if "ww" in edge.kinds else "solid"
+            )
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" [style={style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_sdg(programs: Sequence[ProgramSpec]) -> SDG:
+    """Derive the SDG from program specifications.
+
+    For each ordered program pair, row-variable matchings are enumerated;
+    an edge src -> dst is recorded when some matching produces a conflict
+    with src's operation first (read-write, write-write or write-read),
+    and flagged vulnerable when some matching has an rw conflict that no
+    simultaneous ww conflict "covers" (Section 2.8.4's argument)."""
+    edges: list[SdgEdge] = []
+    for src in programs:
+        for dst in programs:
+            edge = _pair_edge(src, dst)
+            if edge is not None:
+                edges.append(edge)
+    return SDG(programs, edges)
+
+
+def _pair_edge(src: ProgramSpec, dst: ProgramSpec) -> SdgEdge | None:
+    kinds: set[str] = set()
+    vulnerable = False
+    src_vars = src.row_vars()
+    dst_vars = dst.row_vars()
+    for matching in matchings(src_vars, dst_vars):
+        has_rw = False
+        has_ww = False
+        for p_access in src.accesses:
+            for q_access in dst.accesses:
+                if not conflicts_under(p_access, q_access, matching):
+                    continue
+                # Self-pairs are two *instances* of one program; the
+                # identity matching models both instances sharing their
+                # parameters (e.g. two Credit Checks on one customer,
+                # the ww self-loop of Fig 5.3).
+                if p_access.is_read and q_access.is_write:
+                    kinds.add("rw")
+                    has_rw = True
+                elif p_access.is_write and q_access.is_write:
+                    kinds.add("ww")
+                    has_ww = True
+                elif p_access.is_write and q_access.is_read:
+                    kinds.add("wr")
+        if has_rw and not has_ww:
+            vulnerable = True
+    if not kinds:
+        return None
+    return SdgEdge(src.name, dst.name, frozenset(kinds), vulnerable)

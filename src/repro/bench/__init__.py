@@ -1,0 +1,12 @@
+"""Benchmark harness: one experiment per figure/table of Chapter 6."""
+
+from repro.bench.harness import Experiment, ExperimentResult, run_experiment
+from repro.bench.report import format_throughput_table, format_error_table
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "format_throughput_table",
+    "format_error_table",
+]

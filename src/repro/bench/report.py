@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment results, in the paper's layout:
+a throughput-vs-MPL table and an errors-per-commit table per figure."""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+
+_ERROR_KINDS = ("conflict", "unsafe", "deadlock")
+
+
+def format_throughput_table(outcome: ExperimentResult) -> str:
+    experiment = outcome.experiment
+    levels = list(outcome.series)
+    mpls = [result.mpl for result in outcome.series[levels[0]]]
+    lines = [
+        f"{experiment.exp_id}: {experiment.title}",
+        f"  paper expectation: {experiment.expectation}" if experiment.expectation else "",
+        "  throughput (commits / simulated second)",
+        "  " + "MPL".rjust(5) + "".join(level.rjust(12) for level in levels),
+    ]
+    for mpl in mpls:
+        row = f"  {mpl:>5}"
+        for level in levels:
+            row += f"{outcome.throughput(level, mpl):>12.0f}"
+        lines.append(row)
+    return "\n".join(line for line in lines if line)
+
+
+def format_error_table(outcome: ExperimentResult) -> str:
+    levels = list(outcome.series)
+    mpls = [result.mpl for result in outcome.series[levels[0]]]
+    header = "  " + "MPL".rjust(5) + "".join(
+        f"{level}:{kind}".rjust(15) for level in levels for kind in _ERROR_KINDS
+    )
+    lines = ["  errors per commit (conflict / unsafe / deadlock)", header]
+    for mpl in mpls:
+        row = f"  {mpl:>5}"
+        for level in levels:
+            result = outcome.result(level, mpl)
+            for kind in _ERROR_KINDS:
+                row += f"{result.abort_rate(kind):>15.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def summarize(outcome: ExperimentResult) -> str:
+    return format_throughput_table(outcome) + "\n" + format_error_table(outcome)

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: Serializable Snapshot Isolation.
+
+This package holds the conflict bookkeeping added on top of plain SI:
+
+* :mod:`repro.core.conflicts` — the ``markConflict`` logic and commit-time
+  unsafe check, in both the *basic* boolean-flag form (Figs 3.2-3.5) and
+  the *enhanced* transaction-reference form that is less prone to false
+  positives (Figs 3.9-3.10);
+* :mod:`repro.core.victim` — victim-selection policies (Section 3.7.2).
+
+The engine (:mod:`repro.engine`) wires these into the read/write/scan/
+commit paths.
+"""
+
+from repro.core.conflicts import (
+    BasicConflictTracker,
+    ConflictTracker,
+    EnhancedConflictTracker,
+    make_tracker,
+)
+from repro.core.victim import VictimPolicy, pivot_first, youngest_first
+
+__all__ = [
+    "ConflictTracker",
+    "BasicConflictTracker",
+    "EnhancedConflictTracker",
+    "make_tracker",
+    "VictimPolicy",
+    "pivot_first",
+    "youngest_first",
+]

@@ -1,0 +1,291 @@
+"""Conflict tracking for Serializable Snapshot Isolation.
+
+The algorithm detects a potentially non-serializable execution whenever a
+transaction accumulates *both* an incoming and an outgoing
+rw-antidependency with concurrent transactions — the pivot of a dangerous
+structure (Theorem 2 / Fig 2.2).  Two trackers implement the bookkeeping:
+
+* :class:`BasicConflictTracker` — one boolean per direction, exactly the
+  pseudocode of Figs 3.2-3.5.  Conservative: aborts every pivot.
+* :class:`EnhancedConflictTracker` — per-direction *transaction
+  references* (Figs 3.9-3.10).  A pivot is allowed to commit when the
+  recorded commit order proves the outgoing transaction did not commit
+  first, eliminating the Fig 3.8 class of false positives.
+
+Both implement ``markConflict(reader, writer)``: record the
+rw-dependency reader -> writer, and return the transaction that must abort
+(or None).  The engine translates the returned victim into either an
+immediate :class:`~repro.errors.UnsafeError` (when the victim is the
+transaction executing the operation) or a *doom* flag delivered at the
+victim's next operation.
+
+Transactions passed in must expose: ``id``, ``begin_ts``, ``commit_ts``
+(None until committed), ``is_committed``, ``is_active``, ``in_conflict``,
+``out_conflict``.  For the basic tracker the conflict attributes hold
+booleans; for the enhanced tracker they hold ``None`` / a transaction /
+the sentinel semantics of a self-reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.victim import POLICIES, VictimPolicy, pivot_first
+
+
+class ConflictTracker:
+    """Interface shared by the basic and enhanced trackers."""
+
+    #: set by subclasses: value stored in fresh transactions' conflict slots
+    empty_value: object = None
+
+    def __init__(self, victim_policy: VictimPolicy | str = "pivot"):
+        if isinstance(victim_policy, str):
+            victim_policy = POLICIES[victim_policy]
+        self.victim_policy: VictimPolicy = victim_policy
+        #: statistics for the evaluation: how many times each path fired
+        self.stats = {"marked": 0, "unsafe_at_mark": 0, "unsafe_at_commit": 0}
+
+    def init_transaction(self, txn) -> None:
+        """Fig 3.1: establish the conflict slots at begin(T)."""
+        txn.in_conflict = self.empty_value
+        txn.out_conflict = self.empty_value
+
+    def mark_conflict(self, reader, writer) -> Optional[object]:
+        """Record rw-dependency reader -> writer; return victim or None."""
+        raise NotImplementedError
+
+    def check_commit(self, txn) -> bool:
+        """Return True if ``txn`` must abort instead of committing
+        (the Fig 3.2 / Fig 3.10 unsafe test).  Does not mutate."""
+        raise NotImplementedError
+
+    def after_commit(self, txn) -> None:
+        """Post-commit slot maintenance (no-op for the basic tracker)."""
+
+    # ------------------------------------------------------------ helpers
+
+    def _abort_early_victim(self, reader, writer) -> Optional[object]:
+        """Section 3.7.1: abort an active transaction as soon as it holds
+        both conflicts, rather than waiting for its commit."""
+        candidates = [
+            txn
+            for txn in (reader, writer)
+            if txn.is_active and self._has_in(txn) and self._has_out(txn)
+        ]
+        if not candidates:
+            return None
+        self.stats["unsafe_at_mark"] += 1
+        return self.victim_policy(candidates, reader, writer)
+
+    @staticmethod
+    def _has_in(txn) -> bool:
+        return bool(txn.in_conflict)
+
+    @staticmethod
+    def _has_out(txn) -> bool:
+        return bool(txn.out_conflict)
+
+
+class BasicConflictTracker(ConflictTracker):
+    """Boolean in/out flags — the algorithm of Section 3.2.
+
+    ``markConflict`` (Fig 3.3): if the writer has committed with an
+    outgoing conflict already recorded, the reader closes a potential
+    cycle and must abort; symmetrically for a committed reader with an
+    incoming conflict.  Otherwise both flags are set and, with abort-early
+    enabled, any active transaction that just became a pivot is aborted.
+    """
+
+    empty_value = False
+
+    def __init__(
+        self,
+        victim_policy: VictimPolicy | str = "pivot",
+        abort_early: bool = True,
+    ):
+        super().__init__(victim_policy)
+        self.abort_early = abort_early
+
+    def mark_conflict(self, reader, writer) -> Optional[object]:
+        if reader.id == writer.id:
+            return None
+        self.stats["marked"] += 1
+        if writer.is_committed and writer.out_conflict:
+            self.stats["unsafe_at_mark"] += 1
+            return reader
+        if reader.is_committed and reader.in_conflict:
+            self.stats["unsafe_at_mark"] += 1
+            return writer
+        prior_reader_out = reader.out_conflict
+        prior_writer_in = writer.in_conflict
+        reader.out_conflict = True
+        writer.in_conflict = True
+        if not self.abort_early:
+            return None
+        victim = self._abort_early_victim(reader, writer)
+        # The edge dies with its victim: restore the survivor's flag if
+        # this edge is what set it ("conflicts are not recorded against
+        # transactions ... that will abort", Section 3.7.1).
+        if victim is reader:
+            writer.in_conflict = prior_writer_in
+        elif victim is writer:
+            reader.out_conflict = prior_reader_out
+        return victim
+
+    def check_commit(self, txn) -> bool:
+        unsafe = bool(txn.in_conflict and txn.out_conflict)
+        if unsafe:
+            self.stats["unsafe_at_commit"] += 1
+        return unsafe
+
+
+#: Sentinel commit-time bounds used when a reference cannot prove order.
+_NEG_INF = -math.inf
+_POS_INF = math.inf
+
+
+class EnhancedConflictTracker(ConflictTracker):
+    """Transaction-reference conflict slots — Section 3.6 (Figs 3.9/3.10).
+
+    Slots hold ``None`` (no conflict), a transaction reference (exactly one
+    conflict in that direction), or the transaction itself (self-reference:
+    more than one conflict, equivalent to the basic boolean).
+
+    The unsafe test compares commit times: a dangerous structure only
+    matters when the outgoing transaction committed first (Theorem 2), so
+    a pivot whose unique outgoing transaction has not committed — or
+    committed after the incoming one — may commit safely.
+
+    The danger test (:meth:`_is_dangerous`) encodes Theorem 2's "Tout is
+    the first to commit":
+
+    * out slot is a *single uncommitted* reference — the outgoing
+      transaction will commit after this one, so it cannot have committed
+      first: **safe**, regardless of the in slot;
+    * out slot is a *self-reference* (several outgoing conflicts, order
+      lost) — assume the worst: **dangerous** whenever the in slot is set;
+    * out slot committed at ``out_ts`` — dangerous unless the in slot is a
+      single committed reference with ``in_ts < out_ts`` (the Fig 3.8
+      false positive this tracker eliminates).
+    """
+
+    empty_value = None
+
+    def mark_conflict(self, reader, writer) -> Optional[object]:
+        if reader.id == writer.id:
+            return None
+        self.stats["marked"] += 1
+        # Fig 3.9 lines 3-7: the reader closes a cycle with a committed
+        # pivot whose outgoing transaction committed first (or whose
+        # outgoing order is unknown — a self-reference).
+        if writer.is_committed and writer.out_conflict is not None:
+            out_bound = self._out_bound(writer)
+            if out_bound is not None and out_bound <= writer.commit_ts:
+                self.stats["unsafe_at_mark"] += 1
+                return reader
+        # A repeat of the same edge keeps the precise reference; only a
+        # conflict with a *different* transaction degrades the slot to the
+        # self-reference ("multiple conflicts, order unknown").
+        prior_reader_out = reader.out_conflict
+        prior_writer_in = writer.in_conflict
+        if reader.out_conflict is None:
+            reader.out_conflict = writer
+        elif reader.out_conflict is not writer:
+            reader.out_conflict = reader
+        if writer.in_conflict is None:
+            writer.in_conflict = reader
+        elif writer.in_conflict is not reader:
+            writer.in_conflict = writer
+        victim = self._abort_early_victim_enhanced(reader, writer)
+        # The edge dies with its victim: undo the survivor's slot change.
+        if victim is reader:
+            writer.in_conflict = prior_writer_in
+        elif victim is writer:
+            reader.out_conflict = prior_reader_out
+        return victim
+
+    def check_commit(self, txn) -> bool:
+        unsafe = self._is_dangerous(txn)
+        if unsafe:
+            self.stats["unsafe_at_commit"] += 1
+        return unsafe
+
+    def after_commit(self, txn) -> None:
+        """Fig 3.10 lines 9-12: committed references become self-references
+        so suspended transactions never point at cleaned-up ones."""
+        if txn.in_conflict is not None and txn.in_conflict is not txn:
+            if txn.in_conflict.is_committed:
+                txn.in_conflict = txn
+        if txn.out_conflict is not None and txn.out_conflict is not txn:
+            if txn.out_conflict.is_committed:
+                txn.out_conflict = txn
+
+    # ------------------------------------------------------------ helpers
+
+    def _is_dangerous(self, txn) -> bool:
+        """True when ``txn``'s recorded conflicts may form a dangerous
+        structure in which the outgoing transaction committed first."""
+        if txn.in_conflict is None or txn.out_conflict is None:
+            return False
+        out_bound = self._out_bound(txn)
+        if out_bound is None:
+            # Single outgoing reference, not yet committed: it will commit
+            # after txn, so it is provably not the first committer.
+            return False
+        return out_bound <= self._in_bound(txn)
+
+    def _abort_early_victim_enhanced(self, reader, writer) -> Optional[object]:
+        """Abort-early for the enhanced tracker: only abort an active
+        transaction whose recorded commit order is (or may be) dangerous."""
+        candidates = [
+            txn
+            for txn in (reader, writer)
+            if txn.is_active and self._is_dangerous(txn)
+        ]
+        if not candidates:
+            return None
+        self.stats["unsafe_at_mark"] += 1
+        return self.victim_policy(candidates, reader, writer)
+
+    @staticmethod
+    def _out_bound(txn) -> float | None:
+        """Earliest possible commit time of the outgoing side, or None when
+        the single outgoing reference has provably not committed yet."""
+        ref = txn.out_conflict
+        if ref is txn:
+            return _NEG_INF
+        if not ref.is_committed:
+            return None
+        return ref.commit_ts
+
+    @staticmethod
+    def _in_bound(txn) -> float:
+        """Latest possible commit time of the incoming side."""
+        ref = txn.in_conflict
+        if ref is txn or not ref.is_committed:
+            return _POS_INF
+        return ref.commit_ts
+
+    def _has_in(self, txn) -> bool:
+        return txn.in_conflict is not None
+
+    def _has_out(self, txn) -> bool:
+        return txn.out_conflict is not None
+
+
+def make_tracker(
+    precise: bool = True,
+    victim_policy: VictimPolicy | str = "pivot",
+    abort_early: bool = True,
+) -> ConflictTracker:
+    """Build the tracker matching an engine configuration.
+
+    ``precise=True`` selects the enhanced reference-based tracker (the
+    InnoDB prototype's configuration); ``False`` the basic boolean one
+    (the Berkeley DB prototype's configuration).
+    """
+    if precise:
+        return EnhancedConflictTracker(victim_policy)
+    return BasicConflictTracker(victim_policy, abort_early=abort_early)

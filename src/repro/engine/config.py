@@ -1,0 +1,113 @@
+"""Engine configuration.
+
+The knobs correspond to design choices discussed in the paper and are the
+subjects of the ablation benchmarks listed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LockGranularity(enum.Enum):
+    """What a lock resource names.
+
+    * ``RECORD`` — row-level locks plus explicit gap locks (the InnoDB
+      prototype, Sections 4.4-4.6).
+    * ``PAGE`` — locks map to B+-tree leaf pages (the Berkeley DB
+      prototype, Sections 4.1-4.3).  Coarser: false sharing between rows
+      on one page produces the false-positive aborts of Figure 6.4, and
+      no separate gap locks are needed — page coverage subsumes phantom
+      protection (Section 3.5's observation about Berkeley DB).
+    """
+
+    RECORD = "record"
+    PAGE = "page"
+
+
+class DeadlockMode(enum.Enum):
+    """When lock-wait cycles are looked for.
+
+    * ``IMMEDIATE`` — cycle check at enqueue time (InnoDB-style).
+    * ``PERIODIC`` — only an external sweep detects deadlocks (the
+      Berkeley DB ``db_perf`` configuration; the simulator runs the sweep
+      on ``deadlock_interval`` of simulated time, reproducing the
+      S2PL stalls of Section 6.1.3).
+    """
+
+    IMMEDIATE = "immediate"
+    PERIODIC = "periodic"
+
+
+@dataclass(slots=True)
+class EngineConfig:
+    """All engine tunables with the paper-faithful defaults.
+
+    Attributes:
+        granularity: lock/version granularity (see :class:`LockGranularity`).
+        page_size: B+-tree node order; under PAGE granularity this sets
+            contention (SmallBank experiments use small pages).
+        precise_conflicts: True -> enhanced reference-based conflict
+            tracker (Figs 3.9/3.10); False -> basic booleans (Fig 3.3).
+        abort_early: abort a pivot at detection time rather than waiting
+            for its commit (Section 3.7.1).
+        siread_upgrade: drop a SIREAD lock when the same transaction
+            acquires EXCLUSIVE on the item (Section 3.7.3).
+        deferred_snapshot: allocate the read view only after the first
+            statement's lock is granted (Section 4.5) — single-statement
+            updates then never hit first-committer-wins.
+        victim_policy: "pivot" | "youngest" | "oldest" (Section 3.7.2).
+        deadlock_mode: see :class:`DeadlockMode`.
+        deadlock_victim: "requester" | "youngest" for immediate mode.
+        eager_cleanup: clean suspended committed transactions whenever the
+            oldest active transaction commits (InnoDB-style, Section
+            4.6.1); False defers cleanup until the suspended list exceeds
+            ``cleanup_threshold`` (Berkeley DB-style, Section 4.3.1).
+        cleanup_threshold: lazy-cleanup trigger size.
+        record_history: feed every operation to a
+            :class:`~repro.sgt.history.HistoryRecorder` for the oracle.
+        wal_flush_on_commit: when a write-ahead log is attached, flush it
+            inside prepare_commit — i.e. while locks are still held, the
+            ordering the paper enforces in InnoDB (Section 4.4).  Off,
+            commits are only durable up to the last explicit flush
+            (matching the paper's "without flushing the log" runs).
+    """
+
+    granularity: LockGranularity = LockGranularity.RECORD
+    page_size: int = 64
+    precise_conflicts: bool = True
+    abort_early: bool = True
+    siread_upgrade: bool = True
+    deferred_snapshot: bool = True
+    victim_policy: str = "pivot"
+    deadlock_mode: DeadlockMode = DeadlockMode.IMMEDIATE
+    deadlock_victim: str = "requester"
+    eager_cleanup: bool = True
+    cleanup_threshold: int = 1024
+    record_history: bool = False
+    wal_flush_on_commit: bool = True
+    #: abort a lock wait after this many seconds (None = wait forever);
+    #: simulated seconds under the simulator, wall-clock for threads —
+    #: InnoDB's innodb_lock_wait_timeout.
+    lock_timeout: float | None = None
+
+    @classmethod
+    def berkeleydb_style(cls, page_size: int = 8, **overrides) -> "EngineConfig":
+        """The Berkeley DB prototype: page locks, basic tracker, lazy
+        cleanup, periodic deadlock detection."""
+        base = dict(
+            granularity=LockGranularity.PAGE,
+            page_size=page_size,
+            precise_conflicts=False,
+            deadlock_mode=DeadlockMode.PERIODIC,
+            eager_cleanup=False,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def innodb_style(cls, **overrides) -> "EngineConfig":
+        """The InnoDB prototype: row+gap locks, enhanced tracker, eager
+        cleanup, immediate deadlock detection (the defaults)."""
+        return cls(**overrides)

@@ -1,0 +1,1012 @@
+"""The database engine.
+
+Wires together the MVCC substrate, the lock manager and the Serializable
+SI conflict tracker into the transactional API of the paper's prototypes:
+
+* plain snapshot isolation with first-updater-wins write locking and the
+  deferred read-view optimisation (Sections 2.5, 4.5);
+* strict two-phase locking with next-key locking for phantoms (2.2.1,
+  2.5.2);
+* Serializable SI: SIREAD locks, newer-version checks, dangerous-structure
+  detection at mark and commit time, suspended committed transactions and
+  their cleanup (Chapter 3);
+* an SGT-certifier level as the precise baseline (2.7).
+
+Every public engine method is atomic under a single re-entrant "kernel
+mutex" (the same simplification InnoDB makes, Section 4.4).  Lock *waits*
+never happen while holding the mutex: an operation that must wait raises
+:class:`~repro.errors.LockWaitRequired` and is re-invoked after the grant;
+lock acquisition is idempotent, and operations perform no side effects
+before their lock acquisitions, so re-invocation is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.core.conflicts import ConflictTracker, make_tracker
+from repro.engine.config import DeadlockMode, EngineConfig, LockGranularity
+from repro.engine.indexes import IndexDef, KeyFunc
+from repro.engine.isolation import IsolationLevel
+from repro.engine.transaction import Transaction, TransactionStatus
+from repro.errors import (
+    ABORT_REASONS,
+    DeadlockError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    LockTimeoutError,
+    LockWaitRequired,
+    TableError,
+    TransactionAbortedError,
+    TransactionStateError,
+    UnsafeError,
+    UpdateConflictError,
+)
+from repro.locking.deadlock import DeadlockDetector
+from repro.locking.manager import (
+    AcquireResult,
+    LockManager,
+    LockRequest,
+    RequestState,
+    Resource,
+    gap_resource,
+    page_resource,
+    record_resource,
+)
+from repro.locking.modes import LockMode
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.timestamps import LogicalClock
+from repro.mvcc.version import TOMBSTONE, Version
+from repro.sgt.history import HistoryRecorder
+from repro.sgt.scheduler import SGTCertifier
+from repro.storage.btree import SUPREMUM
+from repro.storage.table import Table
+
+
+class Database:
+    """A multi-table, multi-version transactional database.
+
+    Args:
+        config: engine tunables; defaults to the InnoDB-style
+            configuration (record locks, enhanced conflict tracker).
+    """
+
+    #: real-time polling interval used by blocked threads to drive the
+    #: periodic deadlock sweep (threaded mode only).
+    wait_poll_interval = 0.02
+
+    def __init__(self, config: EngineConfig | None = None, wal=None):
+        self.config = config or EngineConfig()
+        #: optional write-ahead log (repro.wal.WriteAheadLog); commits
+        #: append redo records and, with wal_flush_on_commit, flush before
+        #: locks are released.
+        self.wal = wal
+        self.clock = LogicalClock()
+        self._mutex = threading.RLock()
+        self._tables: dict[str, Table] = {}
+        self._next_txn_id = 1
+
+        handler = None
+        if self.config.deadlock_mode is DeadlockMode.IMMEDIATE:
+            handler = self._on_deadlock
+        self.locks = LockManager(
+            deadlock_handler=handler, siread_upgrade=self.config.siread_upgrade
+        )
+        self.tracker: ConflictTracker = make_tracker(
+            precise=self.config.precise_conflicts,
+            victim_policy=self.config.victim_policy,
+            abort_early=self.config.abort_early,
+        )
+        self.certifier = SGTCertifier()
+        self.deadlock_detector = DeadlockDetector()
+
+        #: transactions findable by id: active, plus committed-suspended
+        self._registry: dict[int, Transaction] = {}
+        self._active: dict[int, Transaction] = {}
+        #: committed transactions retained for conflict detection, in
+        #: commit order (Section 3.3)
+        self._suspended: list[Transaction] = []
+        #: PAGE granularity: last commit timestamp per (table, page) —
+        #: Berkeley DB versions whole pages, so first-committer-wins
+        #: fires on page conflicts between unrelated rows (Section 4.2).
+        self._page_commit_ts: dict[tuple[str, int], int] = {}
+        #: secondary indexes, by name and by base table
+        self._indexes: dict[str, IndexDef] = {}
+        self._indexes_by_table: dict[str, list[IndexDef]] = {}
+
+        self.history: HistoryRecorder | None = (
+            HistoryRecorder() if self.config.record_history else None
+        )
+        self.stats = {
+            "begins": 0,
+            "commits": 0,
+            "aborts": {reason: 0 for reason in ABORT_REASONS},
+            "reads": 0,
+            "writes": 0,
+            "scans": 0,
+            "suspended_peak": 0,
+            "cleaned": 0,
+        }
+
+    # ------------------------------------------------------------- schema
+
+    def create_table(self, name: str, page_size: int | None = None) -> Table:
+        """Create a table; ``page_size`` overrides the engine default."""
+        with self._mutex:
+            if name in self._tables:
+                raise TableError(f"table {name!r} already exists")
+            table = Table(name, page_size=page_size or self.config.page_size)
+            self._tables[name] = table
+            return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(f"no such table: {name!r}") from None
+
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        key_func: KeyFunc,
+        unique: bool = False,
+    ) -> IndexDef:
+        """Create a secondary index over ``table``.
+
+        The index is an ordinary ordered table maintained inside every
+        transaction that writes the base table, so index range scans are
+        phantom-safe predicate reads and unique indexes are transactional
+        unique constraints.  Existing committed rows are indexed
+        immediately.
+        """
+        with self._mutex:
+            base = self.table(table)  # validates
+            self.create_table(name)
+            definition = IndexDef(name=name, table=table, key_func=key_func,
+                                  unique=unique)
+            self._indexes[name] = definition
+            self._indexes_by_table.setdefault(table, []).append(definition)
+            rows = []
+            for key, chain in base.scan_chains(None, None):
+                version = chain.latest()
+                if version is None or version.is_tombstone:
+                    continue
+                entry = definition.entry_for(key, version.value)
+                if entry is not None:
+                    rows.append((entry, key))
+            self.load(name, rows)
+            return definition
+
+    def index(self, name: str) -> IndexDef:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise TableError(f"no such index: {name!r}") from None
+
+    def load(self, name: str, rows: Iterable[tuple[Hashable, Any]]) -> None:
+        """Bulk-load initial data, visible to every transaction.
+        Registered secondary indexes are populated alongside."""
+        table = self.table(name)
+        definitions = self._indexes_by_table.get(name, ())
+        with self._mutex:
+            for key, value in rows:
+                table.load(key, value)
+                for definition in definitions:
+                    entry = definition.entry_for(key, value)
+                    if entry is not None:
+                        self.table(definition.name).load(entry, key)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def begin(
+        self, isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI
+    ) -> Transaction:
+        """Start a transaction at the given isolation level (Fig 3.1)."""
+        isolation = IsolationLevel.parse(isolation)
+        with self._mutex:
+            txn = Transaction(self, self._next_txn_id, isolation, self.clock.next())
+            self._next_txn_id += 1
+            self._registry[txn.id] = txn
+            self._active[txn.id] = txn
+            self.stats["begins"] += 1
+            if isolation is IsolationLevel.SERIALIZABLE_SSI:
+                self.tracker.init_transaction(txn)
+            if isolation is IsolationLevel.SGT:
+                self.certifier.register(txn.id)
+            if isolation.uses_snapshots and not self.config.deferred_snapshot:
+                self._assign_snapshot(txn)
+            if self.history is not None:
+                self.history.on_begin(txn.id)
+            return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit: unsafe check, version install, lock release, suspension
+        and cleanup (Fig 3.2 / Fig 3.10)."""
+        self.prepare_commit(txn)
+        self.finalize_commit(txn)
+
+    def prepare_commit(self, txn: Transaction) -> None:
+        """The atomic logical commit: checks, commit timestamp, version
+        installation.  After this the transaction is durably committed but
+        still holds its locks; :meth:`finalize_commit` releases them.
+
+        Split from finalize so the simulator can charge the log-flush I/O
+        while locks are still held — the ordering the paper enforces in
+        InnoDB (Section 4.4, "locks are not released until after the log
+        has been flushed").
+        """
+        with self._mutex:
+            self._check_doom(txn)
+            if not txn.is_active:
+                raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
+            if txn.isolation is IsolationLevel.SERIALIZABLE_SSI:
+                if self.tracker.check_commit(txn):
+                    error = UnsafeError(
+                        "commit would risk a non-serializable execution", txn_id=txn.id
+                    )
+                    self._abort_internal(txn, error.reason)
+                    raise error
+            txn.commit_ts = self.clock.next()
+            txn.status = TransactionStatus.COMMITTED
+            page_mode = self.config.granularity is LockGranularity.PAGE
+            for (table_name, key), value in txn.write_set.items():
+                table = self.table(table_name)
+                chain, _pages = table.ensure_chain(key)
+                chain.install(
+                    Version(value=value, commit_ts=txn.commit_ts, creator_id=txn.id)
+                )
+                if page_mode:
+                    page_key = (table_name, table.leaf_page_of(key))
+                    self._page_commit_ts[page_key] = txn.commit_ts
+            if txn.isolation is IsolationLevel.SERIALIZABLE_SSI:
+                self.tracker.after_commit(txn)
+            if self.wal is not None and txn.write_set:
+                for (table_name, key), value in txn.write_set.items():
+                    self.wal.log_write(
+                        txn.id, table_name, key,
+                        None if value is TOMBSTONE else value,
+                        tombstone=value is TOMBSTONE,
+                        kind=txn.write_kinds.get((table_name, key), "write"),
+                    )
+                self.wal.log_commit(txn.id, txn.commit_ts)
+                if self.config.wal_flush_on_commit:
+                    # Flush-then-release: locks are still held here.
+                    self.wal.flush()
+            if self.history is not None:
+                self.history.on_commit(txn.id, txn.commit_ts)
+            self.stats["commits"] += 1
+
+    def finalize_commit(self, txn: Transaction) -> None:
+        """Release locks, suspend the record if needed, run cleanup."""
+        with self._mutex:
+            if not txn.is_committed:
+                raise TransactionStateError("finalize_commit before prepare_commit")
+            keep_siread = False
+            if txn.isolation.detects_rw_conflicts:
+                # Suspend if SIREAD locks are held OR an outgoing conflict
+                # was detected (the Section 3.7.3 adjustment).
+                keep_siread = self.locks.holds_any_siread(txn) or bool(txn.out_conflict)
+            retain = keep_siread or txn.isolation is IsolationLevel.SGT
+            self.locks.release_all(txn, keep_siread=keep_siread)
+            self._active.pop(txn.id, None)
+            if retain:
+                txn.suspended = True
+                self._suspended.append(txn)
+                self.stats["suspended_peak"] = max(
+                    self.stats["suspended_peak"], len(self._suspended)
+                )
+            else:
+                self._registry.pop(txn.id, None)
+            self._maybe_cleanup()
+
+    def abort(self, txn: Transaction, reason: str | None = None) -> None:
+        """Roll back: discard writes, release every lock (including
+        SIREADs — only committed transactions retain them)."""
+        with self._mutex:
+            if not txn.is_active:
+                return
+            self._abort_internal(txn, reason or (txn.doom_error.reason if txn.doom_error else "aborted"))
+
+    # ------------------------------------------------------------- reading
+
+    def read(self, txn: Transaction, table_name: str, key: Hashable) -> Any:
+        """Fig 3.4's modified read (plus the S2PL/SI/SGT variants)."""
+        with self._mutex:
+            self._check_op(txn)
+            value, found = self._read_internal(txn, table_name, key, locking=False)
+            if not found:
+                raise KeyNotFoundError(table_name, key)
+            return value
+
+    def get(
+        self, txn: Transaction, table_name: str, key: Hashable, default: Any = None
+    ) -> Any:
+        with self._mutex:
+            self._check_op(txn)
+            value, found = self._read_internal(txn, table_name, key, locking=False)
+            return value if found else default
+
+    def read_for_update(self, txn: Transaction, table_name: str, key: Hashable) -> Any:
+        """SELECT ... FOR UPDATE: acquires the EXCLUSIVE lock before the
+        snapshot is chosen (Section 4.5), providing Oracle-style promotion
+        semantics (Section 2.6.2)."""
+        with self._mutex:
+            self._check_op(txn)
+            self._acquire_write_locks(txn, table_name, key, gap=False)
+            value, found = self._read_internal(
+                txn, table_name, key, locking=True
+            )
+            if not found:
+                raise KeyNotFoundError(table_name, key)
+            return value
+
+    def scan(
+        self,
+        txn: Transaction,
+        table_name: str,
+        lo: Hashable | None = None,
+        hi: Hashable | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+    ) -> list[tuple[Hashable, Any]]:
+        """Predicate read over [lo, hi] with phantom protection
+        (Fig 3.6 for SSI; next-key SHARED locks for S2PL).
+
+        ``reverse`` returns rows in descending key order; ``limit`` caps
+        the result *after* ordering.  The whole range is still locked —
+        the predicate the transaction logically evaluated covers it.
+        """
+        with self._mutex:
+            self._check_op(txn)
+            table = self.table(table_name)
+            self._ensure_snapshot(txn)
+            self.stats["scans"] += 1
+
+            read_mode = self._read_lock_mode(txn)
+            chains = table.scan_chains(lo, hi)
+            results: list[tuple[Hashable, Any]] = []
+            seen: list[Hashable] = []
+            for key, chain in chains:
+                if read_mode is not None:
+                    self._acquire_read_locks(txn, table_name, key, gap=True)
+                value, found = self._visible_value(txn, table_name, key, chain)
+                if found:
+                    results.append((key, value))
+                    seen.append(key)
+            # Guard the gap beyond the last examined key so inserts just
+            # past the range (or into an empty range) are detected.
+            if read_mode is not None:
+                boundary = table.successor(hi) if hi is not None else SUPREMUM
+                self._acquire_gap_read_lock(txn, table_name, boundary)
+            # Own uncommitted writes overlay the scan result.
+            results = self._overlay_write_set(txn, table_name, lo, hi, results)
+            if self.history is not None and txn.read_ts is not None:
+                self.history.on_scan(
+                    txn.id, table_name, (lo, hi), tuple(seen), txn.read_ts
+                )
+            if reverse:
+                results = list(reversed(results))
+            if limit is not None:
+                results = results[:limit]
+            return results
+
+    # ------------------------------------------------------------- writing
+
+    def write(self, txn: Transaction, table_name: str, key: Hashable, value: Any) -> None:
+        """Fig 3.5's modified write: blind upsert of a single item."""
+        with self._mutex:
+            self._check_op(txn)
+            self.table(table_name)  # validate early
+            self._acquire_write_locks(txn, table_name, key, gap=False)
+            self._ensure_snapshot(txn)
+            self._first_committer_check(txn, table_name, key)
+            self._certify_ww(txn, table_name, key)
+            self._maintain_indexes(txn, table_name, key, value)
+            txn.write_set[(table_name, key)] = value
+            txn.write_kinds.setdefault((table_name, key), "write")
+            self.stats["writes"] += 1
+            if self.history is not None:
+                self.history.on_write(txn.id, table_name, key, kind="write")
+
+    def insert(self, txn: Transaction, table_name: str, key: Hashable, value: Any) -> None:
+        """Fig 3.7's insert: gap-locks next(key) against concurrent scans."""
+        with self._mutex:
+            self._check_op(txn)
+            table = self.table(table_name)
+            self._acquire_write_locks(txn, table_name, key, gap=True)
+            self._ensure_snapshot(txn)
+            self._first_committer_check(txn, table_name, key)
+            value_now, exists = self._visible_value(
+                txn, table_name, key, table.chain(key), record=False
+            )
+            del value_now
+            if exists:
+                raise DuplicateKeyError(table_name, key)
+            self._certify_ww(txn, table_name, key)
+            self._maintain_indexes(txn, table_name, key, value)
+            # Register the key in the tree now (with an empty, invisible
+            # chain) so gap structure and page layout reflect the insert.
+            succ = table.successor(key)
+            _chain, touched_pages = table.ensure_chain(key)
+            if self.config.granularity is LockGranularity.PAGE:
+                if touched_pages:
+                    self._lock_touched_pages(txn, table_name, touched_pages)
+            elif touched_pages:
+                # The insert split gap (prev, succ): scans covering the old
+                # gap must also cover the new sub-gap (prev, key).
+                self.locks.inherit_siread_locks(
+                    gap_resource(table_name, succ),
+                    gap_resource(table_name, key),
+                    exclude_owner=txn,
+                )
+            txn.write_set[(table_name, key)] = value
+            txn.write_kinds[(table_name, key)] = "insert"
+            self.stats["writes"] += 1
+            if self.history is not None:
+                self.history.on_write(txn.id, table_name, key, kind="insert")
+
+    def delete(self, txn: Transaction, table_name: str, key: Hashable) -> None:
+        """Fig 3.7's delete: installs a tombstone version at commit."""
+        with self._mutex:
+            self._check_op(txn)
+            table = self.table(table_name)
+            self._acquire_write_locks(txn, table_name, key, gap=True)
+            self._ensure_snapshot(txn)
+            self._first_committer_check(txn, table_name, key)
+            _value, exists = self._visible_value(
+                txn, table_name, key, table.chain(key), record=False
+            )
+            if not exists:
+                raise KeyNotFoundError(table_name, key)
+            self._certify_ww(txn, table_name, key)
+            self._maintain_indexes(txn, table_name, key, None, deleting=True)
+            txn.write_set[(table_name, key)] = TOMBSTONE
+            txn.write_kinds[(table_name, key)] = "delete"
+            self.stats["writes"] += 1
+            if self.history is not None:
+                self.history.on_write(txn.id, table_name, key, kind="delete")
+
+    # ------------------------------------------------------------ indexes
+
+    def _maintain_indexes(
+        self,
+        txn: Transaction,
+        table_name: str,
+        key: Hashable,
+        new_value: Any,
+        deleting: bool = False,
+    ) -> None:
+        """Keep secondary indexes in step with a base-table mutation.
+
+        Runs *before* the base write enters the transaction's write set,
+        so the old row value is still observable.  Idempotent: an
+        operation retried after a lock wait recomputes the same entries
+        and skips work its first attempt already recorded.
+        """
+        definitions = self._indexes_by_table.get(table_name)
+        if not definitions:
+            return
+        old_value, old_exists = self._visible_value(
+            txn, table_name, key, self.table(table_name).chain(key), record=False
+        )
+        for definition in definitions:
+            old_entry = (
+                definition.entry_for(key, old_value) if old_exists else None
+            )
+            new_entry = (
+                definition.entry_for(key, new_value) if not deleting else None
+            )
+            if old_entry == new_entry:
+                continue
+            if old_entry is not None:
+                _v, entry_exists = self._visible_value(
+                    txn, definition.name, old_entry,
+                    self.table(definition.name).chain(old_entry), record=False,
+                )
+                if entry_exists:
+                    self.delete(txn, definition.name, old_entry)
+            if new_entry is not None:
+                owner, entry_exists = self._visible_value(
+                    txn, definition.name, new_entry,
+                    self.table(definition.name).chain(new_entry), record=False,
+                )
+                if entry_exists:
+                    if definition.unique and owner != key:
+                        raise DuplicateKeyError(definition.name, new_entry)
+                    continue  # retried op already inserted it
+                self.insert(txn, definition.name, new_entry, key)
+
+    def index_scan(
+        self,
+        txn: Transaction,
+        index_name: str,
+        lo: Hashable | None = None,
+        hi: Hashable | None = None,
+    ) -> list[tuple[Hashable, Hashable]]:
+        """Phantom-safe range scan over an index: (index_key, primary_key)
+        pairs for index keys in [lo, hi], in index order."""
+        with self._mutex:
+            definition = self.index(index_name)
+            if definition.unique:
+                rows = self.scan(txn, index_name, lo, hi)
+                return [(entry, pk) for entry, pk in rows]
+            lo_bound = (lo,) if lo is not None else None
+            hi_bound = (hi, SUPREMUM) if hi is not None else None
+            rows = self.scan(txn, index_name, lo_bound, hi_bound)
+            return [(entry[0], pk) for entry, pk in rows]
+
+    def index_lookup(
+        self, txn: Transaction, index_name: str, index_key: Hashable
+    ) -> list[Hashable]:
+        """Primary keys of rows whose index key equals ``index_key``."""
+        return [pk for _entry, pk in self.index_scan(txn, index_name,
+                                                     index_key, index_key)]
+
+    # -------------------------------------------------------- maintenance
+
+    def poll_waiters(self) -> None:
+        """Called by blocked threads: runs the periodic deadlock sweep."""
+        if self.config.deadlock_mode is DeadlockMode.PERIODIC:
+            self.sweep_deadlocks()
+
+    def cancel_lock_request(self, request: LockRequest) -> bool:
+        """Time out one waiting lock request (Section 4.4's InnoDB-style
+        lock wait timeout).  The waiting transaction is doomed and will
+        abort when its executor observes the denial."""
+        with self._mutex:
+            error = LockTimeoutError("lock wait timeout", txn_id=request.owner.id)
+            cancelled = self.locks.cancel_request(request, error)
+            if cancelled and request.owner.is_active:
+                request.owner.doom_error = request.owner.doom_error or error
+            return cancelled
+
+    def sweep_deadlocks(self) -> list[Transaction]:
+        """One periodic deadlock-detection pass; aborts one victim per
+        cycle by dooming it (the victim aborts at its next step)."""
+        with self._mutex:
+            victims = self.locks.find_deadlock_victims(
+                self.deadlock_detector.victim_policy
+            )
+            for victim in victims:
+                self._doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
+            return victims
+
+    def cleanup_suspended(self) -> int:
+        """Drop suspended committed transactions no active transaction
+        overlaps (Sections 4.3.1/4.6.1).  Returns how many were cleaned."""
+        with self._mutex:
+            horizon = self._oldest_active_read_ts()
+            kept: list[Transaction] = []
+            cleaned = 0
+            for txn in self._suspended:
+                removable = txn.commit_ts is not None and txn.commit_ts <= horizon
+                if removable and txn.isolation is IsolationLevel.SGT:
+                    # SGT nodes additionally wait out their incoming edges:
+                    # future wr/ww edges out of this node could otherwise
+                    # complete a cycle we already hold half of.
+                    removable = not self.certifier.has_incoming(txn.id)
+                if removable:
+                    self.locks.drop_siread_locks(txn)
+                    self.certifier.remove(txn.id)
+                    self._registry.pop(txn.id, None)
+                    txn.suspended = False
+                    cleaned += 1
+                else:
+                    kept.append(txn)
+            self._suspended = kept
+            self.stats["cleaned"] += cleaned
+            return cleaned
+
+    def vacuum(self) -> int:
+        """Garbage-collect versions below every active snapshot."""
+        with self._mutex:
+            horizon = self._oldest_active_read_ts()
+            if horizon == float("inf"):
+                horizon = self.clock.now()
+            return sum(table.vacuum(int(horizon)) for table in self._tables.values())
+
+    def suspended_count(self) -> int:
+        return len(self._suspended)
+
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def describe(self) -> dict:
+        """Introspection snapshot: schema, version counts and the
+        concurrency-control state the paper's Section 3.3 worries about
+        (suspended transactions, retained locks)."""
+        with self._mutex:
+            return {
+                "tables": {
+                    name: {
+                        "keys": len(table),
+                        "versions": sum(
+                            len(chain) for _key, chain in table.scan_chains(None, None)
+                        ),
+                    }
+                    for name, table in self._tables.items()
+                },
+                "indexes": {
+                    name: {"table": d.table, "unique": d.unique}
+                    for name, d in self._indexes.items()
+                },
+                "active_transactions": len(self._active),
+                "suspended_transactions": len(self._suspended),
+                "lock_table_size": self.locks.table_size(),
+                "clock": self.clock.now(),
+                "stats": {
+                    "commits": self.stats["commits"],
+                    "aborts": dict(self.stats["aborts"]),
+                },
+            }
+
+    # =================================================== internal helpers
+
+    def _check_op(self, txn: Transaction) -> None:
+        self._check_doom(txn)
+        if not txn.is_active:
+            raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
+
+    def _check_doom(self, txn: Transaction) -> None:
+        """A doomed transaction aborts at its next operation (Section 3.2's
+        'the conflicting transaction must abort instead')."""
+        if txn.doom_error is not None and txn.is_active:
+            error = txn.doom_error
+            self._abort_internal(txn, error.reason)
+            raise error
+
+    def _assign_snapshot(self, txn: Transaction) -> None:
+        txn.snapshot = Snapshot(self.clock.now())
+        if self.history is not None:
+            self.history.on_snapshot(txn.id, txn.snapshot.read_ts)
+
+    def _ensure_snapshot(self, txn: Transaction) -> None:
+        if txn.isolation.uses_snapshots and txn.snapshot is None:
+            self._assign_snapshot(txn)
+
+    def _oldest_active_read_ts(self) -> float:
+        oldest = float("inf")
+        for txn in self._active.values():
+            if txn.read_ts is not None:
+                oldest = min(oldest, txn.read_ts)
+        return oldest
+
+    def _maybe_cleanup(self) -> None:
+        if self.config.eager_cleanup:
+            self.cleanup_suspended()
+        elif len(self._suspended) > self.config.cleanup_threshold:
+            self.cleanup_suspended()
+
+    # --------------------------------------------------------- lock paths
+
+    def _rec_resource(self, table_name: str, key: Hashable) -> Resource:
+        if self.config.granularity is LockGranularity.PAGE:
+            return page_resource(table_name, self.table(table_name).leaf_page_of(key))
+        return record_resource(table_name, key)
+
+    def _gap_resource_for(self, table_name: str, gap_key: Hashable) -> Resource:
+        if self.config.granularity is LockGranularity.PAGE:
+            return page_resource(table_name, self.table(table_name).leaf_page_of(gap_key))
+        return gap_resource(table_name, gap_key)
+
+    def _read_lock_mode(self, txn: Transaction) -> LockMode | None:
+        if txn.isolation is IsolationLevel.SERIALIZABLE_2PL:
+            return LockMode.SHARED
+        if txn.isolation.detects_rw_conflicts:
+            return LockMode.SIREAD
+        return None  # plain SI: no read locks at all
+
+    def _acquire(self, txn: Transaction, resource: Resource, mode: LockMode) -> AcquireResult:
+        """Acquire or raise LockWaitRequired; resolves denied requests."""
+        result = self.locks.acquire(txn, resource, mode)
+        if result.granted:
+            return result
+        request = result.request
+        if request.state is RequestState.GRANTED:
+            # Granted during immediate deadlock resolution of someone else.
+            return self.locks.acquire(txn, resource, mode)
+        if request.state is RequestState.DENIED:
+            error = request.error or txn.doom_error or DeadlockError(txn_id=txn.id)
+            self._abort_internal(txn, getattr(error, "reason", "aborted"))
+            raise error
+        raise LockWaitRequired(request)
+
+    def _acquire_read_locks(
+        self, txn: Transaction, table_name: str, key: Hashable, gap: bool
+    ) -> None:
+        """Read-side locking for one key (record, plus its gap in scans)."""
+        mode = self._read_lock_mode(txn)
+        if mode is None:
+            return
+        if gap:
+            self._acquire_gap_read_lock(txn, table_name, key)
+        result = self._acquire(txn, self._rec_resource(table_name, key), mode)
+        if txn.isolation.detects_rw_conflicts:
+            for lock in result.detection_conflicts:
+                # Fig 3.4 lines 2-4: a concurrent writer holds EXCLUSIVE.
+                self._mark_rw(reader=txn, writer=lock.owner)
+
+    def _acquire_gap_read_lock(
+        self, txn: Transaction, table_name: str, gap_key: Hashable
+    ) -> None:
+        """Fig 3.6 lines 2-4: SIREAD (or SHARED for S2PL) on a gap."""
+        mode = self._read_lock_mode(txn)
+        if mode is None:
+            return
+        result = self._acquire(txn, self._gap_resource_for(table_name, gap_key), mode)
+        if txn.isolation.detects_rw_conflicts:
+            for lock in result.detection_conflicts:
+                self._mark_rw(reader=txn, writer=lock.owner)
+
+    def _acquire_write_locks(
+        self, txn: Transaction, table_name: str, key: Hashable, gap: bool
+    ) -> None:
+        """Write-side locking: EXCLUSIVE record (+ gap for insert/delete).
+
+        SSI detection (Fig 3.5/3.7): every SIREAD holder that has not
+        committed, or committed after this transaction's snapshot, marks a
+        rw-dependency holder -> txn.
+        """
+        # Fail fast on first-committer-wins before queueing behind the
+        # lock: if a newer committed version already exists, waiting is
+        # futile (Berkeley DB aborts on the dirty-page request, Section
+        # 4.2; InnoDB behaves likewise once the read view exists).
+        if txn.snapshot is not None:
+            self._first_committer_check(txn, table_name, key)
+        requests: list[tuple[Resource, LockMode]] = []
+        if gap:
+            succ = self.table(table_name).successor(key)
+            # Record granularity uses insert-intention gap locks (two
+            # inserts into one gap never block each other, Section 2.5.2);
+            # page granularity locks the covering page exclusively, as
+            # Berkeley DB does.
+            gap_mode = (
+                LockMode.EXCLUSIVE
+                if self.config.granularity is LockGranularity.PAGE
+                else LockMode.INSERT_INTENTION
+            )
+            requests.append((self._gap_resource_for(table_name, succ), gap_mode))
+        requests.append((self._rec_resource(table_name, key), LockMode.EXCLUSIVE))
+        for resource, mode in requests:
+            result = self._acquire(txn, resource, mode)
+            for lock in result.detection_conflicts:
+                self._mark_siread_conflict(reader=lock.owner, writer=txn)
+
+    def _lock_touched_pages(
+        self, txn: Transaction, table_name: str, pages: list[int]
+    ) -> None:
+        """PAGE granularity: a split updates parent pages too — lock them,
+        reproducing the root-page contention of Section 6.1.5."""
+        for page_id in pages:
+            result = self._acquire(txn, page_resource(table_name, page_id), LockMode.EXCLUSIVE)
+            for lock in result.detection_conflicts:
+                self._mark_siread_conflict(reader=lock.owner, writer=txn)
+
+    def _mark_siread_conflict(self, reader: Transaction, writer: Transaction) -> None:
+        """Apply the Fig 3.5 concurrency filter, then mark."""
+        if not writer.isolation.detects_rw_conflicts:
+            return
+        if reader.is_aborted or reader.doom_error is not None:
+            return
+        if writer.isolation is IsolationLevel.SGT:
+            # The certifier tracks the full graph: even a non-concurrent
+            # rw edge (reader committed before writer began) can lie on a
+            # cycle, so no concurrency filter applies (Section 2.7).
+            self._mark_rw(reader=reader, writer=writer)
+            return
+        if reader.is_committed and reader.commit_ts is not None:
+            begin = writer.read_ts
+            if begin is None or reader.commit_ts <= begin:
+                # Not concurrent: the reader committed before the writer's
+                # snapshot — including the deferred-snapshot case, where
+                # the snapshot will be allocated after this lock grant and
+                # hence after the reader's commit (Section 4.5).
+                return
+        self._mark_rw(reader=reader, writer=writer)
+
+    # ---------------------------------------------------------- conflicts
+
+    def _mark_rw(self, reader: Transaction, writer: Transaction) -> None:
+        """Record an rw-antidependency reader -> writer; apply the victim
+        decision (UnsafeError for the calling transaction, doom for the
+        other)."""
+        if reader.id == writer.id:
+            return
+        if reader.is_aborted or writer.is_aborted:
+            return
+        if reader.doom_error is not None or writer.doom_error is not None:
+            return
+        if reader.isolation is IsolationLevel.SGT or writer.isolation is IsolationLevel.SGT:
+            self._certify_edge(reader, writer)
+            return
+        if (
+            reader.isolation is not IsolationLevel.SERIALIZABLE_SSI
+            or writer.isolation is not IsolationLevel.SERIALIZABLE_SSI
+        ):
+            # Mixed-level edge (e.g. an SI query, Section 3.8): no tracking.
+            return
+        victim = self.tracker.mark_conflict(reader, writer)
+        if victim is not None:
+            self._doom(victim, UnsafeError("unsafe pattern of conflicts", txn_id=victim.id))
+
+    def _certify_ww(self, txn: Transaction, table_name: str, key: Hashable) -> None:
+        """SGT baseline: ww edge from the creator of the version this
+        write will supersede (rw/wr edges come from locks and reads)."""
+        if txn.isolation is not IsolationLevel.SGT:
+            return
+        chain = self.table(table_name).chain(key)
+        latest = chain.latest() if chain is not None else None
+        if latest is not None and latest.creator_id in self._registry:
+            self._certify_edge(self._registry[latest.creator_id], txn)
+
+    def _certify_edge(self, src: Transaction, dst: Transaction) -> None:
+        """SGT baseline: install the edge; abort an active participant if
+        it closes a real cycle."""
+        cycle = self.certifier.add_dependency(src.id, dst.id)
+        if cycle:
+            victim = src if src.is_active else dst
+            self._doom(victim, UnsafeError("SGT cycle detected", txn_id=victim.id))
+
+    def _doom(self, victim: Transaction, error: TransactionAbortedError) -> None:
+        """Mark a transaction for abort and wake it if it is blocked."""
+        if not victim.is_active or victim.doom_error is not None:
+            return
+        victim.doom_error = error
+        self.locks.cancel_waits(victim, error)
+
+    def _on_deadlock(self, cycle: list[Transaction], request: LockRequest):
+        """Immediate deadlock handler (InnoDB style)."""
+        if self.config.deadlock_victim == "youngest":
+            victim = max(cycle, key=lambda txn: txn.begin_seq)
+        else:
+            victim = request.owner
+        self._doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
+        return victim
+
+    # ------------------------------------------------------------- reads
+
+    def _read_internal(
+        self, txn: Transaction, table_name: str, key: Hashable, locking: bool
+    ) -> tuple[Any, bool]:
+        """Shared read path.  ``locking=True`` means the caller already
+        acquired EXCLUSIVE (read_for_update)."""
+        table = self.table(table_name)
+        if not locking:
+            self._acquire_read_locks(txn, table_name, key, gap=False)
+        self._ensure_snapshot(txn)
+        if locking and txn.isolation.uses_snapshots:
+            # Promotion semantics: a locking read of an item with a newer
+            # committed version conflicts exactly like a write would.
+            self._first_committer_check(txn, table_name, key)
+        return self._visible_value(txn, table_name, key, table.chain(key))
+
+    def _visible_value(
+        self,
+        txn: Transaction,
+        table_name: str,
+        key: Hashable,
+        chain,
+        record: bool = True,
+    ) -> tuple[Any, bool]:
+        """Resolve what ``txn`` sees for key: own write set, then the
+        snapshot (SI family) or the latest committed version (S2PL).
+        Runs the Fig 3.4 newer-version conflict detection for SSI/SGT."""
+        self.stats["reads"] += 1
+        own = txn.write_set.get((table_name, key), _MISSING)
+        if own is not _MISSING:
+            if own is TOMBSTONE:
+                return None, False
+            return own, True
+
+        if chain is None:
+            if record and self.history is not None:
+                self.history.on_read(txn.id, table_name, key, None)
+            return None, False
+
+        if txn.isolation.uses_snapshots:
+            version = txn.snapshot.visible(chain)
+            if txn.isolation.detects_rw_conflicts:
+                # Fig 3.4 lines 8-9: every ignored newer version is an
+                # rw-dependency to its creator (if its record survives).
+                for newer in chain.newer_than(txn.snapshot.read_ts):
+                    creator = self._registry.get(newer.creator_id)
+                    if creator is not None:
+                        self._mark_rw(reader=txn, writer=creator)
+        else:
+            version = chain.latest()
+
+        if record and self.history is not None:
+            self.history.on_read(
+                txn.id, table_name, key, version.commit_ts if version else None
+            )
+        if version is None or version.is_tombstone:
+            return None, False
+        if (
+            txn.isolation is IsolationLevel.SGT
+            and version.commit_ts > 0
+            and version.creator_id in self._registry
+        ):
+            # wr edge for the certifier baseline.
+            creator = self._registry[version.creator_id]
+            self._certify_edge(creator, txn)
+        return version.value, True
+
+    def _overlay_write_set(
+        self,
+        txn: Transaction,
+        table_name: str,
+        lo: Hashable | None,
+        hi: Hashable | None,
+        results: list[tuple[Hashable, Any]],
+    ) -> list[tuple[Hashable, Any]]:
+        """Apply the transaction's own pending writes to a scan result."""
+        own = {
+            key: value
+            for (tname, key), value in txn.write_set.items()
+            if tname == table_name
+            and (lo is None or not key < lo)
+            and (hi is None or not hi < key)
+        }
+        if not own:
+            return results
+        merged = {key: value for key, value in results}
+        for key, value in own.items():
+            if value is TOMBSTONE:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        return sorted(merged.items())
+
+    def _first_committer_check(
+        self, txn: Transaction, table_name: str, key: Hashable
+    ) -> None:
+        """First-committer-wins (Section 2.5): abort if a version newer
+        than our snapshot exists.  S2PL transactions skip this — their
+        SHARED locks give them current reads instead."""
+        if not txn.isolation.uses_snapshots or txn.snapshot is None:
+            return
+        table = self.table(table_name)
+        conflicting = False
+        if self.config.granularity is LockGranularity.PAGE:
+            # Page-level versioning (Berkeley DB, Section 4.2): any commit
+            # to the key's page after our snapshot is an update conflict,
+            # even on a different row.
+            page_ts = self._page_commit_ts.get(
+                (table_name, table.leaf_page_of(key)), 0
+            )
+            conflicting = page_ts > txn.snapshot.read_ts
+        if not conflicting:
+            chain = table.chain(key)
+            conflicting = chain is not None and any(
+                True for _newer in chain.newer_than(txn.snapshot.read_ts)
+            )
+        if conflicting:
+            error = UpdateConflictError(
+                f"concurrent update of {table_name}[{key!r}]", txn_id=txn.id
+            )
+            self._abort_internal(txn, error.reason)
+            raise error
+
+    # -------------------------------------------------------------- aborts
+
+    def _abort_internal(self, txn: Transaction, reason: str) -> None:
+        if not txn.is_active:
+            return
+        txn.status = TransactionStatus.ABORTED
+        if self.wal is not None and txn.write_set:
+            self.wal.log_abort(txn.id)
+        txn.write_set.clear()
+        txn.write_kinds.clear()
+        self.locks.release_all(txn, keep_siread=False)
+        self.locks.cancel_waits(txn)
+        self._active.pop(txn.id, None)
+        self._registry.pop(txn.id, None)
+        self.certifier.remove(txn.id)
+        if self.history is not None:
+            self.history.on_abort(txn.id)
+        self.stats["aborts"][reason if reason in self.stats["aborts"] else "aborted"] += 1
+
+
+_MISSING = object()

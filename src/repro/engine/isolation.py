@@ -1,0 +1,58 @@
+"""Isolation levels.
+
+The engine runs any mix of levels concurrently against shared data — the
+paper stresses that mixed-level execution must be supported (Section
+2.6.3), and Section 3.8 specifically analyses SI queries mixed with
+Serializable SI updates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IsolationLevel(enum.Enum):
+    """Per-transaction concurrency control discipline.
+
+    * ``SERIALIZABLE_2PL`` — strict two-phase locking with next-key
+      locking for phantoms: shared locks on reads held to commit.
+    * ``SNAPSHOT`` — plain snapshot isolation with first-updater-wins
+      write locking.  Permits write skew and phantom anomalies.
+    * ``SERIALIZABLE_SSI`` — the paper's contribution: SI plus SIREAD
+      locks and dangerous-structure detection.  Serializable, reads never
+      block writers nor vice versa.
+    * ``SGT`` — SI plus a full online serialization-graph certifier; the
+      precise-but-expensive baseline of Section 2.7.
+    """
+
+    SERIALIZABLE_2PL = "s2pl"
+    SNAPSHOT = "si"
+    SERIALIZABLE_SSI = "ssi"
+    SGT = "sgt"
+
+    @property
+    def uses_snapshots(self) -> bool:
+        return self is not IsolationLevel.SERIALIZABLE_2PL
+
+    @property
+    def takes_read_locks(self) -> bool:
+        """Does a read acquire a lock at all (blocking or not)?"""
+        return self in (
+            IsolationLevel.SERIALIZABLE_2PL,
+            IsolationLevel.SERIALIZABLE_SSI,
+            IsolationLevel.SGT,
+        )
+
+    @property
+    def detects_rw_conflicts(self) -> bool:
+        """SSI and SGT both track rw-antidependencies at runtime."""
+        return self in (IsolationLevel.SERIALIZABLE_SSI, IsolationLevel.SGT)
+
+    @classmethod
+    def parse(cls, value: "IsolationLevel | str") -> "IsolationLevel":
+        if isinstance(value, cls):
+            return value
+        for level in cls:
+            if level.value == value or level.name == value:
+                return level
+        raise ValueError(f"unknown isolation level: {value!r}")

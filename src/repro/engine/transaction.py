@@ -1,0 +1,205 @@
+"""Transactions.
+
+A :class:`Transaction` is a handle bound to one :class:`~repro.engine.database.Database`.
+Its public methods block the calling thread on lock waits (suitable for
+examples, tests and threaded clients); the discrete-event simulator uses
+the database's non-blocking primitives directly instead.
+
+Transaction state carries everything the Serializable SI algorithm needs
+(Section 3.2/3.3): the conflict slots, the snapshot, the commit timestamp,
+and the suspended-after-commit flag that keeps the transaction record (and
+its SIREAD locks) alive until no concurrent transaction remains.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Hashable, Optional
+
+from repro.engine.isolation import IsolationLevel
+from repro.errors import (
+    LockWaitRequired,
+    TransactionAbortedError,
+    TransactionStateError,
+)
+from repro.locking.manager import LockRequest, RequestState
+from repro.mvcc.snapshot import Snapshot
+
+
+class TransactionStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction; created via :meth:`Database.begin`."""
+
+    def __init__(self, database, txn_id: int, isolation: IsolationLevel, begin_seq: int):
+        self._db = database
+        self.id = txn_id
+        self.isolation = isolation
+        #: monotonic begin order (used by victim/deadlock policies)
+        self.begin_seq = begin_seq
+        self.status = TransactionStatus.ACTIVE
+        self.snapshot: Snapshot | None = None
+        self.commit_ts: int | None = None
+        #: True after commit while the record is retained for conflict
+        #: detection (Section 3.3); cleaned up by the database later.
+        self.suspended = False
+        #: conflict slots managed by the tracker (bool or txn reference)
+        self.in_conflict: Any = None
+        self.out_conflict: Any = None
+        #: pending abort requested by SSI/deadlock resolution ("doom")
+        self.doom_error: TransactionAbortedError | None = None
+        #: private uncommitted writes: (table, key) -> value or TOMBSTONE
+        self.write_set: dict[tuple[str, Hashable], Any] = {}
+        #: how each write-set entry came to be ("write"|"insert"|"delete")
+        self.write_kinds: dict[tuple[str, Hashable], str] = {}
+
+    # ----------------------------------------------------------- state
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is TransactionStatus.ACTIVE
+
+    @property
+    def is_committed(self) -> bool:
+        return self.status is TransactionStatus.COMMITTED
+
+    @property
+    def is_aborted(self) -> bool:
+        return self.status is TransactionStatus.ABORTED
+
+    @property
+    def read_ts(self) -> int | None:
+        """The snapshot timestamp — the paper's begin(T) — or None if the
+        snapshot has not been allocated yet (deferred, Section 4.5)."""
+        return self.snapshot.read_ts if self.snapshot else None
+
+    @property
+    def begin_ts(self) -> int | None:
+        """Alias used by victim policies: snapshot time, else begin order."""
+        return self.read_ts if self.read_ts is not None else self.begin_seq
+
+    def overlaps(self, other: "Transaction") -> bool:
+        """Were self and other ever concurrent?  (Both snapshots known.)"""
+        if self.read_ts is None or other.read_ts is None:
+            return self.is_active and other.is_active
+        self_end = self.commit_ts if self.commit_ts is not None else float("inf")
+        other_end = other.commit_ts if other.commit_ts is not None else float("inf")
+        return self.read_ts < other_end and other.read_ts < self_end
+
+    # ----------------------------------------------------- blocking ops
+
+    def read(self, table: str, key: Hashable) -> Any:
+        """Read a key; raises KeyNotFoundError if not visible."""
+        return self._run(lambda: self._db.read(self, table, key))
+
+    def get(self, table: str, key: Hashable, default: Any = None) -> Any:
+        """Read a key, returning ``default`` when not visible."""
+        return self._run(lambda: self._db.get(self, table, key, default))
+
+    def read_for_update(self, table: str, key: Hashable) -> Any:
+        """Locking read (SELECT ... FOR UPDATE): the promotion primitive."""
+        return self._run(lambda: self._db.read_for_update(self, table, key))
+
+    def write(self, table: str, key: Hashable, value: Any) -> None:
+        """Blind upsert of a key.  For phantom-safe creation of keys that
+        might not exist, use :meth:`insert`."""
+        self._run(lambda: self._db.write(self, table, key, value))
+
+    def insert(self, table: str, key: Hashable, value: Any) -> None:
+        self._run(lambda: self._db.insert(self, table, key, value))
+
+    def delete(self, table: str, key: Hashable) -> None:
+        self._run(lambda: self._db.delete(self, table, key))
+
+    def scan(
+        self,
+        table: str,
+        lo: Hashable | None = None,
+        hi: Hashable | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+    ) -> list[tuple[Hashable, Any]]:
+        """Predicate read: all visible (key, value) with lo <= key <= hi,
+        optionally descending and/or truncated after ordering."""
+        return self._run(
+            lambda: self._db.scan(self, table, lo, hi, reverse=reverse, limit=limit)
+        )
+
+    def index_scan(
+        self,
+        index: str,
+        lo: Hashable | None = None,
+        hi: Hashable | None = None,
+    ) -> list[tuple[Hashable, Hashable]]:
+        """Range scan over a secondary index: (index_key, primary_key)."""
+        return self._run(lambda: self._db.index_scan(self, index, lo, hi))
+
+    def index_lookup(self, index: str, index_key: Hashable) -> list[Hashable]:
+        """Primary keys matching one index key."""
+        return self._run(lambda: self._db.index_lookup(self, index, index_key))
+
+    def commit(self) -> None:
+        self._run(lambda: self._db.commit(self))
+
+    def abort(self) -> None:
+        self._db.abort(self)
+
+    # --------------------------------------------------- context manager
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.is_active:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+    # ----------------------------------------------------------- helpers
+
+    def _run(self, op):
+        """Run an engine op, blocking through lock waits."""
+        if not self.is_active:
+            if self.doom_error is not None:
+                raise type(self.doom_error)(str(self.doom_error), txn_id=self.id)
+            raise TransactionStateError(f"transaction {self.id} is {self.status.value}")
+        while True:
+            try:
+                return op()
+            except LockWaitRequired as wait:
+                self._block_on(wait.request)
+
+    def _block_on(self, request: LockRequest) -> None:
+        import time
+
+        deadline = None
+        if self._db.config.lock_timeout is not None:
+            deadline = time.monotonic() + self._db.config.lock_timeout
+        event = threading.Event()
+        request.on_resolve(lambda _req: event.set())
+        while not event.is_set():
+            if event.wait(timeout=self._db.wait_poll_interval):
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                self._db.cancel_lock_request(request)
+                continue  # the denial resolves the request and sets event
+            # Gives periodic deadlock detection a chance to run even when
+            # every client thread is blocked (Berkeley DB db_perf style).
+            self._db.poll_waiters()
+        if request.state is RequestState.DENIED:
+            error = request.error or TransactionAbortedError(txn_id=self.id)
+            self._db.abort(self)
+            raise error
+
+    def __repr__(self) -> str:
+        return (
+            f"Transaction(id={self.id}, {self.isolation.value}, "
+            f"{self.status.value}, read_ts={self.read_ts})"
+        )

@@ -1,0 +1,36 @@
+"""Locking subsystem.
+
+Implements the lock modes, compatibility matrix, FIFO wait queues,
+waits-for graph and deadlock detection used by every isolation level, plus
+the paper's additions: the non-blocking SIREAD mode, SIREAD retention
+after commit, and SIREAD->EXCLUSIVE upgrades (Sections 3.2, 3.7.3, 4.3).
+"""
+
+from repro.locking.modes import LockMode, compatible, is_siread
+from repro.locking.manager import (
+    AcquireResult,
+    Lock,
+    LockManager,
+    LockRequest,
+    Resource,
+    gap_resource,
+    record_resource,
+    page_resource,
+)
+from repro.locking.deadlock import DeadlockDetector, WaitsForGraph
+
+__all__ = [
+    "LockMode",
+    "compatible",
+    "is_siread",
+    "AcquireResult",
+    "Lock",
+    "LockManager",
+    "LockRequest",
+    "Resource",
+    "record_resource",
+    "gap_resource",
+    "page_resource",
+    "DeadlockDetector",
+    "WaitsForGraph",
+]

@@ -1,0 +1,142 @@
+"""Waits-for graph and deadlock detection.
+
+Two detection disciplines are supported, matching the two prototypes in
+the paper:
+
+* **Immediate** (InnoDB-style): a cycle check runs on every enqueue; the
+  lock manager invokes its deadlock handler at once.
+* **Periodic** (Berkeley DB ``db_perf``-style, Section 6.1.3): nobody
+  checks at enqueue time; a sweep runs on an interval (twice a second in
+  the paper), which is why blocked S2PL transactions stall visibly in the
+  log-flush experiments — the simulator reproduces that delay.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable
+
+
+class WaitsForGraph:
+    """Directed graph: edge A -> B means transaction A waits for B."""
+
+    def __init__(self):
+        self._edges: dict[Hashable, set[Hashable]] = defaultdict(set)
+
+    def add_edge(self, waiter: Hashable, holder: Hashable) -> None:
+        if waiter != holder:
+            self._edges[waiter].add(holder)
+
+    def clear_edges_from(self, waiter: Hashable) -> None:
+        self._edges.pop(waiter, None)
+
+    def remove_node(self, node: Hashable) -> None:
+        self._edges.pop(node, None)
+        for targets in self._edges.values():
+            targets.discard(node)
+
+    def edges_from(self, waiter: Hashable) -> set[Hashable]:
+        return set(self._edges.get(waiter, ()))
+
+    def find_cycle_through(self, start: Hashable) -> list[Hashable]:
+        """Return a cycle containing ``start``, or [] if none exists.
+
+        DFS from ``start``; a path back to ``start`` is a deadlock.
+        """
+        path: list[Hashable] = [start]
+        on_path = {start}
+        visited: set[Hashable] = set()
+
+        def dfs(node: Hashable) -> list[Hashable]:
+            for target in self._edges.get(node, ()):
+                if target == start:
+                    return list(path)
+                if target in on_path or target in visited:
+                    continue
+                path.append(target)
+                on_path.add(target)
+                found = dfs(target)
+                if found:
+                    return found
+                on_path.discard(target)
+                path.pop()
+            visited.add(node)
+            return []
+
+        return dfs(start)
+
+    def find_cycles(self) -> list[list[Hashable]]:
+        """Return one representative cycle per strongly connected component
+        of size > 1 (plus self-loops), via Tarjan's algorithm."""
+        index_counter = [0]
+        stack: list[Hashable] = []
+        lowlink: dict[Hashable, int] = {}
+        index: dict[Hashable, int] = {}
+        on_stack: set[Hashable] = set()
+        cycles: list[list[Hashable]] = []
+
+        nodes = set(self._edges)
+        for targets in self._edges.values():
+            nodes.update(targets)
+
+        def strongconnect(node: Hashable) -> None:
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for target in self._edges.get(node, ()):
+                if target not in index:
+                    strongconnect(target)
+                    lowlink[node] = min(lowlink[node], lowlink[target])
+                elif target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if lowlink[node] == index[node]:
+                component: list[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in self._edges.get(node, ()):
+                    cycles.append(component)
+
+        for node in nodes:
+            if node not in index:
+                strongconnect(node)
+        return cycles
+
+    def __len__(self) -> int:
+        return sum(len(targets) for targets in self._edges.values())
+
+
+class DeadlockDetector:
+    """Periodic-sweep detector used by the discrete-event simulator.
+
+    ``victim_policy`` maps a cycle (list of transaction objects) to the
+    victim to abort; the default aborts the youngest (largest begin
+    timestamp), the policy the paper suggests reduces wasted work.
+    """
+
+    def __init__(
+        self,
+        victim_policy: Callable[[list], object] | None = None,
+    ):
+        self.victim_policy = victim_policy or self.youngest
+        self.detected = 0
+
+    @staticmethod
+    def youngest(cycle: list) -> object:
+        return max(cycle, key=lambda txn: getattr(txn, "begin_seq", None) or txn.begin_ts or 0)
+
+    @staticmethod
+    def oldest(cycle: list) -> object:
+        return min(cycle, key=lambda txn: getattr(txn, "begin_seq", None) or txn.begin_ts or 0)
+
+    def sweep(self, lock_manager, abort: Callable[[object], None]) -> list:
+        """Find deadlocks and abort one victim per cycle via ``abort``."""
+        victims = lock_manager.find_deadlock_victims(self.victim_policy)
+        for victim in victims:
+            self.detected += 1
+            abort(victim)
+        return victims

@@ -1,0 +1,592 @@
+"""The lock manager.
+
+A classic FIFO-queued lock manager extended with the paper's requirements:
+
+* a non-blocking ``SIREAD`` mode whose conflicts are *reported* rather than
+  enforced (Section 3.2);
+* SIREAD locks retained after their owner commits, until no concurrent
+  transaction remains (Section 3.3) — released via :meth:`LockManager.release_all`
+  with ``keep_siread=True`` and cleaned later by :meth:`LockManager.drop_siread_locks`;
+* SIREAD -> EXCLUSIVE upgrade: acquiring an EXCLUSIVE lock discards the
+  owner's SIREAD lock on the same resource (Section 3.7.3 / 4.3 item 4);
+* gap resources for next-key locking (Section 2.5.2/3.5): a gap is simply
+  a distinct key in the lock table derived from the same data item.
+
+Lock acquisition never blocks the calling thread.  When a request must
+wait it is enqueued and an :class:`AcquireResult` with ``status=WAIT`` is
+returned; engine operations translate that into a
+:class:`~repro.errors.LockWaitRequired` control-flow exception which
+executors handle.  Acquisition is idempotent: re-requesting a held lock in
+the same or weaker mode is a no-op, which is what makes operation retry
+after a wait safe.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, NamedTuple
+
+from repro.locking.deadlock import WaitsForGraph
+from repro.locking.modes import LockMode, compatible
+
+
+class Resource(NamedTuple):
+    """A key in the lock table.
+
+    ``kind`` distinguishes record locks (``"rec"``), gap locks (``"gap"``,
+    conceptually the open interval just before ``key``), and page locks
+    (``"page"``, used by the Berkeley DB-style page-granularity mode).
+    """
+
+    kind: str
+    table: str
+    key: Hashable
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.table}[{self.key!r}]"
+
+
+def record_resource(table: str, key: Hashable) -> Resource:
+    return Resource("rec", table, key)
+
+
+def gap_resource(table: str, key: Hashable) -> Resource:
+    return Resource("gap", table, key)
+
+
+def page_resource(table: str, page_id: int) -> Resource:
+    return Resource("page", table, page_id)
+
+
+@dataclass(slots=True)
+class Lock:
+    """A granted lock: one owner's claim on one resource.
+
+    A lock can carry several *modes* at once — e.g. a transaction that
+    scanned a gap (SIREAD) and then inserts into it (INSERT_INTENTION)
+    keeps both semantics; discarding the SIREAD there would blind phantom
+    detection for later inserts by others.
+    """
+
+    owner: Any  # transaction-like object with a hashable .id
+    resource: Resource
+    modes: set[LockMode]
+
+    def __repr__(self) -> str:
+        names = "+".join(sorted(m.value for m in self.modes))
+        return f"Lock({self.owner_id}, {self.resource!r}, {names})"
+
+    @property
+    def owner_id(self) -> int:
+        return self.owner.id
+
+    @property
+    def mode(self) -> LockMode:
+        """The strongest held mode (convenience for displays/tests)."""
+        return max(self.modes, key=_STRENGTH.__getitem__)
+
+    def blocks(self, requested: LockMode) -> bool:
+        return any(not compatible(mode, requested) for mode in self.modes)
+
+
+class RequestState(enum.Enum):
+    WAITING = "waiting"
+    GRANTED = "granted"
+    DENIED = "denied"
+
+
+@dataclass(eq=False)
+class LockRequest:
+    """A pending (or resolved) lock request.
+
+    Executors subscribe to resolution via :meth:`on_resolve`; the callback
+    fires exactly once, with the request already in its final state.
+    """
+
+    owner: Any
+    resource: Resource
+    mode: LockMode
+    state: RequestState = RequestState.WAITING
+    error: Exception | None = None
+    _callbacks: list[Callable[["LockRequest"], None]] = field(default_factory=list)
+
+    def on_resolve(self, callback: Callable[["LockRequest"], None]) -> None:
+        if self.state is not RequestState.WAITING:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, state: RequestState, error: Exception | None = None) -> None:
+        self.state = state
+        self.error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"LockRequest({self.owner.id}, {self.resource!r}, "
+            f"{self.mode.value}, {self.state.value})"
+        )
+
+
+class AcquireStatus(enum.Enum):
+    GRANTED = "granted"
+    WAIT = "wait"
+
+
+@dataclass(slots=True)
+class AcquireResult:
+    """Outcome of :meth:`LockManager.acquire`.
+
+    Attributes:
+        status: GRANTED or WAIT.
+        request: the pending request when ``status == WAIT``.
+        detection_conflicts: granted locks held by *other* transactions
+            that are interesting to the SSI layer even though they do not
+            block — EXCLUSIVE holders seen by a SIREAD request, and SIREAD
+            holders seen by an EXCLUSIVE request (Figs 3.4/3.5 line "for
+            each conflicting ... lock").  Populated on GRANTED results.
+    """
+
+    status: AcquireStatus
+    request: LockRequest | None = None
+    detection_conflicts: list[Lock] = field(default_factory=list)
+
+    @property
+    def granted(self) -> bool:
+        return self.status is AcquireStatus.GRANTED
+
+
+class _LockHead:
+    """Per-resource state: granted locks plus the FIFO wait queue."""
+
+    __slots__ = ("granted", "queue")
+
+    def __init__(self):
+        self.granted: list[Lock] = []
+        self.queue: deque[LockRequest] = deque()
+
+    def empty(self) -> bool:
+        return not self.granted and not self.queue
+
+
+#: Modes that actually participate in blocking decisions.
+_BLOCKING_MODES = (LockMode.SHARED, LockMode.EXCLUSIVE)
+
+#: Lock strength order (display/victim heuristics).
+_STRENGTH = {
+    LockMode.SIREAD: 0,
+    LockMode.SHARED: 1,
+    LockMode.INSERT_INTENTION: 2,
+    LockMode.EXCLUSIVE: 3,
+}
+
+#: What a held mode subsumes: re-requesting a covered mode is a no-op.
+#: EXCLUSIVE covers everything (the Section 3.7.3 upgrade rationale:
+#: conflicts with the new version replace SIREAD detection).  Note that
+#: INSERT_INTENTION does NOT cover SIREAD — a gap scan's sentinel must
+#: survive the owner's own insert into that gap.
+_COVERS = {
+    LockMode.EXCLUSIVE: {
+        LockMode.EXCLUSIVE,
+        LockMode.SHARED,
+        LockMode.SIREAD,
+        LockMode.INSERT_INTENTION,
+    },
+    LockMode.SHARED: {LockMode.SHARED},
+    LockMode.INSERT_INTENTION: {LockMode.INSERT_INTENTION},
+    LockMode.SIREAD: {LockMode.SIREAD},
+}
+
+
+def _is_covered(held_modes: set[LockMode], requested: LockMode) -> bool:
+    return any(requested in _COVERS[held] for held in held_modes)
+
+
+class LockManager:
+    """Lock table with FIFO queuing, upgrades and waits-for maintenance.
+
+    The manager is single-threaded by design: the engine serialises calls
+    under its kernel mutex, mirroring InnoDB's design (Section 4.4 notes
+    InnoDB's lock table is protected by a global kernel mutex).
+
+    Args:
+        deadlock_handler: called with (cycle, requesting LockRequest) when
+            immediate detection finds a cycle; must return the victim
+            transaction object.  ``None`` disables immediate detection —
+            the caller must then run :meth:`find_deadlock_victims`
+            periodically (this is the Berkeley DB db_perf configuration
+            whose detection latency shapes Figure 6.2).
+        siread_upgrade: enable the Section 3.7.3 optimisation.
+    """
+
+    def __init__(
+        self,
+        deadlock_handler: Callable[[list[Any], LockRequest], Any] | None = None,
+        siread_upgrade: bool = True,
+    ):
+        self._heads: dict[Resource, _LockHead] = {}
+        self._by_owner: dict[Hashable, dict[Resource, Lock]] = defaultdict(dict)
+        self.waits_for = WaitsForGraph()
+        self.deadlock_handler = deadlock_handler
+        self.siread_upgrade = siread_upgrade
+        #: cumulative counters for the overhead benchmarks
+        self.stats = {"acquires": 0, "waits": 0, "upgrades": 0, "siread_dropped": 0}
+
+    # ------------------------------------------------------------------ API
+
+    def acquire(self, owner: Any, resource: Resource, mode: LockMode) -> AcquireResult:
+        """Request ``mode`` on ``resource`` for ``owner``.
+
+        Never blocks.  Returns GRANTED (possibly with detection conflicts)
+        or WAIT with the enqueued request.  Raises nothing: deadlock
+        resolution happens through the injected handler which may doom a
+        transaction via its own side effects.
+        """
+        self.stats["acquires"] += 1
+        head = self._heads.get(resource)
+        if head is None:
+            head = self._heads[resource] = _LockHead()
+
+        held = self._by_owner[owner.id].get(resource)
+        if held is not None and _is_covered(held.modes, mode):
+            # Idempotent re-acquire (or covered request): nothing to do,
+            # but still report detection conflicts for retry correctness.
+            return AcquireResult(
+                AcquireStatus.GRANTED,
+                detection_conflicts=self._detection_conflicts(head, owner, mode),
+            )
+
+        if mode is LockMode.SIREAD:
+            # SIREAD never blocks and never waits (Section 3.2).
+            conflicts = self._detection_conflicts(head, owner, mode)
+            self._grant(head, owner, resource, mode)
+            return AcquireResult(AcquireStatus.GRANTED, detection_conflicts=conflicts)
+
+        blockers = self._blockers(head, owner, mode, upgrading=held is not None)
+        if not blockers:
+            conflicts = self._detection_conflicts(head, owner, mode)
+            if held is not None:
+                self.stats["upgrades"] += 1
+            self._grant(head, owner, resource, mode)
+            return AcquireResult(AcquireStatus.GRANTED, detection_conflicts=conflicts)
+
+        # Must wait.  Upgrades queue at the front (standard treatment) so
+        # an upgrader is not starved behind later plain requests.
+        request = LockRequest(owner=owner, resource=resource, mode=mode)
+        if held is not None:
+            head.queue.appendleft(request)
+            self.stats["upgrades"] += 1
+        else:
+            head.queue.append(request)
+        self.stats["waits"] += 1
+        self._refresh_wait_edges(head)
+
+        if self.deadlock_handler is not None:
+            self._resolve_deadlocks(request)
+            if request.state is RequestState.GRANTED:
+                return AcquireResult(AcquireStatus.GRANTED)
+            if request.state is RequestState.DENIED:
+                # Re-raise through the normal WAIT path: the caller sees a
+                # resolved-denied request and surfaces the error.
+                return AcquireResult(AcquireStatus.WAIT, request=request)
+        return AcquireResult(AcquireStatus.WAIT, request=request)
+
+    def release_all(self, owner: Any, keep_siread: bool = False) -> None:
+        """Release every lock held by ``owner`` (commit/abort time).
+
+        With ``keep_siread=True`` (Serializable SI commit, Fig 3.2 line 9)
+        the SIREAD locks stay in the table; they are dropped later by
+        :meth:`drop_siread_locks` once no concurrent transaction remains.
+        """
+        locks = self._by_owner.get(owner.id)
+        if not locks:
+            self.cancel_waits(owner)
+            return
+        touched: list[Resource] = []
+        for resource, lock in list(locks.items()):
+            if keep_siread and LockMode.SIREAD in lock.modes:
+                if lock.modes != {LockMode.SIREAD}:
+                    # Shed the blocking modes, retain only the sentinel.
+                    lock.modes = {LockMode.SIREAD}
+                    touched.append(resource)
+                continue
+            self._remove_lock(lock)  # drops the owner's entry when empty
+            touched.append(resource)
+        self.cancel_waits(owner)
+        for resource in touched:
+            self._promote(resource)
+
+    def drop_siread_locks(self, owner: Any) -> int:
+        """Remove retained SIREAD locks of a cleaned-up suspended txn."""
+        locks = self._by_owner.get(owner.id)
+        if not locks:
+            return 0
+        dropped = 0
+        for lock in list(locks.values()):
+            if LockMode.SIREAD in lock.modes:
+                lock.modes.discard(LockMode.SIREAD)
+                dropped += 1
+                if not lock.modes:
+                    self._remove_lock(lock)  # drops owner's entry when empty
+        self.stats["siread_dropped"] += dropped
+        return dropped
+
+    def inherit_siread_locks(
+        self, from_resource: Resource, to_resource: Resource, exclude_owner: Any
+    ) -> int:
+        """Replicate SIREAD locks from one gap onto another.
+
+        When an insert splits a gap, holders of SIREAD locks on the old
+        gap (scans whose range covered it, possibly already committed)
+        must also cover the new sub-gap, or later inserts between the new
+        key and its predecessor would escape phantom detection — InnoDB's
+        gap-lock inheritance.  Returns the number of locks inherited.
+        """
+        head = self._heads.get(from_resource)
+        if head is None:
+            return 0
+        inherited = 0
+        for lock in list(head.granted):
+            if LockMode.SIREAD not in lock.modes:
+                continue
+            if lock.owner.id == exclude_owner.id:
+                continue
+            existing = self._by_owner.get(lock.owner.id, {}).get(to_resource)
+            if existing is not None and LockMode.SIREAD in existing.modes:
+                continue
+            to_head = self._heads.get(to_resource)
+            if to_head is None:
+                to_head = self._heads[to_resource] = _LockHead()
+            self._grant(to_head, lock.owner, to_resource, LockMode.SIREAD)
+            inherited += 1
+        return inherited
+
+    def cancel_request(self, request: LockRequest, error: Exception | None = None) -> bool:
+        """Remove one waiting request (lock-wait timeout path).
+
+        Returns True if the request was still waiting and has now been
+        denied; False if it had already resolved.
+        """
+        if request.state is not RequestState.WAITING:
+            return False
+        head = self._heads.get(request.resource)
+        if head is None or request not in head.queue:
+            return False
+        head.queue.remove(request)
+        request._resolve(RequestState.DENIED, error)
+        self._refresh_wait_edges(head)
+        self._promote(request.resource)
+        return True
+
+    def cancel_waits(self, owner: Any, error: Exception | None = None) -> None:
+        """Remove any waiting requests of ``owner`` (abort/doom path).
+
+        A non-None ``error`` is delivered to waiters so a blocked executor
+        learns the transaction died.
+        """
+        for resource, head in list(self._heads.items()):
+            pending = [r for r in head.queue if r.owner.id == owner.id]
+            if not pending:
+                continue
+            for request in pending:
+                head.queue.remove(request)
+                request._resolve(RequestState.DENIED, error)
+            self._refresh_wait_edges(head)
+            self._promote(resource)
+        self.waits_for.remove_node(owner.id)
+
+    # --------------------------------------------------------------- queries
+
+    def locks_on(self, resource: Resource) -> list[Lock]:
+        head = self._heads.get(resource)
+        return list(head.granted) if head else []
+
+    def locks_held_by(self, owner: Any) -> list[Lock]:
+        return list(self._by_owner.get(owner.id, {}).values())
+
+    def holds(self, owner: Any, resource: Resource, mode: LockMode | None = None) -> bool:
+        lock = self._by_owner.get(owner.id, {}).get(resource)
+        if lock is None:
+            return False
+        return mode is None or mode in lock.modes
+
+    def holds_any_siread(self, owner: Any) -> bool:
+        return any(
+            LockMode.SIREAD in lock.modes
+            for lock in self._by_owner.get(owner.id, {}).values()
+        )
+
+    def waiting_requests(self) -> list[LockRequest]:
+        return [request for head in self._heads.values() for request in head.queue]
+
+    def find_deadlock_victims(self, choose: Callable[[list[Any]], Any]) -> list[Any]:
+        """Periodic deadlock sweep: find every cycle and pick victims.
+
+        ``choose`` maps a cycle (list of owner objects) to the victim.
+        Returns the victims; the caller is responsible for aborting them
+        (which will call :meth:`cancel_waits` and break the cycle).
+        """
+        victims = []
+        seen: set[Hashable] = set()
+        for cycle_ids in self.waits_for.find_cycles():
+            if seen & set(cycle_ids):
+                continue
+            seen.update(cycle_ids)
+            owners = [self._owner_for(owner_id) for owner_id in cycle_ids]
+            owners = [owner for owner in owners if owner is not None]
+            if owners:
+                victims.append(choose(owners))
+        return victims
+
+    def table_size(self) -> int:
+        """Number of granted locks — tracks the Section 3.3 growth concern."""
+        return sum(len(head.granted) for head in self._heads.values())
+
+    # -------------------------------------------------------------- internals
+
+    def _owner_for(self, owner_id: Hashable) -> Any | None:
+        locks = self._by_owner.get(owner_id)
+        if locks:
+            return next(iter(locks.values())).owner
+        for head in self._heads.values():
+            for request in head.queue:
+                if request.owner.id == owner_id:
+                    return request.owner
+        return None
+
+    def _detection_conflicts(self, head: _LockHead, owner: Any, mode: LockMode) -> list[Lock]:
+        """Granted locks of other owners that signal rw-dependencies."""
+        if mode is LockMode.SIREAD:
+            interesting = {LockMode.EXCLUSIVE, LockMode.INSERT_INTENTION}
+        elif mode in (LockMode.EXCLUSIVE, LockMode.INSERT_INTENTION):
+            interesting = {LockMode.SIREAD}
+        else:
+            return []
+        return [
+            lock
+            for lock in head.granted
+            if lock.owner.id != owner.id and lock.modes & interesting
+        ]
+
+    def _blockers(
+        self,
+        head: _LockHead,
+        owner: Any,
+        mode: LockMode,
+        upgrading: bool = False,
+        ahead: Iterable[LockRequest] | None = None,
+    ) -> list[Any]:
+        """Owners whose granted locks (or requests queued *ahead*) block
+        ``mode``.  ``ahead`` defaults to the whole queue (the right view
+        for a brand-new request); _promote passes only the true prefix."""
+        blockers = [
+            lock.owner
+            for lock in head.granted
+            if lock.owner.id != owner.id and lock.blocks(mode)
+        ]
+        if blockers or upgrading:
+            # Upgraders only wait for granted incompatible locks; they jump
+            # ahead of the queue (appendleft in acquire()).
+            return blockers
+        # FIFO fairness: an incompatible request already queued ahead (by
+        # another owner) blocks too.
+        for queued in head.queue if ahead is None else ahead:
+            if queued.owner.id != owner.id and not compatible(queued.mode, mode):
+                blockers.append(queued.owner)
+        return blockers
+
+    def _grant(self, head: _LockHead, owner: Any, resource: Resource, mode: LockMode) -> None:
+        held = self._by_owner[owner.id].get(resource)
+        if held is not None:
+            held.modes.add(mode)
+            # SIREAD->EXCLUSIVE upgrade discards the SIREAD so it is not
+            # retained after commit (Section 3.7.3); the new version's
+            # first-committer conflicts subsume its detection role.
+            if (
+                mode is LockMode.EXCLUSIVE
+                and self.siread_upgrade
+                and LockMode.SIREAD in held.modes
+            ):
+                held.modes.discard(LockMode.SIREAD)
+                self.stats["siread_dropped"] += 1
+        else:
+            lock = Lock(owner=owner, resource=resource, modes={mode})
+            head.granted.append(lock)
+            self._by_owner[owner.id][resource] = lock
+
+    def _remove_lock(self, lock: Lock) -> None:
+        head = self._heads.get(lock.resource)
+        if head is not None:
+            try:
+                head.granted.remove(lock)
+            except ValueError:
+                pass
+            if head.empty():
+                del self._heads[lock.resource]
+        owner_locks = self._by_owner.get(lock.owner_id)
+        if owner_locks is not None:
+            owner_locks.pop(lock.resource, None)
+            if not owner_locks:
+                self._by_owner.pop(lock.owner_id, None)
+
+    def _promote(self, resource: Resource) -> None:
+        """Grant queued requests now compatible, front-first (FIFO)."""
+        head = self._heads.get(resource)
+        if head is None:
+            return
+        granted_any = False
+        while head.queue:
+            request = head.queue[0]
+            upgrading = request.resource in self._by_owner.get(request.owner.id, {})
+            if self._blockers(
+                head, request.owner, request.mode, upgrading=upgrading, ahead=()
+            ):
+                break
+            head.queue.popleft()
+            self._grant(head, request.owner, resource, request.mode)
+            request._resolve(RequestState.GRANTED)
+            granted_any = True
+        if granted_any or True:
+            self._refresh_wait_edges(head)
+        if head.empty():
+            self._heads.pop(resource, None)
+
+    def _refresh_wait_edges(self, head: _LockHead) -> None:
+        """Recompute waits-for edges contributed by this resource's queue."""
+        # Remove then re-add: simple and correct; queues are short.
+        for request in head.queue:
+            self.waits_for.clear_edges_from(request.owner.id)
+        # Re-add edges for every waiter of every resource the owner waits on
+        # (an owner can wait on at most one resource at a time in this
+        # engine, so recomputing from this head alone is sufficient).
+        ahead: list[LockRequest] = []
+        for request in head.queue:
+            for lock in head.granted:
+                if lock.owner.id != request.owner.id and not compatible(lock.mode, request.mode):
+                    self.waits_for.add_edge(request.owner.id, lock.owner_id)
+            for earlier in ahead:
+                if earlier.owner.id != request.owner.id and not compatible(
+                    earlier.mode, request.mode
+                ):
+                    self.waits_for.add_edge(request.owner.id, earlier.owner.id)
+            ahead.append(request)
+
+    def _resolve_deadlocks(self, request: LockRequest) -> None:
+        """Immediate detection: break every cycle through the new waiter."""
+        guard = 0
+        while request.state is RequestState.WAITING:
+            cycle_ids = self.waits_for.find_cycle_through(request.owner.id)
+            if not cycle_ids:
+                return
+            owners = [self._owner_for(owner_id) for owner_id in cycle_ids]
+            owners = [owner for owner in owners if owner is not None]
+            victim = self.deadlock_handler(owners, request)
+            if victim is None:
+                return
+            guard += 1
+            if guard > 100:
+                raise RuntimeError("deadlock resolution did not converge")

@@ -1,0 +1,68 @@
+"""Lock modes and the compatibility matrix.
+
+Modes:
+
+* ``SHARED`` / ``EXCLUSIVE`` — the classic S2PL modes.
+* ``SIREAD`` — the paper's new mode (Section 3.2): records that an SI
+  transaction read a version of an item.  SIREAD never blocks and is never
+  blocked; the *co-presence* of SIREAD and EXCLUSIVE locks on an item is
+  the signal of an rw-antidependency.  (In the InnoDB prototype this was
+  represented by reusing the "intention shared" mode on rows, Section 4.6;
+  here it is a first-class mode.)
+
+Gap locks (paper Section 2.5.2) are not separate modes: a gap is a
+separate *resource* (a different key in the lock table for the same data
+item), exactly as the paper describes InnoDB's design, so the same mode
+matrix applies to gaps.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+    SIREAD = "SIREAD"
+    #: Gap-only mode taken by inserts/deletes (InnoDB's "insert intention",
+    #: Section 2.5.2): two inserts into the same gap do not block each
+    #: other, but an S2PL scan's SHARED gap lock blocks them, and a
+    #: SIREAD gap lock detects them.
+    INSERT_INTENTION = "II"
+
+    def __repr__(self) -> str:  # compact in queue dumps
+        return self.value
+
+
+#: Pairs of modes that may be granted simultaneously to different owners.
+#: SIREAD is compatible with everything, including EXCLUSIVE: readers do
+#: not block writers and vice versa; the overlap is detected, not blocked.
+_COMPATIBLE: frozenset[tuple[LockMode, LockMode]] = frozenset(
+    {
+        (LockMode.SHARED, LockMode.SHARED),
+        (LockMode.SHARED, LockMode.SIREAD),
+        (LockMode.SIREAD, LockMode.SHARED),
+        (LockMode.SIREAD, LockMode.SIREAD),
+        (LockMode.SIREAD, LockMode.EXCLUSIVE),
+        (LockMode.EXCLUSIVE, LockMode.SIREAD),
+        (LockMode.INSERT_INTENTION, LockMode.INSERT_INTENTION),
+        (LockMode.INSERT_INTENTION, LockMode.SIREAD),
+        (LockMode.SIREAD, LockMode.INSERT_INTENTION),
+    }
+)
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """True if ``requested`` can be granted while ``held`` is granted
+    to a different transaction."""
+    return (held, requested) in _COMPATIBLE
+
+
+def is_siread(mode: LockMode) -> bool:
+    return mode is LockMode.SIREAD
+
+
+def blocks(held: LockMode, requested: LockMode) -> bool:
+    """True if a holder of ``held`` delays a request for ``requested``."""
+    return not compatible(held, requested)

@@ -1,0 +1,11 @@
+"""Multiversion concurrency control substrate.
+
+Provides the logical clock, version chains with tombstones, and snapshot
+visibility rules used by the engine (paper Sections 2.4-2.5).
+"""
+
+from repro.mvcc.timestamps import LogicalClock
+from repro.mvcc.version import TOMBSTONE, Version, VersionChain
+from repro.mvcc.snapshot import Snapshot
+
+__all__ = ["LogicalClock", "Version", "VersionChain", "TOMBSTONE", "Snapshot"]

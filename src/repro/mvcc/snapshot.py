@@ -1,0 +1,40 @@
+"""Snapshots (read views).
+
+A snapshot fixes the database state a transaction reads: everything
+committed at or before ``read_ts`` plus the transaction's own writes
+(paper Section 2.5).
+
+The engine supports *deferred snapshot allocation* (paper Section 4.5):
+the read view of a transaction that starts with a locking operation is not
+chosen until after that first lock is granted, which guarantees that
+single-statement update transactions never abort under the
+first-committer-wins rule.
+"""
+
+from __future__ import annotations
+
+from repro.mvcc.version import Version, VersionChain
+
+
+class Snapshot:
+    """An immutable read view anchored at a logical timestamp."""
+
+    __slots__ = ("read_ts",)
+
+    def __init__(self, read_ts: int):
+        self.read_ts = read_ts
+
+    def visible(self, chain: VersionChain) -> Version | None:
+        """The version of ``chain`` this snapshot sees (may be a tombstone)."""
+        return chain.visible(self.read_ts)
+
+    def ignored_versions(self, chain: VersionChain) -> list[Version]:
+        """Committed versions newer than this snapshot (rw-conflict evidence)."""
+        return list(chain.newer_than(self.read_ts))
+
+    def sees(self, commit_ts: int) -> bool:
+        """True if a transaction that committed at ``commit_ts`` is visible."""
+        return commit_ts <= self.read_ts
+
+    def __repr__(self) -> str:
+        return f"Snapshot(read_ts={self.read_ts})"

@@ -1,0 +1,149 @@
+"""Versioned data items.
+
+Each data item is a :class:`VersionChain`: a list of committed
+:class:`Version` objects ordered by commit timestamp (newest first).
+Deletes install *tombstone* versions (paper Section 3.5) so that a
+predicate read interleaved after a delete still observes a "newer version"
+and triggers rw-conflict detection.
+
+Version order under snapshot isolation is simply commit-timestamp order:
+the first-committer-wins rule guarantees that among two transactions that
+produce versions of the same item, one commits before the other starts
+(paper Section 2.5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+class _Tombstone:
+    """Sentinel value stored by delete operations."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<TOMBSTONE>"
+
+
+#: Singleton marking a deleted version.
+TOMBSTONE = _Tombstone()
+
+
+@dataclass(frozen=True, slots=True)
+class Version:
+    """One committed version of a data item.
+
+    Attributes:
+        value: the payload, or :data:`TOMBSTONE` for a delete.
+        commit_ts: timestamp at which the creating transaction committed.
+            Initial bulk-loaded data uses ``commit_ts == 0``.
+        creator_id: transaction id of the creator (0 for bulk-loaded data).
+    """
+
+    value: Any
+    commit_ts: int
+    creator_id: int
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is TOMBSTONE
+
+    def __repr__(self) -> str:
+        return f"Version(ts={self.commit_ts}, txn={self.creator_id}, value={self.value!r})"
+
+
+class VersionChain:
+    """All committed versions of one data item, newest first.
+
+    The chain only ever contains *committed* versions: in-flight writes
+    live in each transaction's private write set and are installed at
+    commit, under the exclusive lock held since the write (this is the
+    "most implementations of SI use locking during updates" behaviour of
+    paper Section 2.5).
+    """
+
+    __slots__ = ("_versions",)
+
+    def __init__(self, versions: list[Version] | None = None):
+        self._versions: list[Version] = versions or []
+
+    def install(self, version: Version) -> None:
+        """Append a newly committed version.
+
+        Commit timestamps are handed out under the engine's commit mutex,
+        so installs always arrive in increasing commit_ts order.
+        """
+        if self._versions and version.commit_ts <= self._versions[0].commit_ts:
+            raise ValueError(
+                f"version install out of order: {version.commit_ts} "
+                f"<= {self._versions[0].commit_ts}"
+            )
+        self._versions.insert(0, version)
+
+    def visible(self, read_ts: int) -> Version | None:
+        """Return the version a snapshot taken at ``read_ts`` sees.
+
+        That is the newest version with ``commit_ts <= read_ts``; ``None``
+        if the item did not exist at that time.  The caller is responsible
+        for treating a visible tombstone as "not present".
+        """
+        for version in self._versions:
+            if version.commit_ts <= read_ts:
+                return version
+        return None
+
+    def newer_than(self, read_ts: int) -> Iterator[Version]:
+        """Yield every committed version ignored by a snapshot at ``read_ts``.
+
+        These are exactly the versions whose existence signals a
+        rw-dependency from the reader to the version creator (Fig 3.4,
+        lines 8-9).
+        """
+        for version in self._versions:
+            if version.commit_ts > read_ts:
+                yield version
+            else:
+                break
+
+    def latest(self) -> Version | None:
+        """Return the most recent committed version, if any."""
+        return self._versions[0] if self._versions else None
+
+    def prune(self, horizon_ts: int) -> int:
+        """Garbage-collect versions no active snapshot can read.
+
+        Keeps the newest version with ``commit_ts <= horizon_ts`` (it is
+        still visible to a snapshot at ``horizon_ts``) and drops everything
+        older.  A tombstone that becomes the oldest kept version is also
+        dropped once nothing older survives, mirroring the paper's note
+        that tombstones can be reclaimed when no transaction could read
+        the last valid version (Section 3.5).
+
+        Returns the number of versions removed.
+        """
+        keep = 0
+        while keep < len(self._versions) and self._versions[keep].commit_ts > horizon_ts:
+            keep += 1
+        if keep == len(self._versions):
+            return 0  # every version is newer than the horizon
+        # self._versions[keep] is the version visible at horizon_ts; drop
+        # everything older.
+        removed = len(self._versions) - (keep + 1)
+        del self._versions[keep + 1:]
+        # Reclaim a trailing tombstone: nothing older remains for it to
+        # shadow, and every surviving snapshot sees "absent" either way.
+        if self._versions[-1].is_tombstone and self._versions[-1].commit_ts <= horizon_ts:
+            del self._versions[-1]
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[Version]:
+        return iter(self._versions)
+
+    def __repr__(self) -> str:
+        return f"VersionChain({self._versions!r})"

@@ -1,0 +1,45 @@
+"""Serializability checking of recorded histories (the test oracle)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sgt.history import HistoryRecorder
+from repro.sgt.mvsg import MVSG, build_mvsg
+
+
+@dataclass(slots=True)
+class SerializationReport:
+    """Outcome of checking one history."""
+
+    serializable: bool
+    cycle: list[int]
+    graph: MVSG
+
+    def __bool__(self) -> bool:
+        return self.serializable
+
+    def describe(self) -> str:
+        if self.serializable:
+            return (
+                f"serializable: {len(self.graph.nodes)} committed txns, "
+                f"{len(self.graph.edges)} dependencies, no cycle"
+            )
+        edges = [
+            edge
+            for edge in self.graph.edges
+            if edge.src in self.cycle and edge.dst in self.cycle
+        ]
+        lines = [f"NON-SERIALIZABLE: cycle {self.cycle}"]
+        lines.extend(
+            f"  T{edge.src} -{edge.kind}-> T{edge.dst} on {edge.item}" for edge in edges
+        )
+        return "\n".join(lines)
+
+
+def check_serializable(history: HistoryRecorder) -> SerializationReport:
+    """Build the MVSG of a history's committed transactions and test for
+    cycles.  Acyclic MVSG -> conflict-serializable (Theorem 1)."""
+    graph = build_mvsg(history)
+    cycle = graph.find_cycle()
+    return SerializationReport(serializable=not cycle, cycle=cycle, graph=graph)

@@ -1,0 +1,117 @@
+"""Execution history recording.
+
+The engine (when configured with ``record_history=True``) reports every
+read, write, insert, delete and predicate scan of every transaction here,
+along with the *version* involved — enough information to rebuild the
+multiversion serialization graph offline.  This is the paper's
+"after-the-fact analysis" idea (Section 3.1.1), repurposed as a test
+oracle rather than a developer tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class OpRecord:
+    """One recorded operation.
+
+    ``kind`` is one of ``read``, ``write``, ``insert``, ``delete``,
+    ``scan``.  For reads, ``version_ts`` is the commit timestamp of the
+    version observed (0 = bulk-loaded initial data, None = no version
+    visible).  For scans, ``key`` holds the (lo, hi) bounds and
+    ``seen_keys`` the keys whose visible versions the scan returned.
+    """
+
+    kind: str
+    table: str
+    key: Any
+    version_ts: int | None = None
+    seen_keys: tuple = ()
+
+
+@dataclass(slots=True)
+class TxnRecord:
+    """Everything recorded about one transaction."""
+
+    txn_id: int
+    begin_ts: int | None = None
+    commit_ts: int | None = None
+    status: str = "active"  # active | committed | aborted
+    ops: list[OpRecord] = field(default_factory=list)
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    def reads(self) -> Iterable[OpRecord]:
+        return (op for op in self.ops if op.kind == "read")
+
+    def writes(self) -> Iterable[OpRecord]:
+        return (op for op in self.ops if op.kind in ("write", "insert", "delete"))
+
+    def scans(self) -> Iterable[OpRecord]:
+        return (op for op in self.ops if op.kind == "scan")
+
+
+class HistoryRecorder:
+    """Accumulates per-transaction operation logs."""
+
+    def __init__(self):
+        self.transactions: dict[int, TxnRecord] = {}
+
+    # Engine callbacks ---------------------------------------------------
+
+    def on_begin(self, txn_id: int) -> None:
+        self.transactions[txn_id] = TxnRecord(txn_id=txn_id)
+
+    def on_snapshot(self, txn_id: int, read_ts: int) -> None:
+        record = self.transactions.get(txn_id)
+        if record is not None and record.begin_ts is None:
+            record.begin_ts = read_ts
+
+    def on_read(self, txn_id: int, table: str, key: Hashable, version_ts: int | None) -> None:
+        self._append(txn_id, OpRecord("read", table, key, version_ts=version_ts))
+
+    def on_write(self, txn_id: int, table: str, key: Hashable, kind: str = "write") -> None:
+        self._append(txn_id, OpRecord(kind, table, key))
+
+    def on_scan(
+        self,
+        txn_id: int,
+        table: str,
+        bounds: tuple,
+        seen_keys: tuple,
+        read_ts: int,
+    ) -> None:
+        self._append(
+            txn_id,
+            OpRecord("scan", table, bounds, version_ts=read_ts, seen_keys=seen_keys),
+        )
+
+    def on_commit(self, txn_id: int, commit_ts: int) -> None:
+        record = self.transactions.get(txn_id)
+        if record is not None:
+            record.commit_ts = commit_ts
+            record.status = "committed"
+
+    def on_abort(self, txn_id: int) -> None:
+        record = self.transactions.get(txn_id)
+        if record is not None:
+            record.status = "aborted"
+
+    # Queries -------------------------------------------------------------
+
+    def committed(self) -> list[TxnRecord]:
+        return [record for record in self.transactions.values() if record.committed]
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def _append(self, txn_id: int, op: OpRecord) -> None:
+        record = self.transactions.get(txn_id)
+        if record is None:
+            record = self.transactions[txn_id] = TxnRecord(txn_id=txn_id)
+        record.ops.append(op)

@@ -1,0 +1,54 @@
+"""Direct (non-simulated) program execution.
+
+Runs a transaction program against the engine in the calling thread,
+blocking through lock waits.  Used by examples and tests that need the
+declarative programs of :mod:`repro.workloads` without the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.engine.database import Database
+from repro.engine.isolation import IsolationLevel
+from repro.errors import ConstraintError, LockWaitRequired
+from repro.sim.ops import apply_op
+
+
+def run_program(
+    db: Database,
+    program: Generator,
+    isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
+    txn=None,
+) -> Any:
+    """Execute a program generator in one transaction and commit it.
+
+    Returns the program's return value.  Abort errors (unsafe, conflict,
+    deadlock, constraint) propagate to the caller with the transaction
+    already rolled back.
+    """
+    own_txn = txn is None
+    if own_txn:
+        txn = db.begin(isolation)
+    to_send = None
+    try:
+        while True:
+            try:
+                op = program.send(to_send)
+            except StopIteration as stop:
+                if own_txn:
+                    txn.commit()
+                return stop.value
+            to_send = _apply_blocking(db, txn, op)
+    except BaseException:
+        if txn.is_active:
+            db.abort(txn)
+        raise
+
+
+def _apply_blocking(db: Database, txn, op) -> Any:
+    while True:
+        try:
+            return apply_op(db, txn, op)
+        except LockWaitRequired as wait:
+            txn._block_on(wait.request)

@@ -1,0 +1,213 @@
+"""Exhaustive interleaving testing (paper Section 4.7).
+
+The paper validated the InnoDB prototype by generating *every*
+interleaving of transaction sets known to cause write skew and checking
+that at least one transaction aborts with the "unsafe" error while plain
+SI commits them all.  This module reproduces that harness: programs are
+stepped one operation at a time in every possible order, lock waits defer
+a step until the lock is granted, and each execution's history can be fed
+to the MVSG oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterator, Sequence
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.engine.isolation import IsolationLevel
+from repro.errors import (
+    ConstraintError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    LockWaitRequired,
+    TransactionAbortedError,
+)
+from repro.locking.manager import RequestState
+from repro.sim.ops import apply_op
+
+
+def all_interleavings(lengths: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Every distinct merge order of per-transaction step counts.
+
+    ``lengths[i]`` is the number of steps of transaction i (its yields
+    plus one commit step).  Yields tuples of transaction indices.
+    """
+    total = sum(lengths)
+
+    def recurse(remaining: list[int], prefix: list[int]) -> Iterator[tuple[int, ...]]:
+        if len(prefix) == total:
+            yield tuple(prefix)
+            return
+        for index, count in enumerate(remaining):
+            if count > 0:
+                remaining[index] -= 1
+                prefix.append(index)
+                yield from recurse(remaining, prefix)
+                prefix.pop()
+                remaining[index] += 1
+
+    yield from recurse(list(lengths), [])
+
+
+@dataclass(slots=True)
+class InterleavingOutcome:
+    """Result of executing one interleaving."""
+
+    order: tuple[int, ...]
+    statuses: dict[int, str] = field(default_factory=dict)
+    db: Database | None = None
+
+    @property
+    def committed(self) -> list[int]:
+        return [idx for idx, status in self.statuses.items() if status == "committed"]
+
+    @property
+    def aborted(self) -> dict[int, str]:
+        return {
+            idx: status
+            for idx, status in self.statuses.items()
+            if status != "committed"
+        }
+
+    @property
+    def all_committed(self) -> bool:
+        return all(status == "committed" for status in self.statuses.values())
+
+
+class _SteppedTxn:
+    __slots__ = ("index", "program", "txn", "pending_op", "request", "status")
+
+    def __init__(self, index: int, program: Generator, txn):
+        self.index = index
+        self.program = program
+        self.txn = txn
+        self.pending_op = None
+        self.request = None
+        self.status = "running"  # running | blocked | committed | <abort reason>
+
+
+def run_interleaving(
+    setup: Callable[[Database], None],
+    program_factories: Sequence[Callable[[], Generator]],
+    order: Sequence[int],
+    isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
+    engine_config: EngineConfig | None = None,
+) -> InterleavingOutcome:
+    """Execute the programs in the given step order against a fresh DB.
+
+    A step that must wait for a lock is retried after steps of other
+    transactions run (deferring preserves the relative order of the
+    remaining steps); a full pass with no progress means an unresolvable
+    wait cycle, which immediate deadlock detection breaks.
+    """
+    config = engine_config or EngineConfig(record_history=True)
+    db = Database(config)
+    setup(db)
+    isolation = IsolationLevel.parse(isolation)
+
+    txns = [
+        _SteppedTxn(index, factory(), db.begin(isolation))
+        for index, factory in enumerate(program_factories)
+    ]
+    for stepped in txns:
+        _advance(db, stepped, first=True)
+
+    schedule = deque(order)
+    stall = 0
+    while schedule:
+        index = schedule.popleft()
+        stepped = txns[index]
+        if stepped.status in ("committed",) or _is_abort_status(stepped.status):
+            stall = 0
+            continue
+        progressed = _step(db, stepped)
+        if progressed:
+            stall = 0
+        else:
+            schedule.append(index)
+            stall += 1
+            if stall > len(schedule) + 1:
+                # Everyone blocked: force a periodic-style deadlock sweep.
+                victims = db.sweep_deadlocks()
+                if not victims:
+                    break
+                stall = 0
+
+    outcome = InterleavingOutcome(order=tuple(order), db=db)
+    for stepped in txns:
+        outcome.statuses[stepped.index] = stepped.status
+    return outcome
+
+
+def exhaustive_outcomes(
+    setup: Callable[[Database], None],
+    program_factories: Sequence[Callable[[], Generator]],
+    step_counts: Sequence[int],
+    isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
+    engine_config_factory: Callable[[], EngineConfig] | None = None,
+) -> list[InterleavingOutcome]:
+    """Run every interleaving; returns all outcomes."""
+    outcomes = []
+    for order in all_interleavings(step_counts):
+        config = (
+            engine_config_factory() if engine_config_factory else EngineConfig(record_history=True)
+        )
+        outcomes.append(
+            run_interleaving(setup, program_factories, order, isolation, config)
+        )
+    return outcomes
+
+
+# ----------------------------------------------------------------- internals
+
+
+def _is_abort_status(status: str) -> bool:
+    return status not in ("running", "blocked", "committed")
+
+
+def _advance(db: Database, stepped: _SteppedTxn, first: bool = False, to_send=None) -> None:
+    """Pull the next op out of the generator (or mark ready-to-commit)."""
+    try:
+        stepped.pending_op = stepped.program.send(None if first else to_send)
+    except StopIteration:
+        stepped.pending_op = _COMMIT
+
+
+def _step(db: Database, stepped: _SteppedTxn) -> bool:
+    """Try to execute the pending op.  Returns True on progress."""
+    if stepped.status == "blocked":
+        if stepped.request is not None and stepped.request.state is RequestState.WAITING:
+            return False
+        stepped.status = "running"
+
+    try:
+        if stepped.pending_op is _COMMIT:
+            db.commit(stepped.txn)
+            stepped.status = "committed"
+            return True
+        result = apply_op(db, stepped.txn, stepped.pending_op)
+    except LockWaitRequired as wait:
+        if wait.request.state is RequestState.DENIED:
+            error = wait.request.error or TransactionAbortedError(txn_id=stepped.txn.id)
+            db.abort(stepped.txn)
+            stepped.status = error.reason
+            return True
+        stepped.status = "blocked"
+        stepped.request = wait.request
+        return False
+    except TransactionAbortedError as error:
+        stepped.status = error.reason
+        return True
+    except (DuplicateKeyError, KeyNotFoundError):
+        # Application-level error: the program cannot proceed; roll back.
+        db.abort(stepped.txn, reason="constraint")
+        stepped.status = "constraint"
+        return True
+    _advance(db, stepped, to_send=result)
+    return True
+
+
+_COMMIT = object()

@@ -1,0 +1,66 @@
+"""Simulation metrics.
+
+The two quantities the paper reports per (isolation level, MPL) point:
+throughput in commits per (simulated) second, and the abort mix broken
+down into the paper's categories — deadlocks, first-committer-wins
+conflicts, and the new "unsafe" errors (Section 6.1.1's graph pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ABORT_REASONS
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Outcome of one simulation run."""
+
+    isolation: str
+    mpl: int
+    duration: float
+    commits: int = 0
+    aborts: dict = field(default_factory=lambda: {reason: 0 for reason in ABORT_REASONS})
+    commits_by_type: dict = field(default_factory=dict)
+    response_time_sum: float = 0.0
+    #: extra engine counters snapshot (lock stats, tracker stats)
+    engine_stats: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Commits per simulated second."""
+        return self.commits / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(self.aborts.values())
+
+    @property
+    def cc_aborts(self) -> int:
+        """Concurrency-control aborts (excludes voluntary rollbacks)."""
+        return sum(
+            count for reason, count in self.aborts.items() if reason != "constraint"
+        )
+
+    @property
+    def error_rate(self) -> float:
+        """CC errors per commit — the paper's 'errors / commit' axis."""
+        return self.cc_aborts / self.commits if self.commits else float("inf")
+
+    @property
+    def mean_response_time(self) -> float:
+        return self.response_time_sum / self.commits if self.commits else 0.0
+
+    def abort_rate(self, reason: str) -> float:
+        return self.aborts.get(reason, 0) / self.commits if self.commits else 0.0
+
+    def summary(self) -> str:
+        aborts = ", ".join(
+            f"{reason}={count}" for reason, count in self.aborts.items() if count
+        )
+        return (
+            f"{self.isolation:>5} MPL={self.mpl:<3} "
+            f"{self.throughput:>10.1f} commits/s  "
+            f"aborts: {aborts or 'none'}"
+        )

@@ -1,0 +1,155 @@
+"""Operation descriptors for transaction programs.
+
+A transaction program is a generator function that yields these
+descriptors and receives each operation's result back::
+
+    def balance(name):
+        cid = yield Read("account", name)
+        savings = yield Read("saving", cid)
+        checking = yield Read("checking", cid)
+        return savings + checking
+
+Programs are executor-agnostic: the discrete-event simulator charges
+simulated time per op; the direct executor just runs them; the exhaustive
+interleaving driver single-steps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Read:
+    """Point read; the program receives the value (KeyNotFound aborts)."""
+
+    table: str
+    key: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Get:
+    """Point read returning ``default`` when the key is not visible."""
+
+    table: str
+    key: Hashable
+    default: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReadForUpdate:
+    """SELECT ... FOR UPDATE — the promotion primitive (Section 2.6.2)."""
+
+    table: str
+    key: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Write:
+    """Blind upsert of an existing (or new, non-phantom-safe) key."""
+
+    table: str
+    key: Hashable
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    """Phantom-safe creation of a new key."""
+
+    table: str
+    key: Hashable
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Delete:
+    """Phantom-safe removal (installs a tombstone)."""
+
+    table: str
+    key: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Scan:
+    """Predicate read: visible (key, value) pairs with lo <= key <= hi."""
+
+    table: str
+    lo: Hashable | None = None
+    hi: Hashable | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class IndexScan:
+    """Range scan over a secondary index: (index_key, primary_key) pairs."""
+
+    index: str
+    lo: Hashable | None = None
+    hi: Hashable | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class IndexLookup:
+    """Primary keys of rows matching one index key."""
+
+    index: str
+    key: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Pure CPU work of ``units`` abstract cost units — e.g. the sort in
+    the sibench query.  No engine interaction."""
+
+    units: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Rollback:
+    """Voluntary application rollback (SmallBank's business rules); the
+    transaction aborts with reason "constraint"."""
+
+    message: str = "application rollback"
+
+
+Op = (
+    Read | Get | ReadForUpdate | Write | Insert | Delete | Scan
+    | IndexScan | IndexLookup | Compute | Rollback
+)
+
+
+def apply_op(db, txn, op: Op) -> Any:
+    """Execute one descriptor against the engine (shared by executors).
+
+    May raise :class:`~repro.errors.LockWaitRequired` — callers decide how
+    to wait — or any abort error.  :class:`Compute` is a no-op here
+    (executors account for its cost).  :class:`Rollback` raises
+    ConstraintError after aborting.
+    """
+    from repro.errors import ConstraintError
+
+    if isinstance(op, Read):
+        return db.read(txn, op.table, op.key)
+    if isinstance(op, Get):
+        return db.get(txn, op.table, op.key, op.default)
+    if isinstance(op, ReadForUpdate):
+        return db.read_for_update(txn, op.table, op.key)
+    if isinstance(op, Write):
+        return db.write(txn, op.table, op.key, op.value)
+    if isinstance(op, Insert):
+        return db.insert(txn, op.table, op.key, op.value)
+    if isinstance(op, Delete):
+        return db.delete(txn, op.table, op.key)
+    if isinstance(op, Scan):
+        return db.scan(txn, op.table, op.lo, op.hi)
+    if isinstance(op, IndexScan):
+        return db.index_scan(txn, op.index, op.lo, op.hi)
+    if isinstance(op, IndexLookup):
+        return db.index_lookup(txn, op.index, op.key)
+    if isinstance(op, Compute):
+        return None
+    if isinstance(op, Rollback):
+        db.abort(txn, reason="constraint")
+        raise ConstraintError(op.message, txn_id=txn.id)
+    raise TypeError(f"unknown op {op!r}")

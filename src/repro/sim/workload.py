@@ -1,0 +1,58 @@
+"""Workload abstraction: a weighted mix of transaction programs.
+
+A workload supplies (program name, generator) pairs; the simulator's
+clients draw from it continuously.  Concrete workloads (SmallBank,
+sibench, TPC-C++) live in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generator, Sequence
+
+
+#: A program factory: given the client RNG, return a fresh generator.
+ProgramFactory = Callable[[random.Random], Generator]
+
+
+@dataclass(frozen=True, slots=True)
+class Mix:
+    """A weighted transaction mix."""
+
+    entries: Sequence[tuple[str, float, ProgramFactory]]
+
+    def sample(self, rng: random.Random) -> tuple[str, Generator]:
+        total = sum(weight for _name, weight, _factory in self.entries)
+        point = rng.random() * total
+        acc = 0.0
+        for name, weight, factory in self.entries:
+            acc += weight
+            if point < acc:
+                return name, factory(rng)
+        name, _weight, factory = self.entries[-1]
+        return name, factory(rng)
+
+    def names(self) -> list[str]:
+        return [name for name, _weight, _factory in self.entries]
+
+
+class Workload:
+    """Binds a database-populating setup function to a transaction mix.
+
+    Args:
+        name: label used in benchmark output.
+        setup: callable(db) that creates tables and loads initial data.
+        mix: the transaction mix clients execute.
+    """
+
+    def __init__(self, name: str, setup: Callable, mix: Mix):
+        self.name = name
+        self.setup = setup
+        self.mix = mix
+
+    def next_transaction(self, rng: random.Random) -> tuple[str, Generator]:
+        return self.mix.sample(rng)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, programs={self.mix.names()})"

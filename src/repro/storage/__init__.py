@@ -1,0 +1,6 @@
+"""Storage substrate: B+-tree index and versioned tables."""
+
+from repro.storage.btree import SUPREMUM, BPlusTree
+from repro.storage.table import Table
+
+__all__ = ["BPlusTree", "SUPREMUM", "Table"]

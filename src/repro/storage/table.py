@@ -1,0 +1,104 @@
+"""Versioned tables.
+
+A :class:`Table` maps orderable primary keys to
+:class:`~repro.mvcc.version.VersionChain` objects through a B+-tree, and
+answers the successor queries that drive gap locking.  A key stays in the
+tree while any version (including a tombstone) of it survives, so that
+concurrent snapshots keep seeing their versions; garbage collection prunes
+chains against the oldest active snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from repro.mvcc.version import Version, VersionChain
+from repro.storage.btree import SUPREMUM, BPlusTree
+
+
+class Table:
+    """A named, versioned, ordered key/value table.
+
+    Args:
+        name: table name, used in lock resources and error messages.
+        page_size: B+-tree node order; only meaningful for page-granularity
+            locking, where it controls contention (smaller pages -> fewer
+            keys per page -> fewer false conflicts).
+    """
+
+    def __init__(self, name: str, page_size: int = 64):
+        self.name = name
+        self._tree = BPlusTree(order=page_size)
+
+    # ------------------------------------------------------------- chains
+
+    def chain(self, key: Hashable) -> VersionChain | None:
+        """The version chain for ``key``, or None if never written."""
+        return self._tree.get(key)
+
+    def ensure_chain(self, key: Hashable) -> tuple[VersionChain, list[int]]:
+        """Get-or-create the chain for ``key``.
+
+        Returns (chain, touched_page_ids); the page list is non-empty only
+        when the key was newly added (page-granularity conflict modelling).
+        """
+        chain = self._tree.get(key)
+        if chain is not None:
+            return chain, []
+        chain = VersionChain()
+        touched = self._tree.insert(key, chain)
+        return chain, touched
+
+    def load(self, key: Hashable, value: Any) -> None:
+        """Bulk-load initial data at timestamp 0 (visible to everyone)."""
+        chain, _touched = self.ensure_chain(key)
+        chain.install(Version(value=value, commit_ts=0, creator_id=0))
+
+    # ------------------------------------------------------------ queries
+
+    def successor(self, key: Hashable) -> Hashable:
+        """The next key after ``key`` (SUPREMUM past the end) — the
+        gap-lock target for reads/writes of ``key`` (Fig 3.6/3.7)."""
+        return self._tree.successor(key)
+
+    def first_key(self) -> Hashable:
+        return self._tree.first_key()
+
+    def scan_chains(
+        self, lo: Hashable | None, hi: Hashable | None
+    ) -> list[tuple[Hashable, VersionChain]]:
+        """Materialised ordered scan of chains with keys in [lo, hi]."""
+        return list(self._tree.range(lo, hi))
+
+    def keys(self) -> Iterator[Hashable]:
+        return self._tree.keys()
+
+    def leaf_page_of(self, key: Hashable) -> int:
+        return self._tree.leaf_page_of(key)
+
+    def root_page_id(self) -> int:
+        return self._tree.root_page_id
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, keys={len(self._tree)})"
+
+    # ----------------------------------------------------------------- GC
+
+    def vacuum(self, horizon_ts: int) -> int:
+        """Prune versions invisible to every snapshot at or after
+        ``horizon_ts``; drop keys whose chains become empty.
+
+        Returns the number of versions removed.
+        """
+        removed = 0
+        dead_keys = []
+        for key, chain in self._tree.items():
+            removed += chain.prune(horizon_ts)
+            if len(chain) == 0:
+                dead_keys.append(key)
+        for key in dead_keys:
+            self._tree.delete(key)
+        return removed

@@ -1,0 +1,97 @@
+"""Checkpoints: bounding the redo log.
+
+A checkpoint materialises the committed state of every table (with the
+original commit timestamps, so recovered snapshots behave identically),
+stamps the log with a checkpoint record, and allows the log prefix to be
+truncated.  Recovery becomes: restore the newest checkpoint, then redo
+the log suffix past its checkpoint record.
+
+Index *contents* are checkpointed like any table; index *definitions*
+(the key functions) are code, not data, and must be re-registered by the
+application after restore — the same contract as the schema itself.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.mvcc.version import TOMBSTONE, Version
+from repro.wal.log import WriteAheadLog
+from repro.wal.recovery import replay
+
+
+def take_checkpoint(db: Database, path: str | None = None) -> dict:
+    """Snapshot the committed state of ``db``.
+
+    Flushes and stamps the attached WAL (if any) so the returned image
+    pairs with a checkpoint LSN; with ``path``, the image is pickled to
+    disk.  Returns the image (a plain dict).
+    """
+    with db._mutex:
+        tables: dict[str, list[tuple[Any, Any, int, int, bool]]] = {}
+        for name, table in db._tables.items():
+            rows = []
+            for key, chain in table.scan_chains(None, None):
+                version = chain.latest()
+                if version is None:
+                    continue
+                rows.append((
+                    key, None if version.is_tombstone else version.value,
+                    version.commit_ts, version.creator_id,
+                    version.is_tombstone,
+                ))
+            tables[name] = rows
+        checkpoint_lsn = 0
+        if db.wal is not None:
+            record = db.wal.log_checkpoint()
+            db.wal.flush()
+            checkpoint_lsn = record.lsn
+        image = {
+            "tables": tables,
+            "checkpoint_lsn": checkpoint_lsn,
+            "clock": db.clock.now(),
+        }
+    if path is not None:
+        with open(path, "wb") as handle:
+            pickle.dump(image, handle)
+    return image
+
+
+def restore_checkpoint(
+    image: dict | str, config: EngineConfig | None = None
+) -> Database:
+    """Rebuild a database from a checkpoint image (or its file path)."""
+    if isinstance(image, str):
+        with open(image, "rb") as handle:
+            image = pickle.load(handle)
+    db = Database(config or EngineConfig())
+    for name, rows in image["tables"].items():
+        table = db.create_table(name)
+        for key, value, commit_ts, creator_id, is_tombstone in rows:
+            if is_tombstone and commit_ts == 0:
+                continue
+            chain, _pages = table.ensure_chain(key)
+            chain.install(Version(
+                value=TOMBSTONE if is_tombstone else value,
+                commit_ts=commit_ts,
+                creator_id=creator_id,
+            ))
+    while db.clock.now() < image["clock"]:
+        db.clock.next()
+    return db
+
+
+def recover_from_checkpoint(
+    image: dict | str,
+    wal: WriteAheadLog,
+    config: EngineConfig | None = None,
+) -> Database:
+    """Full recovery: restore the checkpoint, redo the log suffix."""
+    if isinstance(image, str):
+        with open(image, "rb") as handle:
+            image = pickle.load(handle)
+    base = restore_checkpoint(image, config)
+    return replay(wal, base=base, start_lsn=image["checkpoint_lsn"])

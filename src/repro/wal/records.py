@@ -1,0 +1,59 @@
+"""Write-ahead log records.
+
+Because the engine is no-steal (uncommitted writes never reach the
+stores), the log only needs redo information: which transaction wrote
+what, and whether it committed.  Deletes are logged as tombstone writes
+so redo recreates the tombstone versions phantom detection relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """Base class; ``lsn`` is assigned by the log on append."""
+
+    lsn: int
+    txn_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class BeginRecord(LogRecord):
+    """Transaction start (informational; redo ignores it)."""
+
+
+@dataclass(frozen=True, slots=True)
+class WriteRecord(LogRecord):
+    """One item written by a transaction.
+
+    ``tombstone`` marks a delete; ``kind`` preserves the operation class
+    ("write" | "insert" | "delete") for tooling.
+    """
+
+    table: str
+    key: Hashable
+    value: Any
+    tombstone: bool = False
+    kind: str = "write"
+
+
+@dataclass(frozen=True, slots=True)
+class CommitRecord(LogRecord):
+    """Commit point; carries the commit timestamp used for version order."""
+
+    commit_ts: int
+
+
+@dataclass(frozen=True, slots=True)
+class AbortRecord(LogRecord):
+    """Rollback marker (redo ignores the transaction entirely)."""
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointRecord(LogRecord):
+    """Marks that all state up to ``lsn`` is reflected in a snapshot
+    external to the log; recovery may start scanning here.  ``txn_id``
+    is 0 — checkpoints belong to no transaction."""

@@ -1,0 +1,393 @@
+"""TPC-C (paper Section 2.8.1, with the Section 5.3.1 simplifications).
+
+Implements the nine-table TPC-C schema (History omitted per Section
+5.3.1), the data generator with standard and *tiny* scaling (Section
+5.3.6), and the five transaction programs: New Order, Payment, Order
+Status, Delivery and Stock Level.  TPC-C alone is serializable under SI
+(Fekete et al. 2005); the TPC-C++ Credit Check lives in
+:mod:`repro.workloads.tpccpp`.
+
+Simplifications, all licensed by Section 5.3.1:
+
+* no terminal emulation / think times;
+* no History table;
+* total throughput (TPS) is reported, not tpmC;
+* ``w_tax`` is treated as client-cached (the warehouse row is only
+  written for YTD, which can be skipped via ``skip_ytd``);
+* rows are dicts keyed by tuple primary keys; secondary access paths
+  (customer-by-last-name, orders-by-customer) are explicit index tables
+  maintained by the transactions, as a storage-engine client would.
+
+Cardinality substitution: full TPC-C loads 3 000 customers/district,
+100 000 items and 3 000 initial orders/district — hundreds of MB of
+Python objects.  The default *standard* scale here divides customers and
+items by 10 and seeds 30 open orders per district (enough for Stock
+Level's 20-order window).  Contention structure (hot warehouse/district
+YTD rows, stock updates, the NewOrder/Delivery queue) is unchanged; see
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.engine.database import Database
+from repro.sim.ops import (
+    Delete,
+    Get,
+    IndexLookup,
+    Insert,
+    Read,
+    ReadForUpdate,
+    Rollback,
+    Scan,
+    Write,
+)
+
+# Table names -----------------------------------------------------------
+
+WAREHOUSE = "warehouse"          # w_id -> row
+DISTRICT = "district"            # (w_id, d_id) -> row
+CUSTOMER = "customer"            # (w_id, d_id, c_id) -> row
+ORDERS = "orders"                # (w_id, d_id, o_id) -> row
+NEW_ORDER = "new_order"          # (w_id, d_id, o_id) -> 1
+ORDER_LINE = "order_line"        # (w_id, d_id, o_id, number) -> row
+ITEM = "item"                    # i_id -> row
+STOCK = "stock"                  # (w_id, i_id) -> row
+
+#: secondary indexes, maintained by the engine (see engine.indexes):
+#: customers by last name (the PAY lookup path of Section 2.8.1) and
+#: orders by customer (OSTAT's latest-order and CCHECK's join).
+CUSTOMER_BY_NAME = "customer_by_name"    # (w, d, last) -> (w, d, c_id)
+ORDERS_BY_CUSTOMER = "orders_by_customer"  # (w, d, c_id) -> (w, d, o_id)
+
+ALL_TABLES = (
+    WAREHOUSE,
+    DISTRICT,
+    CUSTOMER,
+    ORDERS,
+    NEW_ORDER,
+    ORDER_LINE,
+    ITEM,
+    STOCK,
+)
+
+DISTRICTS_PER_WAREHOUSE = 10
+LAST_NAMES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TpccScale:
+    """Data-scaling parameters (Section 5.3.6).
+
+    ``standard()`` and ``tiny()`` build the two scales of the paper's
+    table; tiny divides customers by 30 and items by 100 relative to
+    standard, exactly the paper's ratios.
+    """
+
+    warehouses: int = 1
+    customers_per_district: int = 300
+    items: int = 10_000
+    initial_orders_per_district: int = 30
+
+    @classmethod
+    def standard(cls, warehouses: int = 1) -> "TpccScale":
+        return cls(warehouses=warehouses)
+
+    @classmethod
+    def tiny(cls, warehouses: int = 1) -> "TpccScale":
+        # Paper: customers / 30 (100 per district), items / 100 relative
+        # to the full spec; mirrored here against the standard scale.
+        return cls(warehouses=warehouses, customers_per_district=100, items=1_000)
+
+    def approx_rows(self) -> dict[str, int]:
+        """Row counts per table — reproduces the Section 5.3.6 volume table."""
+        w = self.warehouses
+        d = w * DISTRICTS_PER_WAREHOUSE
+        c = d * self.customers_per_district
+        o = d * self.initial_orders_per_district
+        return {
+            WAREHOUSE: w,
+            DISTRICT: d,
+            CUSTOMER: c,
+            ORDERS: o,
+            NEW_ORDER: o,
+            ORDER_LINE: o * 10,
+            ITEM: self.items,
+            STOCK: w * self.items,
+        }
+
+
+def last_name_for(index: int) -> str:
+    """The TPC-C syllable-composed last name (spec clause 4.3.2.3)."""
+    return (
+        LAST_NAMES[(index // 100) % 10]
+        + LAST_NAMES[(index // 10) % 10]
+        + LAST_NAMES[index % 10]
+    )
+
+
+def setup_tpcc(db: Database, scale: TpccScale, seed: int = 7) -> None:
+    """Create and populate all tables at the given scale."""
+    rng = random.Random(seed)
+    for name in ALL_TABLES:
+        db.create_table(name)
+    db.create_index(
+        CUSTOMER_BY_NAME, CUSTOMER,
+        key_func=lambda pk, row: (pk[0], pk[1], row["last"]),
+    )
+    db.create_index(
+        ORDERS_BY_CUSTOMER, ORDERS,
+        key_func=lambda pk, row: (pk[0], pk[1], row["c_id"]),
+    )
+
+    db.load(ITEM, (
+        (i_id, {"price": round(rng.uniform(1.0, 100.0), 2), "name": f"item{i_id}"})
+        for i_id in range(1, scale.items + 1)
+    ))
+
+    for w_id in range(1, scale.warehouses + 1):
+        db.load(WAREHOUSE, [(w_id, {"ytd": 300_000.0, "tax": rng.uniform(0.0, 0.2)})])
+        db.load(STOCK, (
+            (
+                (w_id, i_id),
+                {"qty": rng.randint(10, 100), "ytd": 0, "order_cnt": 0},
+            )
+            for i_id in range(1, scale.items + 1)
+        ))
+        for d_id in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+            _load_district(db, rng, scale, w_id, d_id)
+
+
+def _load_district(
+    db: Database, rng: random.Random, scale: TpccScale, w_id: int, d_id: int
+) -> None:
+    customers = scale.customers_per_district
+    orders = scale.initial_orders_per_district
+    db.load(DISTRICT, [(
+        (w_id, d_id),
+        {"ytd": 30_000.0, "next_o_id": orders + 1, "tax": rng.uniform(0.0, 0.2)},
+    )])
+    customer_rows = []
+    for c_id in range(1, customers + 1):
+        last = last_name_for((c_id - 1) % 1000)
+        customer_rows.append((
+            (w_id, d_id, c_id),
+            {
+                "balance": -10.0,
+                "ytd_payment": 10.0,
+                "payment_cnt": 1,
+                "delivery_cnt": 0,
+                "credit": "GC" if rng.random() < 0.9 else "BC",
+                "credit_lim": 50_000.0,
+                "last": last,
+                "first": f"first{c_id}",
+            },
+        ))
+    db.load(CUSTOMER, customer_rows)
+
+    order_rows, new_order_rows, line_rows = [], [], []
+    for o_id in range(1, orders + 1):
+        c_id = rng.randint(1, customers)
+        ol_cnt = rng.randint(5, 15)
+        order_rows.append((
+            (w_id, d_id, o_id),
+            {"c_id": c_id, "carrier_id": None, "ol_cnt": ol_cnt, "entry_d": 0},
+        ))
+        new_order_rows.append(((w_id, d_id, o_id), 1))
+        for number in range(1, ol_cnt + 1):
+            line_rows.append((
+                (w_id, d_id, o_id, number),
+                {
+                    "i_id": rng.randint(1, scale.items),
+                    "supply_w": w_id,
+                    "qty": 5,
+                    "amount": round(rng.uniform(0.01, 9_999.99), 2),
+                    "delivery_d": None,
+                },
+            ))
+    db.load(ORDERS, order_rows)
+    db.load(NEW_ORDER, new_order_rows)
+    db.load(ORDER_LINE, line_rows)
+
+
+# ------------------------------------------------------------- programs
+
+
+def new_order(
+    rng: random.Random, scale: TpccScale, w_id: int, skip_ytd: bool = False
+) -> Generator:
+    """NEWO: place an order for 5-15 items.
+
+    Reads the customer's credit status — in TPC-C++ the operator tells the
+    customer about a bad rating, which is the CCHECK -> NEWO conflict edge
+    of Fig 5.3.  Returns the credit status shown to the customer.
+    """
+    d_id = rng.randint(1, DISTRICTS_PER_WAREHOUSE)
+    c_id = rng.randint(1, scale.customers_per_district)
+    ol_cnt = rng.randint(5, 15)
+
+    district = yield ReadForUpdate(DISTRICT, (w_id, d_id))
+    o_id = district["next_o_id"]
+    yield Write(DISTRICT, (w_id, d_id), {**district, "next_o_id": o_id + 1})
+
+    customer = yield Read(CUSTOMER, (w_id, d_id, c_id))
+    credit_shown = customer["credit"]
+
+    total = 0.0
+    for number in range(1, ol_cnt + 1):
+        i_id = rng.randint(1, scale.items)
+        item = yield Get(ITEM, i_id)
+        if item is None:
+            # TPC-C's 1% intentionally invalid item -> rollback path.
+            yield Rollback("invalid item")
+        stock = yield ReadForUpdate(STOCK, (w_id, i_id))
+        qty = rng.randint(1, 10)
+        new_qty = stock["qty"] - qty
+        if new_qty < 10:
+            new_qty += 91
+        yield Write(
+            STOCK,
+            (w_id, i_id),
+            {
+                "qty": new_qty,
+                "ytd": stock["ytd"] + qty,
+                "order_cnt": stock["order_cnt"] + 1,
+            },
+        )
+        amount = round(qty * item["price"], 2)
+        total += amount
+        yield Insert(
+            ORDER_LINE,
+            (w_id, d_id, o_id, number),
+            {
+                "i_id": i_id,
+                "supply_w": w_id,
+                "qty": qty,
+                "amount": amount,
+                "delivery_d": None,
+            },
+        )
+    yield Insert(
+        ORDERS,
+        (w_id, d_id, o_id),
+        {"c_id": c_id, "carrier_id": None, "ol_cnt": ol_cnt, "entry_d": 0},
+    )  # orders_by_customer is maintained by the engine
+    yield Insert(NEW_ORDER, (w_id, d_id, o_id), 1)
+    return credit_shown
+
+
+def payment(
+    rng: random.Random, scale: TpccScale, w_id: int, skip_ytd: bool = False
+) -> Generator:
+    """PAY: accept a payment; 60% lookup by id, 40% by last name."""
+    d_id = rng.randint(1, DISTRICTS_PER_WAREHOUSE)
+    amount = round(rng.uniform(1.0, 5_000.0), 2)
+
+    if rng.random() < 0.60:
+        c_id = rng.randint(1, scale.customers_per_district)
+    else:
+        last = last_name_for(rng.randrange(min(1000, scale.customers_per_district)))
+        matches = yield IndexLookup(CUSTOMER_BY_NAME, (w_id, d_id, last))
+        if not matches:
+            c_id = rng.randint(1, scale.customers_per_district)
+        else:
+            # "select the median row" of the sorted matches (Section 2.8.1)
+            c_id = matches[(len(matches) + 1) // 2 - 1][2]
+
+    customer = yield ReadForUpdate(CUSTOMER, (w_id, d_id, c_id))
+    yield Write(
+        CUSTOMER,
+        (w_id, d_id, c_id),
+        {
+            **customer,
+            "balance": customer["balance"] - amount,
+            "ytd_payment": customer["ytd_payment"] + amount,
+            "payment_cnt": customer["payment_cnt"] + 1,
+        },
+    )
+    if not skip_ytd:
+        # The w_ytd / d_ytd hot rows: a write-write conflict between every
+        # pair of Payments on the same warehouse (Section 5.3.1 motivates
+        # the skip_ytd configuration).
+        warehouse = yield ReadForUpdate(WAREHOUSE, w_id)
+        yield Write(WAREHOUSE, w_id, {**warehouse, "ytd": warehouse["ytd"] + amount})
+        district = yield ReadForUpdate(DISTRICT, (w_id, d_id))
+        yield Write(DISTRICT, (w_id, d_id), {**district, "ytd": district["ytd"] + amount})
+
+
+def order_status(rng: random.Random, scale: TpccScale, w_id: int) -> Generator:
+    """OSTAT: read a customer's most recent order and its lines (query)."""
+    d_id = rng.randint(1, DISTRICTS_PER_WAREHOUSE)
+    c_id = rng.randint(1, scale.customers_per_district)
+    yield Read(CUSTOMER, (w_id, d_id, c_id))
+    own_orders = yield IndexLookup(ORDERS_BY_CUSTOMER, (w_id, d_id, c_id))
+    if not own_orders:
+        return None
+    o_id = max(pk[2] for pk in own_orders)  # the most recent order
+    order = yield Read(ORDERS, (w_id, d_id, o_id))
+    lines = yield Scan(
+        ORDER_LINE, (w_id, d_id, o_id, 0), (w_id, d_id, o_id, 1 << 30)
+    )
+    return {"o_id": o_id, "carrier_id": order["carrier_id"], "lines": len(lines)}
+
+
+def delivery(rng: random.Random, scale: TpccScale, w_id: int) -> Generator:
+    """DLVY: deliver the oldest undelivered order of one district.
+
+    The paper splits this into DLVY1 (no pending order — reads only) and
+    DLVY2 (delivers one); both paths live here, as in the SDG analysis.
+    """
+    d_id = rng.randint(1, DISTRICTS_PER_WAREHOUSE)
+    pending = yield Scan(NEW_ORDER, (w_id, d_id, 0), (w_id, d_id, 1 << 30))
+    if not pending:
+        return "DLVY1"
+    (key, _marker) = pending[0]
+    o_id = key[2]
+    yield Delete(NEW_ORDER, key)
+    order = yield Read(ORDERS, (w_id, d_id, o_id))
+    yield Write(ORDERS, (w_id, d_id, o_id), {**order, "carrier_id": rng.randint(1, 10)})
+    lines = yield Scan(ORDER_LINE, (w_id, d_id, o_id, 0), (w_id, d_id, o_id, 1 << 30))
+    total = 0.0
+    for line_key, line in lines:
+        total += line["amount"]
+        yield Write(ORDER_LINE, line_key, {**line, "delivery_d": 1})
+    c_id = order["c_id"]
+    customer = yield ReadForUpdate(CUSTOMER, (w_id, d_id, c_id))
+    yield Write(
+        CUSTOMER,
+        (w_id, d_id, c_id),
+        {
+            **customer,
+            "balance": customer["balance"] + total,
+            "delivery_cnt": customer["delivery_cnt"] + 1,
+        },
+    )
+    return "DLVY2"
+
+
+def stock_level(
+    rng: random.Random, scale: TpccScale, w_id: int, threshold: int | None = None
+) -> Generator:
+    """SLEV: count recently-ordered items with stock below a threshold
+    (query; reads the last 20 orders' lines — the big rw edge to NEWO)."""
+    d_id = rng.randint(1, DISTRICTS_PER_WAREHOUSE)
+    threshold = threshold if threshold is not None else rng.randint(10, 20)
+    district = yield Read(DISTRICT, (w_id, d_id))
+    next_o_id = district["next_o_id"]
+    lines = yield Scan(
+        ORDER_LINE,
+        (w_id, d_id, max(1, next_o_id - 20), 0),
+        (w_id, d_id, next_o_id, 0),
+    )
+    item_ids = {line["i_id"] for _key, line in lines}
+    low = 0
+    for i_id in sorted(item_ids):
+        stock = yield Read(STOCK, (w_id, i_id))
+        if stock["qty"] < threshold:
+            low += 1
+    return low

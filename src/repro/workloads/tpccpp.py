@@ -1,0 +1,135 @@
+"""TPC-C++ — TPC-C plus the Credit Check transaction (paper Section 5.3).
+
+Credit Check (Fig 5.1) sums a customer's delivered-but-unpaid balance and
+the value of their undelivered new orders, then writes the customer's
+credit status.  It creates two pivots in the SDG (Fig 5.3) — New Order
+and Credit Check itself — making TPC-C++ non-serializable under plain SI:
+the Example 5 anomaly shows a customer slipping an order past a
+concurrent credit check.
+
+The standard mix keeps TPC-C's proportions and gives Credit Check the
+Delivery frequency (Section 5.3.4); the Stock Level Mix (Section 5.3.5)
+runs 10 Stock Level queries per New Order to stress read-write conflicts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.engine.database import Database
+from repro.sim.ops import IndexLookup, Read, ReadForUpdate, Scan, Write
+from repro.sim.workload import Mix, Workload
+from repro.workloads import tpcc
+from repro.workloads.tpcc import (
+    CUSTOMER,
+    NEW_ORDER,
+    ORDER_LINE,
+    ORDERS_BY_CUSTOMER,
+    TpccScale,
+    setup_tpcc,
+)
+
+
+def credit_check(rng: random.Random, scale: TpccScale, w_id: int) -> Generator:
+    """CCHECK: recompute a customer's credit status (Fig 5.1).
+
+    Reads c_balance (written by PAY and DLVY), scans the customer's
+    orders still present in NEW_ORDER (inserted by NEWO — a predicate
+    read, so phantom detection matters) and writes c_credit (read by
+    NEWO).
+    """
+    d_id = rng.randint(1, tpcc.DISTRICTS_PER_WAREHOUSE)
+    c_id = rng.randint(1, scale.customers_per_district)
+
+    customer = yield Read(CUSTOMER, (w_id, d_id, c_id))
+    balance = customer["balance"]
+    credit_lim = customer["credit_lim"]
+
+    # SUM(ol_amount) over this customer's undelivered orders: join the
+    # orders-by-customer index x new_order x order_line.
+    own_orders = yield IndexLookup(ORDERS_BY_CUSTOMER, (w_id, d_id, c_id))
+    neworder_balance = 0.0
+    for _w, _d, o_id in own_orders:
+        pending = yield Scan(NEW_ORDER, (w_id, d_id, o_id), (w_id, d_id, o_id))
+        if not pending:
+            continue
+        lines = yield Scan(
+            ORDER_LINE, (w_id, d_id, o_id, 0), (w_id, d_id, o_id, 1 << 30)
+        )
+        neworder_balance += sum(line["amount"] for _lkey, line in lines)
+
+    credit = "BC" if balance + neworder_balance > credit_lim else "GC"
+    current = yield ReadForUpdate(CUSTOMER, (w_id, d_id, c_id))
+    yield Write(CUSTOMER, (w_id, d_id, c_id), {**current, "credit": credit})
+    return credit
+
+
+# ----------------------------------------------------------------- mixes
+
+#: TPC-C++ proportions (Section 5.3.4).
+STANDARD_WEIGHTS = {
+    "NEWO": 41.0,
+    "PAY": 41.0,
+    "CCHECK": 4.0,
+    "DLVY": 4.0,
+    "OSTAT": 4.0,
+    "SLEV": 4.0,
+}
+
+
+def _entry(name: str, weight: float, factory) -> tuple[str, float, object]:
+    return (name, weight, factory)
+
+
+def make_tpccpp(
+    scale: TpccScale | None = None,
+    skip_ytd: bool = False,
+    weights: dict[str, float] | None = None,
+) -> Workload:
+    """The full TPC-C++ workload.
+
+    Args:
+        scale: data scaling (default: standard, 1 warehouse).
+        skip_ytd: omit the warehouse/district year-to-date updates in
+            Payment, removing their write-write hot spot (Section 5.3.1;
+            the Figs 6.12/6.14/6.16 configurations).
+        weights: override the Section 5.3.4 proportions.
+    """
+    scale = scale or TpccScale.standard()
+    weights = weights or STANDARD_WEIGHTS
+
+    def pick_warehouse(rng: random.Random) -> int:
+        return rng.randint(1, scale.warehouses)
+
+    factories = {
+        "NEWO": lambda rng: tpcc.new_order(rng, scale, pick_warehouse(rng), skip_ytd),
+        "PAY": lambda rng: tpcc.payment(rng, scale, pick_warehouse(rng), skip_ytd),
+        "CCHECK": lambda rng: credit_check(rng, scale, pick_warehouse(rng)),
+        "DLVY": lambda rng: tpcc.delivery(rng, scale, pick_warehouse(rng)),
+        "OSTAT": lambda rng: tpcc.order_status(rng, scale, pick_warehouse(rng)),
+        "SLEV": lambda rng: tpcc.stock_level(rng, scale, pick_warehouse(rng)),
+    }
+    mix = Mix([
+        _entry(name, weight, factories[name])
+        for name, weight in weights.items()
+        if weight > 0
+    ])
+    label = f"tpcc++[W={scale.warehouses},{'tiny' if scale.customers_per_district <= 100 else 'std'}{',noytd' if skip_ytd else ''}]"
+    return Workload(name=label, setup=lambda db: setup_tpcc(db, scale), mix=mix)
+
+
+def make_stock_level_mix(
+    scale: TpccScale | None = None, skip_ytd: bool = True
+) -> Workload:
+    """The Stock Level Mix: 10 SLEV per NEWO (Section 5.3.5) — roughly
+    100 rows read per row updated, the regime where multiversion reads
+    pay off most (Figs 6.17/6.18)."""
+    scale = scale or TpccScale.standard(10)
+    workload = make_tpccpp(
+        scale,
+        skip_ytd=skip_ytd,
+        weights={"NEWO": 1.0, "SLEV": 10.0},
+    )
+    workload.name = workload.name.replace("tpcc++", "tpcc++slev")
+    return workload

@@ -1,0 +1,90 @@
+"""Program-spec and matching machinery tests."""
+
+from repro.analysis.programs import (
+    Access,
+    ProgramSpec,
+    conflicts_under,
+    insert,
+    matchings,
+    predicate_read,
+    read,
+    write,
+)
+
+
+def test_access_constructors():
+    r = read("t", "c", "customer")
+    w = write("t", "c", "customer")
+    p = predicate_read("t")
+    i = insert("t")
+    assert r.is_read and not r.is_write
+    assert w.is_write and not w.is_read
+    assert p.is_read and p.row == "*"
+    assert i.is_write and i.row == "*"
+
+
+def test_domain_defaults_to_table():
+    assert read("orders", "o").domain == "orders"
+
+
+def test_readonly_detection():
+    query = ProgramSpec("Q", (read("t", "a"), predicate_read("u")))
+    update = ProgramSpec("U", (read("t", "a"), write("t", "a")))
+    assert query.readonly
+    assert not update.readonly
+
+
+def test_row_vars_excludes_star():
+    spec = ProgramSpec("P", (read("t", "a"), write("t", "b"), insert("u")))
+    assert spec.row_vars() == [("a", "t"), ("b", "t")]
+
+
+def test_with_extra_creates_new_spec():
+    base = ProgramSpec("P", (read("t", "a"),))
+    extended = base.with_extra(write("t", "a"))
+    assert len(base.accesses) == 1
+    assert len(extended.accesses) == 2
+    assert extended.name == "P"
+
+
+class TestMatchings:
+    def test_empty_matching_always_present(self):
+        assert {} in list(matchings([("a", "d")], [("b", "d")]))
+
+    def test_same_domain_matched(self):
+        results = list(matchings([("a", "d")], [("b", "d")]))
+        assert {"a": "b"} in results
+
+    def test_cross_domain_never_matched(self):
+        results = list(matchings([("a", "d1")], [("b", "d2")]))
+        assert results == [{}]
+
+    def test_injective(self):
+        results = list(matchings([("a", "d"), ("b", "d")], [("x", "d")]))
+        # a->x or b->x but never both
+        assert {"a": "x", "b": "x"} not in results
+        assert {"a": "x"} in results and {"b": "x"} in results
+
+    def test_count_for_two_by_two(self):
+        results = list(matchings(
+            [("a", "d"), ("b", "d")], [("x", "d"), ("y", "d")]
+        ))
+        # {} + 4 singles + 2 doubles = 7 partial injective matchings
+        assert len(results) == 7
+
+
+class TestConflictsUnder:
+    def test_matched_rows_conflict(self):
+        a = read("t", "a")
+        b = write("t", "b")
+        assert conflicts_under(a, b, {"a": "b"})
+        assert not conflicts_under(a, b, {})
+
+    def test_star_conflicts_with_same_table(self):
+        scan = predicate_read("t")
+        ins = insert("t")
+        assert conflicts_under(scan, ins, {})
+        assert conflicts_under(scan, write("t", "b"), {})
+
+    def test_different_tables_never_conflict(self):
+        assert not conflicts_under(read("t", "a"), write("u", "a"), {"a": "a"})

@@ -1,0 +1,129 @@
+"""SDG analysis of the paper's benchmark suites — reproduces, as computed
+artefacts, Figures 2.8, 2.9, 2.10 and 5.3."""
+
+import pytest
+
+from repro.analysis import build_sdg, smallbank_specs, tpcc_specs, tpccpp_specs
+from repro.analysis.sdg import SDG, SdgEdge
+from repro.analysis.programs import ProgramSpec, read, write
+
+
+class TestSmallBank:
+    """Figure 2.9 and Section 2.8.4's analysis."""
+
+    @pytest.fixture(scope="class")
+    def sdg(self):
+        return build_sdg(smallbank_specs())
+
+    def test_pivot_is_writecheck(self, sdg):
+        assert sdg.pivots() == ["WC"]
+
+    def test_dangerous_structure_is_bal_wc_ts(self, sdg):
+        witnesses = {(w.incoming, w.pivot, w.outgoing) for w in sdg.dangerous_structures()}
+        assert ("Bal", "WC", "TS") in witnesses
+
+    def test_vulnerable_edges_match_paper(self, sdg):
+        vulnerable = {(e.src, e.dst) for e in sdg.vulnerable_edges()}
+        assert vulnerable == {
+            ("Bal", "DC"), ("Bal", "TS"), ("Bal", "WC"), ("Bal", "Amg"),
+            ("WC", "TS"),
+        }
+
+    def test_wc_to_amg_not_vulnerable(self, sdg):
+        """The subtle case of Section 2.8.4: Amg's write to Saving is
+        always accompanied by a write to Checking, which WC also writes."""
+        edge = sdg.edge("WC", "Amg")
+        assert edge is not None
+        assert "rw" in edge.kinds
+        assert not edge.vulnerable
+
+    def test_not_serializable_under_si(self, sdg):
+        assert not sdg.is_serializable_under_si()
+
+    @pytest.mark.parametrize(
+        "variant", ["materialize_wt", "promote_wt", "materialize_bw", "promote_bw"]
+    )
+    def test_all_fixes_restore_serializability(self, variant):
+        fixed = build_sdg(smallbank_specs(variant))
+        assert fixed.pivots() == []
+        assert fixed.is_serializable_under_si()
+
+    def test_promote_bw_turns_bal_into_update(self):
+        """Figure 2.10: Bal's edges become write-write conflicts."""
+        fixed = build_sdg(smallbank_specs("promote_bw"))
+        for dst in ("DC", "WC", "Amg"):
+            edge = fixed.edge("Bal", dst)
+            assert "ww" in edge.kinds, f"Bal->{dst} should have a ww conflict"
+
+
+class TestTpcc:
+    """Figure 2.8: TPC-C is serializable under SI (Fekete et al. 2005)."""
+
+    @pytest.fixture(scope="class")
+    def sdg(self):
+        return build_sdg(tpcc_specs())
+
+    def test_no_dangerous_structure(self, sdg):
+        assert sdg.pivots() == []
+        assert sdg.is_serializable_under_si()
+
+    def test_vulnerable_edges_exist_but_never_consecutive(self, sdg):
+        assert sdg.vulnerable_edges()  # e.g. SLEV -> NEWO
+
+    def test_slev_newo_vulnerable(self, sdg):
+        edge = sdg.edge("SLEV", "NEWO")
+        assert edge is not None and edge.vulnerable
+
+    def test_queries_have_no_incoming_vulnerable_edges(self, sdg):
+        for query in ("OSTAT", "SLEV", "DLVY1"):
+            incoming = [e for e in sdg.vulnerable_edges() if e.dst == query]
+            assert incoming == [], f"{query} is read-only, cannot be written into"
+
+
+class TestTpccpp:
+    """Figure 5.3: Credit Check makes TPC-C++ non-serializable at SI."""
+
+    @pytest.fixture(scope="class")
+    def sdg(self):
+        return build_sdg(tpccpp_specs())
+
+    def test_pivots_are_ccheck_and_newo(self, sdg):
+        assert sdg.pivots() == ["CCHECK", "NEWO"]
+
+    def test_simple_cycle_ccheck_newo(self, sdg):
+        assert sdg.edge("CCHECK", "NEWO").vulnerable
+        assert sdg.edge("NEWO", "CCHECK").vulnerable
+
+    def test_ccheck_self_ww_loop(self, sdg):
+        """Two Credit Checks on the same customer write-write conflict."""
+        edge = sdg.edge("CCHECK", "CCHECK")
+        assert edge is not None and "ww" in edge.kinds
+
+    def test_ccheck_reads_payment_writes(self, sdg):
+        edge = sdg.edge("CCHECK", "PAY")
+        assert edge is not None and edge.vulnerable
+
+    def test_not_serializable(self, sdg):
+        assert not sdg.is_serializable_under_si()
+
+
+class TestSdgMechanics:
+    def test_reaches_reflexive(self):
+        sdg = SDG([], [])
+        assert sdg.reaches("A", "A")
+
+    def test_to_dot_renders(self):
+        sdg = build_sdg(smallbank_specs())
+        dot = sdg.to_dot()
+        assert "digraph" in dot
+        assert '"WC" [shape=diamond' in dot  # pivot rendering
+        assert "dashed" in dot
+
+    def test_three_program_chain_dangerous(self):
+        """R ~> P ~> Q with an ordinary edge Q -> R closes Definition 1."""
+        r = ProgramSpec("R", (read("a", "k"),))
+        p = ProgramSpec("P", (write("a", "k"), read("b", "k", "a")))
+        q = ProgramSpec("Q", (write("b", "k", "a"), write("c", "k", "a")))
+        r2 = ProgramSpec("R", (read("a", "k"), read("c", "k", "a")))
+        sdg = build_sdg([r2, p, q])
+        assert "P" in sdg.pivots()

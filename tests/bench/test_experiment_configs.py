@@ -1,0 +1,84 @@
+"""Sanity checks on the figure-experiment definitions: each experiment's
+engine/simulation configuration matches the paper's setup it claims."""
+
+import pytest
+
+from repro.bench.experiments import FIGURES
+from repro.engine.config import DeadlockMode, LockGranularity
+
+
+def experiment(exp_id):
+    return FIGURES[exp_id]()
+
+
+@pytest.mark.parametrize("exp_id", [f"fig6.{n}" for n in range(1, 6)])
+def test_berkeleydb_figures_use_page_engine(exp_id):
+    config = experiment(exp_id).engine_config_factory()
+    assert config.granularity is LockGranularity.PAGE
+    assert not config.precise_conflicts  # the BDB prototype's tracker
+    assert config.deadlock_mode is DeadlockMode.PERIODIC
+
+
+@pytest.mark.parametrize("exp_id", [f"fig6.{n}" for n in range(6, 19)])
+def test_innodb_figures_use_record_engine(exp_id):
+    config = experiment(exp_id).engine_config_factory()
+    assert config.granularity is LockGranularity.RECORD
+    assert config.precise_conflicts
+    assert config.deadlock_mode is DeadlockMode.IMMEDIATE
+
+
+def test_fig6_1_has_no_commit_io():
+    assert not experiment("fig6.1").sim_config.commit_flush
+
+
+@pytest.mark.parametrize("exp_id", ["fig6.2", "fig6.3", "fig6.4", "fig6.5"])
+def test_durable_smallbank_figures_flush_10ms(exp_id):
+    sim = experiment(exp_id).sim_config
+    assert sim.commit_flush
+    assert sim.flush_time == pytest.approx(0.010)
+
+
+def test_low_contention_figures_scale_data_up():
+    # Fig 6.4 uses 10x the customers of Fig 6.1's workload.
+    short = experiment("fig6.1").workload_factory()
+    low = experiment("fig6.4").workload_factory()
+    assert "c=800" in short.name
+    assert "c=8000" in low.name
+
+
+def test_complex_figures_use_ten_ops():
+    assert "n=10" in experiment("fig6.3").workload_factory().name
+    assert "n=10" in experiment("fig6.5").workload_factory().name
+
+
+def test_sibench_figures_cover_the_size_sweep():
+    sizes = []
+    for exp_id in ("fig6.6", "fig6.7", "fig6.8"):
+        workload = experiment(exp_id).workload_factory()
+        sizes.append(workload.name)
+    assert any("I=10," in name for name in sizes)
+    assert any("I=100," in name for name in sizes)
+    assert any("I=1000," in name for name in sizes)
+
+
+def test_querymostly_figures_use_ten_to_one():
+    for exp_id in ("fig6.9", "fig6.10", "fig6.11"):
+        assert "q:u=10" in experiment(exp_id).workload_factory().name
+
+
+def test_tpccpp_scaling_configurations():
+    assert "W=1" in experiment("fig6.12").workload_factory().name
+    assert "noytd" in experiment("fig6.12").workload_factory().name
+    for exp_id in ("fig6.13", "fig6.14"):
+        assert "W=10" in experiment(exp_id).workload_factory().name
+    for exp_id in ("fig6.15", "fig6.16"):
+        assert "tiny" in experiment(exp_id).workload_factory().name
+    assert "noytd" not in experiment("fig6.13").workload_factory().name
+    assert "noytd" in experiment("fig6.14").workload_factory().name
+
+
+def test_stock_level_figures_use_the_slev_mix():
+    for exp_id in ("fig6.17", "fig6.18"):
+        workload = experiment(exp_id).workload_factory()
+        assert "slev" in workload.name
+        assert set(workload.mix.names()) == {"NEWO", "SLEV"}

@@ -1,0 +1,75 @@
+"""Bench harness tests: experiment grid execution and reporting."""
+
+import pytest
+
+from repro.bench.experiments import FIGURES, fig6_1
+from repro.bench.harness import Experiment, run_experiment
+from repro.bench.report import format_error_table, format_throughput_table, summarize
+from repro.engine.config import EngineConfig
+from repro.sim.scheduler import SimConfig
+from repro.workloads.smallbank import make_smallbank
+
+
+@pytest.fixture(scope="module")
+def small_outcome():
+    experiment = Experiment(
+        exp_id="test.exp",
+        title="tiny smallbank grid",
+        workload_factory=lambda: make_smallbank(customers=50),
+        engine_config_factory=EngineConfig,
+        sim_config=SimConfig(duration=0.05, warmup=0.0),
+        expectation="n/a",
+    )
+    return run_experiment(experiment, mpls=[1, 4], levels=["si", "ssi"])
+
+
+def test_grid_shape(small_outcome):
+    assert set(small_outcome.series) == {"si", "ssi"}
+    assert [r.mpl for r in small_outcome.series["si"]] == [1, 4]
+
+
+def test_result_lookup(small_outcome):
+    result = small_outcome.result("si", 4)
+    assert result.mpl == 4 and result.isolation == "si"
+    with pytest.raises(KeyError):
+        small_outcome.result("si", 99)
+
+
+def test_throughput_positive(small_outcome):
+    assert small_outcome.throughput("si", 1) > 0
+    assert small_outcome.peak_throughput("ssi") > 0
+    assert small_outcome.best_mpl("si") in (1, 4)
+
+
+def test_report_rendering(small_outcome):
+    table = format_throughput_table(small_outcome)
+    assert "test.exp" in table
+    assert "MPL" in table
+    errors = format_error_table(small_outcome)
+    assert "errors per commit" in errors
+    assert "test.exp" in summarize(small_outcome)
+
+
+def test_figure_catalogue_complete():
+    expected = {f"fig6.{n}" for n in range(1, 19)}
+    assert set(FIGURES) == expected
+
+
+def test_every_figure_definition_instantiates():
+    for exp_id, factory in FIGURES.items():
+        experiment = factory()
+        assert experiment.exp_id == exp_id
+        assert experiment.title
+        assert experiment.expectation
+        workload = experiment.workload_factory()
+        assert workload.mix.names()
+
+
+def test_fig6_1_uses_bdb_configuration():
+    experiment = fig6_1()
+    config = experiment.engine_config_factory()
+    from repro.engine.config import DeadlockMode, LockGranularity
+    assert config.granularity is LockGranularity.PAGE
+    assert config.deadlock_mode is DeadlockMode.PERIODIC
+    assert not config.precise_conflicts
+    assert not experiment.sim_config.commit_flush

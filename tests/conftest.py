@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import EngineConfig, LockGranularity, DeadlockMode
+from repro.engine.database import Database
+from repro.engine.isolation import IsolationLevel
+
+
+@pytest.fixture
+def db() -> Database:
+    """A record-granularity database with history recording on."""
+    return Database(EngineConfig(record_history=True))
+
+
+@pytest.fixture
+def db_basic() -> Database:
+    """A database using the basic boolean conflict tracker (Fig 3.3)."""
+    return Database(
+        EngineConfig(record_history=True, precise_conflicts=False)
+    )
+
+
+@pytest.fixture
+def page_db() -> Database:
+    """A Berkeley DB-style page-granularity database."""
+    return Database(
+        EngineConfig.berkeleydb_style(page_size=4, record_history=True)
+    )
+
+
+def fill(database: Database, table: str, rows: dict) -> None:
+    """Create (if needed) and load a table."""
+    try:
+        database.create_table(table)
+    except Exception:
+        pass
+    database.load(table, rows.items())
+
+
+def commit_outcomes(*txns) -> list[str]:
+    """Commit each transaction, collecting 'commit' or the abort reason."""
+    from repro.errors import TransactionAbortedError
+
+    outcomes = []
+    for txn in txns:
+        if not txn.is_active:
+            outcomes.append("already-finished")
+            continue
+        try:
+            txn.commit()
+            outcomes.append("commit")
+        except TransactionAbortedError as error:
+            outcomes.append(error.reason)
+    return outcomes

@@ -1,0 +1,31 @@
+"""Victim-selection policy tests (Section 3.7.2)."""
+
+from dataclasses import dataclass
+
+from repro.core.victim import POLICIES, oldest_first, pivot_first, youngest_first
+
+
+@dataclass
+class Txn:
+    id: int
+    begin_ts: int
+
+
+def test_pivot_first_returns_first_candidate():
+    a, b = Txn(1, 10), Txn(2, 20)
+    assert pivot_first([a, b], a, b) is a
+    assert pivot_first([b], a, b) is b
+
+
+def test_youngest_first():
+    a, b = Txn(1, 10), Txn(2, 20)
+    assert youngest_first([a, b], a, b) is b
+
+
+def test_oldest_first():
+    a, b = Txn(1, 10), Txn(2, 20)
+    assert oldest_first([a, b], a, b) is a
+
+
+def test_policy_registry():
+    assert set(POLICIES) == {"pivot", "youngest", "oldest"}

@@ -1,0 +1,180 @@
+"""Engine basics: schema, CRUD, transaction lifecycle, state errors."""
+
+import pytest
+
+from repro import (
+    Database,
+    DuplicateKeyError,
+    EngineConfig,
+    IsolationLevel,
+    KeyNotFoundError,
+)
+from repro.errors import TableError, TransactionStateError
+
+from tests.conftest import fill
+
+
+class TestSchema:
+    def test_create_and_duplicate_table(self, db):
+        db.create_table("t")
+        with pytest.raises(TableError):
+            db.create_table("t")
+
+    def test_unknown_table(self, db):
+        txn = db.begin()
+        with pytest.raises(TableError):
+            txn.read("missing", 1)
+
+    def test_load_bulk_visible(self, db):
+        fill(db, "t", {1: "a", 2: "b"})
+        txn = db.begin()
+        assert txn.read("t", 1) == "a"
+        assert txn.read("t", 2) == "b"
+        txn.commit()
+
+
+class TestCrud:
+    @pytest.mark.parametrize("level", ["si", "ssi", "s2pl", "sgt"])
+    def test_write_read_roundtrip(self, db, level):
+        db.create_table("t")
+        txn = db.begin(level)
+        txn.write("t", "k", 123)
+        assert txn.read("t", "k") == 123  # sees own write
+        txn.commit()
+        check = db.begin(level)
+        assert check.read("t", "k") == 123
+        check.commit()
+
+    def test_read_missing_raises(self, db):
+        db.create_table("t")
+        txn = db.begin()
+        with pytest.raises(KeyNotFoundError):
+            txn.read("t", "nope")
+        assert txn.get("t", "nope", default=7) == 7
+        txn.commit()
+
+    def test_insert_then_duplicate(self, db):
+        db.create_table("t")
+        txn = db.begin()
+        txn.insert("t", 1, "x")
+        with pytest.raises(DuplicateKeyError):
+            txn.insert("t", 1, "y")
+        txn.commit()
+        txn2 = db.begin()
+        with pytest.raises(DuplicateKeyError):
+            txn2.insert("t", 1, "z")
+        txn2.abort()
+
+    def test_delete_then_read_absent(self, db):
+        fill(db, "t", {1: "a"})
+        txn = db.begin()
+        txn.delete("t", 1)
+        assert txn.get("t", 1) is None  # own delete visible
+        txn.commit()
+        txn2 = db.begin()
+        assert txn2.get("t", 1) is None
+        txn2.commit()
+
+    def test_delete_missing_raises(self, db):
+        db.create_table("t")
+        txn = db.begin()
+        with pytest.raises(KeyNotFoundError):
+            txn.delete("t", 1)
+
+    def test_reinsert_after_delete(self, db):
+        fill(db, "t", {1: "a"})
+        txn = db.begin()
+        txn.delete("t", 1)
+        txn.commit()
+        txn2 = db.begin()
+        txn2.insert("t", 1, "b")  # tombstone allows re-insert
+        txn2.commit()
+        assert db.begin().read("t", 1) == "b"
+
+    def test_scan_ordered_with_own_writes_overlaid(self, db):
+        fill(db, "t", {1: "a", 3: "c", 5: "e"})
+        txn = db.begin()
+        txn.insert("t", 2, "b")
+        txn.delete("t", 3)
+        txn.write("t", 5, "E")
+        rows = txn.scan("t", 1, 5)
+        assert rows == [(1, "a"), (2, "b"), (5, "E")]
+        txn.commit()
+
+    def test_scan_open_bounds(self, db):
+        fill(db, "t", {i: i for i in range(5)})
+        txn = db.begin()
+        assert [k for k, _ in txn.scan("t")] == [0, 1, 2, 3, 4]
+        assert [k for k, _ in txn.scan("t", hi=2)] == [0, 1, 2]
+        assert [k for k, _ in txn.scan("t", lo=3)] == [3, 4]
+        txn.commit()
+
+
+class TestLifecycle:
+    def test_abort_discards_writes(self, db):
+        fill(db, "t", {1: "a"})
+        txn = db.begin()
+        txn.write("t", 1, "changed")
+        txn.abort()
+        assert db.begin().read("t", 1) == "a"
+
+    def test_ops_after_commit_rejected(self, db):
+        db.create_table("t")
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.write("t", 1, 1)
+        with pytest.raises(TransactionStateError):
+            txn.commit()
+
+    def test_abort_is_idempotent(self, db):
+        txn = db.begin()
+        txn.abort()
+        txn.abort()
+        assert txn.is_aborted
+
+    def test_context_manager_commits(self, db):
+        db.create_table("t")
+        with db.begin() as txn:
+            txn.write("t", 1, "v")
+        assert db.begin().read("t", 1) == "v"
+
+    def test_context_manager_aborts_on_error(self, db):
+        fill(db, "t", {1: "a"})
+        with pytest.raises(RuntimeError):
+            with db.begin() as txn:
+                txn.write("t", 1, "changed")
+                raise RuntimeError("boom")
+        assert db.begin().read("t", 1) == "a"
+
+    def test_stats_track_commits_and_begins(self, db):
+        db.create_table("t")
+        db.begin().commit()
+        db.begin().abort()
+        assert db.stats["begins"] == 2
+        assert db.stats["commits"] == 1
+
+
+class TestVacuum:
+    def test_vacuum_prunes_dead_versions(self, db):
+        fill(db, "t", {1: "v0"})
+        for round_number in range(5):
+            txn = db.begin()
+            txn.write("t", 1, f"v{round_number + 1}")
+            txn.commit()
+        chain = db.table("t").chain(1)
+        assert len(chain) == 6
+        removed = db.vacuum()
+        assert removed == 5
+        assert db.begin().read("t", 1) == "v5"
+
+    def test_vacuum_respects_active_snapshot(self, db):
+        fill(db, "t", {1: "old"})
+        reader = db.begin("si")
+        assert reader.read("t", 1) == "old"  # pins the snapshot
+        writer = db.begin("si")
+        writer.write("t", 1, "new")
+        writer.commit()
+        db.vacuum()
+        assert reader.read("t", 1) == "old"  # still readable
+        reader.commit()

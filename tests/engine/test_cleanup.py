@@ -1,0 +1,111 @@
+"""Suspended-transaction lifecycle and cleanup tests (Sections 3.3,
+4.3.1, 4.6.1, 4.8)."""
+
+import pytest
+
+from repro import Database, EngineConfig
+
+from tests.conftest import fill
+
+
+def make_db(eager: bool, threshold: int = 4):
+    return Database(
+        EngineConfig(eager_cleanup=eager, cleanup_threshold=threshold)
+    )
+
+
+def committed_reader(db, keys=("x",)):
+    txn = db.begin("ssi")
+    for key in keys:
+        txn.read("t", key)
+    txn.commit()
+    return txn
+
+
+class TestEagerCleanup:
+    def test_no_overlap_means_no_retention(self):
+        db = make_db(eager=True)
+        fill(db, "t", {"x": 0})
+        for _ in range(5):
+            committed_reader(db)
+        assert db.suspended_count() == 0
+
+    def test_overlapping_txn_pins_suspended_records(self):
+        db = make_db(eager=True)
+        fill(db, "t", {"x": 0, "y": 0})
+        pin = db.begin("ssi")
+        pin.read("t", "y")  # allocates the pinning snapshot
+        readers = [committed_reader(db) for _ in range(3)]
+        assert db.suspended_count() == 3
+        assert all(txn.suspended for txn in readers)
+        pin.commit()
+        assert db.suspended_count() == 0
+        assert not any(txn.suspended for txn in readers)
+
+    def test_siread_locks_released_at_cleanup(self):
+        db = make_db(eager=True)
+        fill(db, "t", {"x": 0, "y": 0})
+        pin = db.begin("ssi")
+        pin.read("t", "y")
+        reader = committed_reader(db)
+        assert db.locks.holds_any_siread(reader)
+        pin.commit()
+        assert not db.locks.holds_any_siread(reader)
+
+
+class TestLazyCleanup:
+    def test_retained_until_threshold(self):
+        db = make_db(eager=False, threshold=4)
+        fill(db, "t", {"x": 0})
+        for _ in range(4):
+            committed_reader(db)
+        # lazy: still within threshold, nothing cleaned
+        assert db.suspended_count() == 4
+        committed_reader(db)  # pushes past the threshold
+        assert db.suspended_count() <= 1
+
+    def test_manual_cleanup(self):
+        db = make_db(eager=False, threshold=100)
+        fill(db, "t", {"x": 0})
+        for _ in range(5):
+            committed_reader(db)
+        cleaned = db.cleanup_suspended()
+        assert cleaned == 5
+        assert db.suspended_count() == 0
+
+
+class TestRegistryHygiene:
+    def test_registry_does_not_leak(self):
+        db = make_db(eager=True)
+        fill(db, "t", {"x": 0})
+        for _ in range(20):
+            committed_reader(db)
+        assert len(db._registry) == 0
+        assert db.locks.table_size() == 0
+
+    def test_aborted_txns_fully_removed(self):
+        db = make_db(eager=True)
+        fill(db, "t", {"x": 0})
+        txn = db.begin("ssi")
+        txn.read("t", "x")
+        txn.abort()
+        assert txn.id not in db._registry
+        assert not db.locks.holds_any_siread(txn)
+
+    def test_version_creator_lookup_survives_retention(self):
+        """A suspended writer must stay findable for newer-version
+        conflict marking (Fig 3.4 lines 8-9)."""
+        db = make_db(eager=True)
+        fill(db, "t", {"x": 0, "y": 0})
+        pin = db.begin("ssi")
+        pin.read("t", "y")
+        writer = db.begin("ssi")
+        writer.read("t", "y")  # gives it a SIREAD so it suspends
+        writer.write("t", "x", 1)
+        writer.commit()
+        assert writer.id in db._registry
+        # pin now reads x and must see the rw conflict to writer
+        before = db.tracker.stats["marked"]
+        pin.read("t", "x")
+        assert db.tracker.stats["marked"] > before
+        pin.abort()

@@ -1,0 +1,62 @@
+"""EngineConfig profiles and IsolationLevel parsing."""
+
+import pytest
+
+from repro.engine.config import DeadlockMode, EngineConfig, LockGranularity
+from repro.engine.isolation import IsolationLevel
+
+
+class TestIsolationLevel:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("si", IsolationLevel.SNAPSHOT),
+            ("ssi", IsolationLevel.SERIALIZABLE_SSI),
+            ("s2pl", IsolationLevel.SERIALIZABLE_2PL),
+            ("sgt", IsolationLevel.SGT),
+            ("SNAPSHOT", IsolationLevel.SNAPSHOT),
+            (IsolationLevel.SGT, IsolationLevel.SGT),
+        ],
+    )
+    def test_parse(self, token, expected):
+        assert IsolationLevel.parse(token) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            IsolationLevel.parse("read-committed")
+
+    def test_classification_flags(self):
+        assert not IsolationLevel.SERIALIZABLE_2PL.uses_snapshots
+        assert IsolationLevel.SNAPSHOT.uses_snapshots
+        assert IsolationLevel.SERIALIZABLE_SSI.detects_rw_conflicts
+        assert IsolationLevel.SGT.detects_rw_conflicts
+        assert not IsolationLevel.SNAPSHOT.takes_read_locks
+        assert IsolationLevel.SERIALIZABLE_2PL.takes_read_locks
+
+
+class TestConfigProfiles:
+    def test_defaults_are_innodb_style(self):
+        config = EngineConfig()
+        assert config.granularity is LockGranularity.RECORD
+        assert config.precise_conflicts
+        assert config.deadlock_mode is DeadlockMode.IMMEDIATE
+        assert config.eager_cleanup
+        assert config.deferred_snapshot
+        assert config.siread_upgrade
+
+    def test_innodb_style_equals_defaults(self):
+        assert EngineConfig.innodb_style() == EngineConfig()
+
+    def test_berkeleydb_style(self):
+        config = EngineConfig.berkeleydb_style()
+        assert config.granularity is LockGranularity.PAGE
+        assert not config.precise_conflicts
+        assert config.deadlock_mode is DeadlockMode.PERIODIC
+        assert not config.eager_cleanup
+
+    def test_profile_overrides(self):
+        config = EngineConfig.berkeleydb_style(page_size=16, record_history=True)
+        assert config.page_size == 16
+        assert config.record_history
+        config2 = EngineConfig.innodb_style(victim_policy="youngest")
+        assert config2.victim_policy == "youngest"

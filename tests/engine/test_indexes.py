@@ -1,0 +1,173 @@
+"""Secondary index tests: maintenance, scans, uniqueness, phantoms."""
+
+import pytest
+
+from repro import Database, DuplicateKeyError, EngineConfig
+from repro.errors import TransactionAbortedError
+from repro.sgt.checker import check_serializable
+
+from tests.conftest import commit_outcomes, fill
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig(record_history=True))
+    database.create_table("people")
+    database.load("people", [
+        (1, {"name": "ada", "city": "london"}),
+        (2, {"name": "alan", "city": "london"}),
+        (3, {"name": "grace", "city": "nyc"}),
+    ])
+    database.create_index("people_by_city", "people",
+                          key_func=lambda pk, row: row["city"])
+    return database
+
+
+class TestPopulationAndMaintenance:
+    def test_existing_rows_indexed(self, db):
+        txn = db.begin()
+        assert txn.index_lookup("people_by_city", "london") == [1, 2]
+        assert txn.index_lookup("people_by_city", "nyc") == [3]
+        txn.commit()
+
+    def test_insert_maintains_index(self, db):
+        txn = db.begin()
+        txn.insert("people", 4, {"name": "edsger", "city": "austin"})
+        assert txn.index_lookup("people_by_city", "austin") == [4]
+        txn.commit()
+        check = db.begin()
+        assert check.index_lookup("people_by_city", "austin") == [4]
+        check.commit()
+
+    def test_update_moves_index_entry(self, db):
+        txn = db.begin()
+        txn.write("people", 1, {"name": "ada", "city": "paris"})
+        assert txn.index_lookup("people_by_city", "london") == [2]
+        assert txn.index_lookup("people_by_city", "paris") == [1]
+        txn.commit()
+
+    def test_update_with_unchanged_key_is_noop(self, db):
+        txn = db.begin()
+        writes_before = db.stats["writes"]
+        txn.write("people", 1, {"name": "augusta", "city": "london"})
+        txn.commit()
+        # exactly one write (the base row) — no index churn
+        assert db.stats["writes"] == writes_before + 1
+
+    def test_delete_removes_index_entry(self, db):
+        txn = db.begin()
+        txn.delete("people", 3)
+        assert txn.index_lookup("people_by_city", "nyc") == []
+        txn.commit()
+
+    def test_abort_undoes_index_changes(self, db):
+        txn = db.begin()
+        txn.write("people", 1, {"name": "ada", "city": "paris"})
+        txn.abort()
+        check = db.begin()
+        assert check.index_lookup("people_by_city", "london") == [1, 2]
+        assert check.index_lookup("people_by_city", "paris") == []
+        check.commit()
+
+    def test_partial_index_excludes_none_keys(self, db):
+        db.create_index("vip", "people",
+                        key_func=lambda pk, row: row.get("vip"))
+        txn = db.begin()
+        txn.write("people", 2, {"name": "alan", "city": "london", "vip": 1})
+        txn.commit()
+        check = db.begin()
+        assert check.index_lookup("vip", 1) == [2]
+        assert len(check.index_scan("vip")) == 1
+        check.commit()
+
+
+class TestScans:
+    def test_range_scan_in_index_order(self, db):
+        txn = db.begin()
+        pairs = txn.index_scan("people_by_city")
+        assert pairs == [("london", 1), ("london", 2), ("nyc", 3)]
+        bounded = txn.index_scan("people_by_city", "m", "z")
+        assert bounded == [("nyc", 3)]
+        txn.commit()
+
+    def test_scan_sees_own_uncommitted_changes(self, db):
+        txn = db.begin()
+        txn.insert("people", 9, {"name": "barbara", "city": "boston"})
+        assert ("boston", 9) in txn.index_scan("people_by_city")
+        txn.abort()
+
+
+class TestUnique:
+    def test_unique_index_enforced(self, db):
+        db.create_index("by_name", "people",
+                        key_func=lambda pk, row: row["name"], unique=True)
+        txn = db.begin()
+        with pytest.raises(DuplicateKeyError):
+            txn.insert("people", 10, {"name": "ada", "city": "oslo"})
+        txn.abort()
+
+    def test_unique_lookup(self, db):
+        db.create_index("by_name", "people",
+                        key_func=lambda pk, row: row["name"], unique=True)
+        txn = db.begin()
+        assert txn.index_lookup("by_name", "grace") == [3]
+        txn.commit()
+
+    def test_unique_allows_self_update(self, db):
+        db.create_index("by_name", "people",
+                        key_func=lambda pk, row: row["name"], unique=True)
+        txn = db.begin()
+        txn.write("people", 1, {"name": "ada", "city": "paris"})  # same name
+        txn.commit()
+
+
+class TestConcurrency:
+    def test_index_scan_vs_insert_write_skew_prevented(self, db):
+        """Phantom protection extends to index order: two transactions
+        each count a city's residents via the index and insert — the
+        dangerous pair must not both commit blind."""
+        t1 = db.begin("ssi")
+        t2 = db.begin("ssi")
+        results = []
+        try:
+            n1 = len(t1.index_lookup("people_by_city", "london"))
+            t1.insert("people", 21, {"name": f"n{n1}", "city": "london"})
+        except TransactionAbortedError as error:
+            results.append(error.reason)
+        try:
+            n2 = len(t2.index_lookup("people_by_city", "london"))
+            t2.insert("people", 22, {"name": f"n{n2}", "city": "london"})
+        except TransactionAbortedError as error:
+            results.append(error.reason)
+        results.extend(commit_outcomes(t1, t2))
+        assert check_serializable(db.history).serializable
+
+    def test_serializability_with_random_index_traffic(self, db):
+        import random
+
+        rng = random.Random(0)
+        cities = ["london", "nyc", "austin"]
+        for _round in range(30):
+            txn = db.begin("ssi")
+            try:
+                pk = rng.randrange(1, 6)
+                if rng.random() < 0.5:
+                    txn.index_scan("people_by_city")
+                if txn.get("people", pk) is None:
+                    txn.insert("people", pk,
+                               {"name": f"p{pk}", "city": rng.choice(cities)})
+                else:
+                    txn.write("people", pk,
+                              {"name": f"p{pk}", "city": rng.choice(cities)})
+                txn.commit()
+            except TransactionAbortedError:
+                pass
+        assert check_serializable(db.history).serializable
+        # index consistent with base table
+        check = db.begin("si")
+        base = dict(check.scan("people"))
+        indexed = check.index_scan("people_by_city")
+        assert sorted(pk for _city, pk in indexed) == sorted(base)
+        for city, pk in indexed:
+            assert base[pk]["city"] == city
+        check.commit()

@@ -1,0 +1,105 @@
+"""Lock-wait timeout tests (the innodb_lock_wait_timeout analogue)."""
+
+import threading
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import LockTimeoutError, LockWaitRequired
+from repro.locking.manager import RequestState
+
+from tests.conftest import fill
+
+
+def test_manager_cancel_request():
+    from dataclasses import dataclass
+
+    from repro.locking.manager import LockManager, record_resource
+    from repro.locking.modes import LockMode
+
+    @dataclass
+    class Owner:
+        id: int
+        begin_ts: int = 0
+
+    lm = LockManager()
+    a, b, c = Owner(1), Owner(2), Owner(3)
+    resource = record_resource("t", "k")
+    lm.acquire(a, resource, LockMode.EXCLUSIVE)
+    blocked_b = lm.acquire(b, resource, LockMode.EXCLUSIVE).request
+    blocked_c = lm.acquire(c, resource, LockMode.EXCLUSIVE).request
+    error = LockTimeoutError()
+    assert lm.cancel_request(blocked_b, error)
+    assert blocked_b.state is RequestState.DENIED
+    assert blocked_b.error is error
+    # Cancelling twice is a no-op; the queue stays coherent.
+    assert not lm.cancel_request(blocked_b, error)
+    lm.release_all(a)
+    assert blocked_c.state is RequestState.GRANTED
+
+
+def test_engine_timeout_dooms_waiter():
+    db = Database(EngineConfig(lock_timeout=1.0))
+    fill(db, "t", {1: "a"})
+    holder = db.begin("si")
+    holder.write("t", 1, "b")
+    waiter = db.begin("si")
+    with pytest.raises(LockWaitRequired) as wait:
+        db.write(waiter, "t", 1, "c")
+    assert db.cancel_lock_request(wait.value.request)
+    with pytest.raises(LockTimeoutError):
+        db.write(waiter, "t", 1, "c")  # doomed: aborts on next op
+    assert waiter.is_aborted
+    assert db.stats["aborts"]["timeout"] == 1
+    holder.commit()
+
+
+def test_threaded_timeout_fires():
+    db = Database(EngineConfig(lock_timeout=0.1))
+    fill(db, "t", {1: "a"})
+    holder = db.begin("si")
+    holder.write("t", 1, "b")  # holds the exclusive lock, never commits
+
+    outcome = {}
+
+    def blocked_client():
+        waiter = db.begin("si")
+        try:
+            waiter.write("t", 1, "c")
+            outcome["result"] = "wrote"
+        except LockTimeoutError:
+            outcome["result"] = "timeout"
+
+    thread = threading.Thread(target=blocked_client)
+    thread.start()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert outcome["result"] == "timeout"
+    holder.abort()
+
+
+def test_simulated_timeout_counted():
+    from repro.sim.ops import ReadForUpdate, Write, Compute
+    from repro.sim.scheduler import SimConfig, Simulator
+    from repro.sim.workload import Mix, Workload
+
+    def setup(db):
+        db.create_table("hot")
+        db.load("hot", [(0, 0)])
+
+    def slow_update(rng):
+        value = yield ReadForUpdate("hot", 0)
+        yield Compute(50_000)  # hold the lock for ~0.1 simulated seconds
+        yield Write("hot", 0, value + 1)
+
+    workload = Workload("hot", setup, Mix([("upd", 1.0, slow_update)]))
+    db = Database(EngineConfig(lock_timeout=0.01))
+    workload.setup(db)
+    result = Simulator(db, workload, "si", 4,
+                       SimConfig(duration=0.5, warmup=0.0)).run()
+    assert result.aborts["timeout"] > 0
+    assert result.commits > 0
+
+
+def test_no_timeout_by_default():
+    assert EngineConfig().lock_timeout is None

@@ -1,0 +1,97 @@
+"""Mixed isolation levels in one system (paper Sections 2.6.3 and 3.8)."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import LockWaitRequired, TransactionAbortedError
+
+from tests.conftest import commit_outcomes, fill
+
+
+class TestS2plWithSnapshotWriters:
+    def test_s2pl_reader_blocks_si_writer(self, db):
+        """Section 2.6.3: SI is implemented with write locks precisely so
+        an S2PL transaction's shared locks constrain SI writers."""
+        fill(db, "t", {1: "a"})
+        locker = db.begin("s2pl")
+        assert locker.read("t", 1) == "a"
+        si_writer = db.begin("si")
+        with pytest.raises(LockWaitRequired):
+            db.write(si_writer, "t", 1, "b")
+        locker.commit()
+        db.write(si_writer, "t", 1, "b")
+        si_writer.commit()
+
+    def test_si_reader_ignores_s2pl_exclusive(self, db):
+        fill(db, "t", {1: "a"})
+        locker = db.begin("s2pl")
+        locker.write("t", 1, "b")
+        si_reader = db.begin("si")
+        assert si_reader.read("t", 1) == "a"  # snapshot read, no block
+        si_reader.commit()
+        locker.commit()
+
+
+class TestSiQueriesWithSsiUpdates:
+    """Section 3.8: queries at SI among Serializable SI updates.
+
+    Updates remain serializable among themselves (write skew prevented);
+    queries pay no SIREAD overhead but may observe non-serializable
+    states (tested in test_ssi.TestReadOnlyAnomaly)."""
+
+    def test_updates_still_protected(self, db):
+        fill(db, "acct", {"x": 50, "y": 50})
+        query = db.begin("si")
+        assert query.read("acct", "x") + query.read("acct", "y") == 100
+        t1 = db.begin("ssi")
+        t2 = db.begin("ssi")
+        results = []
+        for txn, key in ((t1, "x"), (t2, "y")):
+            try:
+                total = txn.read("acct", "x") + txn.read("acct", "y")
+                txn.write("acct", key, total - 150)
+            except TransactionAbortedError as error:
+                results.append(error.reason)
+        results.extend(commit_outcomes(t1, t2))
+        assert "unsafe" in results
+        query.commit()
+
+    def test_si_query_takes_no_siread_locks(self, db):
+        fill(db, "t", {i: i for i in range(10)})
+        query = db.begin("si")
+        query.scan("t")
+        assert not db.locks.holds_any_siread(query)
+        updater = db.begin("ssi")
+        updater.scan("t")
+        assert db.locks.holds_any_siread(updater)
+        query.commit()
+        updater.commit()
+
+    def test_si_query_never_aborted_by_ssi_machinery(self, db):
+        fill(db, "t", {"x": 0, "y": 0})
+        query = db.begin("si")
+        query.read("t", "x")
+        query.read("t", "y")
+        writer = db.begin("ssi")
+        writer.write("t", "x", 1)
+        writer.write("t", "y", 1)
+        writer.commit()
+        assert query.read("t", "x") == 0
+        query.commit()  # no unsafe error possible
+        assert db.stats["aborts"]["unsafe"] == 0
+
+
+class TestAllFourLevelsTogether:
+    def test_every_level_coexists(self, db):
+        fill(db, "t", {i: 0 for i in range(8)})
+        txns = {
+            level: db.begin(level) for level in ("si", "ssi", "s2pl", "sgt")
+        }
+        for offset, (level, txn) in enumerate(txns.items()):
+            txn.write("t", offset, level)
+        outcomes = commit_outcomes(*txns.values())
+        assert outcomes == ["commit"] * 4
+        check = db.begin("si")
+        assert check.read("t", 0) == "si"
+        assert check.read("t", 3) == "sgt"
+        check.commit()

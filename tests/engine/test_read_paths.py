@@ -1,0 +1,104 @@
+"""Read-path semantics: get/read/read_for_update nuances."""
+
+import pytest
+
+from repro import Database, EngineConfig, KeyNotFoundError, UpdateConflictError
+from repro.errors import LockWaitRequired
+
+from tests.conftest import fill
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig(record_history=True))
+    fill(database, "t", {1: "a", 2: "b"})
+    return database
+
+
+class TestPointReads:
+    def test_read_own_delete_raises(self, db):
+        txn = db.begin()
+        txn.delete("t", 1)
+        with pytest.raises(KeyNotFoundError):
+            txn.read("t", 1)
+        assert txn.get("t", 1, default="gone") == "gone"
+        txn.abort()
+
+    def test_get_does_not_create_anything(self, db):
+        txn = db.begin()
+        txn.get("t", 999)
+        txn.commit()
+        assert db.table("t").chain(999) is None
+
+    def test_read_is_repeatable_within_snapshot(self, db):
+        reader = db.begin("si")
+        first = reader.read("t", 1)
+        writer = db.begin("si")
+        writer.write("t", 1, "changed")
+        writer.commit()
+        assert reader.read("t", 1) == first
+        reader.commit()
+
+    def test_reads_of_tombstoned_then_reinserted_key(self, db):
+        t1 = db.begin("si")
+        t1.delete("t", 1)
+        t1.commit()
+        t2 = db.begin("si")
+        t2.insert("t", 1, "reborn")
+        t2.commit()
+        assert db.begin("si").read("t", 1) == "reborn"
+
+
+class TestReadForUpdate:
+    def test_missing_key_raises_after_locking(self, db):
+        txn = db.begin()
+        with pytest.raises(KeyNotFoundError):
+            txn.read_for_update("t", 404)
+        # the lock is held regardless — a later insert by others waits
+        other = db.begin()
+        with pytest.raises(LockWaitRequired):
+            db.insert(other, "t", 404, "x")
+        txn.abort()
+        other.abort()
+
+    def test_promotion_conflict_semantics(self, db):
+        """Oracle-style SELECT FOR UPDATE: a locking read of an item with
+        a newer version conflicts exactly like a write (Section 2.6.2)."""
+        reader = db.begin("si")
+        reader.read("t", 2)  # snapshot fixed
+        writer = db.begin("si")
+        writer.write("t", 1, "w")
+        writer.commit()
+        with pytest.raises(UpdateConflictError):
+            reader.read_for_update("t", 1)
+        assert reader.is_aborted
+
+    def test_locking_read_blocks_other_writers(self, db):
+        locker = db.begin("si")
+        assert locker.read_for_update("t", 1) == "a"
+        other = db.begin("si")
+        with pytest.raises(LockWaitRequired):
+            db.write(other, "t", 1, "x")
+        locker.commit()
+        other.abort()
+
+    def test_read_for_update_sees_own_write(self, db):
+        txn = db.begin()
+        txn.write("t", 1, "mine")
+        assert txn.read_for_update("t", 1) == "mine"
+        txn.commit()
+
+
+class TestSsiReadDetection:
+    def test_read_of_absent_key_future_insert_detected(self, db):
+        """Reading a key that doesn't exist and later gets created by a
+        concurrent transaction is an anti-dependency (gap semantics)."""
+        reader = db.begin("ssi")
+        assert reader.get("t", 50) is None
+        inserter = db.begin("ssi")
+        marked_before = db.tracker.stats["marked"]
+        inserter.insert("t", 50, "new")
+        # the reader's record SIREAD on key 50 catches the insert
+        assert db.tracker.stats["marked"] > marked_before
+        inserter.commit()
+        reader.commit()

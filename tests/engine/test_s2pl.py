@@ -1,0 +1,162 @@
+"""Strict two-phase locking engine tests (paper Section 2.2.1)."""
+
+import pytest
+
+from repro import Database, DeadlockError, EngineConfig
+from repro.engine.config import DeadlockMode
+from repro.errors import LockWaitRequired
+from repro.locking.manager import RequestState
+from repro.sgt.checker import check_serializable
+
+from tests.conftest import fill
+
+
+class TestBlockingReads:
+    def test_reader_blocks_behind_writer(self, db):
+        fill(db, "t", {1: "a"})
+        writer = db.begin("s2pl")
+        writer.write("t", 1, "b")
+        reader = db.begin("s2pl")
+        with pytest.raises(LockWaitRequired) as wait:
+            db.read(reader, "t", 1)
+        writer.commit()
+        assert wait.value.request.state is RequestState.GRANTED
+        # S2PL reads current state: sees the committed value.
+        assert db.read(reader, "t", 1) == "b"
+        reader.commit()
+
+    def test_writer_blocks_behind_reader(self, db):
+        fill(db, "t", {1: "a"})
+        reader = db.begin("s2pl")
+        assert reader.read("t", 1) == "a"
+        writer = db.begin("s2pl")
+        with pytest.raises(LockWaitRequired):
+            db.write(writer, "t", 1, "b")
+        reader.commit()  # releases the shared lock
+        db.write(writer, "t", 1, "b")
+        writer.commit()
+
+    def test_shared_readers_coexist(self, db):
+        fill(db, "t", {1: "a"})
+        r1, r2, r3 = (db.begin("s2pl") for _ in range(3))
+        assert all(txn.read("t", 1) == "a" for txn in (r1, r2, r3))
+        for txn in (r1, r2, r3):
+            txn.commit()
+
+    def test_repeatable_reads(self, db):
+        fill(db, "t", {1: "a"})
+        reader = db.begin("s2pl")
+        assert reader.read("t", 1) == "a"
+        writer = db.begin("s2pl")
+        with pytest.raises(LockWaitRequired):
+            db.write(writer, "t", 1, "b")  # blocked: repeatability holds
+        assert reader.read("t", 1) == "a"
+        reader.commit()
+        writer.abort()
+
+
+class TestDeadlocks:
+    def test_immediate_detection_aborts_requester(self, db):
+        fill(db, "t", {"a": 1, "b": 2})
+        t1 = db.begin("s2pl")
+        t2 = db.begin("s2pl")
+        t1.write("t", "a", 10)
+        t2.write("t", "b", 20)
+        with pytest.raises(LockWaitRequired):
+            db.write(t1, "t", "b", 11)  # t1 waits for t2
+        with pytest.raises(DeadlockError):
+            db.write(t2, "t", "a", 21)  # closes the cycle
+        assert t2.is_aborted
+        assert db.stats["aborts"]["deadlock"] == 1
+        # t1's wait resolves once t2 aborted.
+        db.write(t1, "t", "b", 11)
+        t1.commit()
+
+    def test_periodic_sweep_dooms_victim(self):
+        db = Database(EngineConfig(deadlock_mode=DeadlockMode.PERIODIC))
+        fill(db, "t", {"a": 1, "b": 2})
+        t1 = db.begin("s2pl")
+        t2 = db.begin("s2pl")
+        t1.write("t", "a", 10)
+        t2.write("t", "b", 20)
+        with pytest.raises(LockWaitRequired):
+            db.write(t1, "t", "b", 11)
+        with pytest.raises(LockWaitRequired):
+            db.write(t2, "t", "a", 21)
+        victims = db.sweep_deadlocks()
+        assert len(victims) == 1
+        victim = victims[0]
+        assert victim.doom_error is not None
+
+
+class TestNextKeyLocking:
+    def test_scan_blocks_insert_into_range(self, db):
+        fill(db, "t", {10: "a", 20: "b"})
+        scanner = db.begin("s2pl")
+        assert len(scanner.scan("t", 0, 30)) == 2
+        inserter = db.begin("s2pl")
+        with pytest.raises(LockWaitRequired):
+            db.insert(inserter, "t", 15, "phantom")
+        scanner.commit()
+        db.insert(inserter, "t", 15, "phantom")
+        inserter.commit()
+
+    def test_insert_blocks_scan_over_gap(self, db):
+        fill(db, "t", {10: "a", 20: "b"})
+        inserter = db.begin("s2pl")
+        inserter.insert("t", 15, "x")
+        scanner = db.begin("s2pl")
+        with pytest.raises(LockWaitRequired):
+            db.scan(scanner, "t", 0, 30)
+        inserter.commit()
+        rows = scanner.scan("t", 0, 30)
+        assert [key for key, _value in rows] == [10, 15, 20]
+        scanner.commit()
+
+    def test_insert_past_table_end_blocked_by_open_scan(self, db):
+        fill(db, "t", {10: "a"})
+        scanner = db.begin("s2pl")
+        scanner.scan("t")  # open-ended: supremum gap locked
+        inserter = db.begin("s2pl")
+        with pytest.raises(LockWaitRequired):
+            db.insert(inserter, "t", 99, "x")
+        scanner.commit()
+        inserter.abort()
+
+    def test_inserts_into_disjoint_gaps_do_not_block(self, db):
+        fill(db, "t", {10: "a", 20: "b", 30: "c"})
+        t1 = db.begin("s2pl")
+        t2 = db.begin("s2pl")
+        t1.insert("t", 15, "x")  # gap before 20
+        t2.insert("t", 25, "y")  # gap before 30
+        t1.commit()
+        t2.commit()
+
+    def test_concurrent_inserts_same_gap_do_not_block(self, db):
+        """Insert-intention locks are mutually compatible."""
+        fill(db, "t", {10: "a", 20: "b"})
+        t1 = db.begin("s2pl")
+        t2 = db.begin("s2pl")
+        t1.insert("t", 14, "x")
+        t2.insert("t", 16, "y")  # same gap, no block
+        t1.commit()
+        t2.commit()
+
+
+class TestSerializability:
+    def test_write_skew_impossible(self, db):
+        """The Example 2 interleaving cannot happen: the second reader
+        blocks behind the first writer."""
+        fill(db, "acct", {"x": 50, "y": 50})
+        t1 = db.begin("s2pl")
+        t2 = db.begin("s2pl")
+        t1.read("acct", "x")
+        t1.read("acct", "y")
+        t2.read("acct", "x")  # shared with t1's read: fine
+        with pytest.raises(LockWaitRequired):
+            # t1 cannot write x while t2 holds the shared lock...
+            db.write(t1, "acct", "x", -20)
+        t2.abort()
+        db.write(t1, "acct", "x", -20)
+        t1.commit()
+        assert check_serializable(db.history).serializable

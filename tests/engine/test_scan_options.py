@@ -1,0 +1,48 @@
+"""Scan ordering/limit options."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import LockWaitRequired
+
+from tests.conftest import fill
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig(record_history=True))
+    fill(database, "t", {i: f"v{i}" for i in range(10)})
+    return database
+
+
+def test_reverse_scan(db):
+    txn = db.begin()
+    rows = txn.scan("t", 2, 6, reverse=True)
+    assert [key for key, _ in rows] == [6, 5, 4, 3, 2]
+    txn.commit()
+
+
+def test_limit(db):
+    txn = db.begin()
+    assert [k for k, _ in txn.scan("t", limit=3)] == [0, 1, 2]
+    assert [k for k, _ in txn.scan("t", reverse=True, limit=2)] == [9, 8]
+    txn.commit()
+
+
+def test_reverse_limit_sees_own_writes(db):
+    txn = db.begin()
+    txn.insert("t", 99, "new")
+    assert txn.scan("t", reverse=True, limit=1) == [(99, "new")]
+    txn.abort()
+
+
+def test_limited_scan_still_locks_whole_range(db):
+    """The predicate covers the full range even when the result is
+    truncated, so phantom protection is unaffected."""
+    scanner = db.begin("s2pl")
+    scanner.scan("t", 0, 9, limit=1)
+    inserter = db.begin("s2pl")
+    with pytest.raises(LockWaitRequired):
+        db.insert(inserter, "t", 7, "phantom")  # deep inside the range
+    scanner.commit()
+    inserter.abort()

@@ -1,0 +1,175 @@
+"""Snapshot isolation semantics (paper Section 2.5).
+
+Interleavings are driven single-threaded through the engine primitives;
+lock waits surface as LockWaitRequired and are resolved explicitly, which
+keeps the tests deterministic.
+"""
+
+import pytest
+
+from repro import Database, EngineConfig, IsolationLevel, UpdateConflictError
+from repro.errors import LockWaitRequired
+from repro.locking.manager import RequestState
+
+from tests.conftest import fill
+
+
+class TestSnapshotReads:
+    def test_reader_does_not_see_later_commits(self, db):
+        fill(db, "t", {1: "old"})
+        reader = db.begin("si")
+        assert reader.read("t", 1) == "old"
+        writer = db.begin("si")
+        writer.write("t", 1, "new")
+        writer.commit()
+        assert reader.read("t", 1) == "old"  # snapshot stability
+        reader.commit()
+        assert db.begin("si").read("t", 1) == "new"
+
+    def test_no_inconsistent_reads_across_items(self, db):
+        """A snapshot never sees half of another transaction's update."""
+        fill(db, "t", {"x": 0, "y": 0})
+        writer = db.begin("si")
+        writer.write("t", "x", 1)
+        reader = db.begin("si")
+        assert reader.read("t", "x") == 0  # uncommitted write invisible
+        writer.write("t", "y", 1)
+        writer.commit()
+        # reader's snapshot predates the commit: both still 0.
+        assert reader.read("t", "x") == 0
+        assert reader.read("t", "y") == 0
+        reader.commit()
+
+    def test_snapshot_fixed_at_first_read_with_deferred_allocation(self, db):
+        fill(db, "t", {1: "v0"})
+        txn = db.begin("si")  # deferred: no snapshot yet
+        other = db.begin("si")
+        other.write("t", 1, "v1")
+        other.commit()
+        # First read allocates the snapshot *now*, so v1 is visible.
+        assert txn.read("t", 1) == "v1"
+        txn.commit()
+
+    def test_eager_snapshot_allocation(self):
+        db = Database(EngineConfig(deferred_snapshot=False))
+        fill(db, "t", {1: "v0"})
+        txn = db.begin("si")  # snapshot taken here
+        other = db.begin("si")
+        other.write("t", 1, "v1")
+        other.commit()
+        assert txn.read("t", 1) == "v0"
+        txn.commit()
+
+    def test_readers_never_block_on_writers(self, db):
+        fill(db, "t", {1: "a"})
+        writer = db.begin("si")
+        writer.write("t", 1, "b")  # holds the exclusive lock
+        reader = db.begin("si")
+        assert reader.read("t", 1) == "a"  # no LockWaitRequired surfaced
+        reader.commit()
+        writer.commit()
+
+
+class TestFirstCommitterWins:
+    def test_concurrent_update_conflict(self):
+        db = Database(EngineConfig(deferred_snapshot=False))
+        fill(db, "t", {1: 0})
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        t1.read("t", 1)
+        t2.read("t", 1)
+        t1.write("t", 1, 1)
+        t1.commit()
+        with pytest.raises(UpdateConflictError):
+            t2.write("t", 1, 2)
+        assert t2.is_aborted
+
+    def test_first_updater_blocks_then_aborts_loser(self, db):
+        fill(db, "t", {1: 0})
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        t1.read("t", 1)
+        t2.read("t", 1)  # snapshots now fixed
+        t1.write("t", 1, 1)
+        # t2 must wait for t1's exclusive lock.
+        with pytest.raises(LockWaitRequired) as wait:
+            db.write(t2, "t", 1, 2)
+        t1.commit()
+        assert wait.value.request.state is RequestState.GRANTED
+        # Retry after the grant: a newer version now exists -> conflict.
+        with pytest.raises(UpdateConflictError):
+            db.write(t2, "t", 1, 2)
+        assert t2.is_aborted
+
+    def test_winner_abort_lets_waiter_proceed(self, db):
+        fill(db, "t", {1: 0})
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        t1.read("t", 1)
+        t2.read("t", 1)
+        t1.write("t", 1, 1)
+        with pytest.raises(LockWaitRequired):
+            db.write(t2, "t", 1, 2)
+        t1.abort()  # no version installed
+        db.write(t2, "t", 1, 2)  # retry succeeds
+        t2.commit()
+        assert db.begin("si").read("t", 1) == 2
+
+    def test_deferred_snapshot_spares_single_statement_updates(self, db):
+        """Section 4.5: two concurrent increment transactions never abort
+        when the snapshot is chosen after the first lock."""
+        fill(db, "t", {1: 0})
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        value = t1.read_for_update("t", 1)
+        t1.write("t", 1, value + 1)
+        with pytest.raises(LockWaitRequired):
+            db.read_for_update(t2, "t", 1)
+        t1.commit()
+        # t2's snapshot is allocated only now -> sees t1's result, no FCW.
+        value2 = t2.read_for_update("t", 1)
+        assert value2 == 1
+        t2.write("t", 1, value2 + 1)
+        t2.commit()
+        assert db.begin("si").read("t", 1) == 2
+
+    def test_fcw_applies_to_inserts_over_tombstones(self):
+        db = Database(EngineConfig(deferred_snapshot=False))
+        fill(db, "t", {1: "a"})
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        t1.read("t", 1), t2.read("t", 1)
+        t1.delete("t", 1)
+        t1.commit()
+        with pytest.raises(UpdateConflictError):
+            t2.write("t", 1, "clobber")
+
+
+class TestWriteSkewAllowedAtSI:
+    def test_write_skew_commits_and_corrupts(self, db):
+        """Example 2: SI permits the anomaly — this is the behaviour the
+        paper's algorithm exists to remove."""
+        fill(db, "acct", {"x": 50, "y": 50})
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        assert t1.read("acct", "x") + t1.read("acct", "y") == 100
+        assert t2.read("acct", "x") + t2.read("acct", "y") == 100
+        t1.write("acct", "x", t1.read("acct", "x") - 70)
+        t2.write("acct", "y", t2.read("acct", "y") - 80)
+        t1.commit()
+        t2.commit()
+        check = db.begin("si")
+        assert check.read("acct", "x") + check.read("acct", "y") == -50
+
+    def test_phantom_skew_commits_at_si(self, db):
+        """Both transactions scan, see the other's row absent, and insert."""
+        db.create_table("oncall")
+        fill(db, "oncall", {("s1", "alice"): "on"})
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        assert len(t1.scan("oncall")) == 1
+        assert len(t2.scan("oncall")) == 1
+        t1.insert("oncall", ("s1", "bob"), "off")
+        t2.insert("oncall", ("s1", "carol"), "off")
+        t1.commit()
+        t2.commit()  # SI: no gap locking, both commit

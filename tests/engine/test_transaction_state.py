@@ -1,0 +1,100 @@
+"""Transaction-object state machinery: overlaps, properties, repr."""
+
+import pytest
+
+from repro import Database, EngineConfig, TransactionStatus
+
+from tests.conftest import fill
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    fill(database, "t", {1: "a"})
+    return database
+
+
+def test_status_transitions(db):
+    txn = db.begin()
+    assert txn.is_active and not txn.is_committed and not txn.is_aborted
+    txn.commit()
+    assert txn.is_committed and not txn.is_active
+    other = db.begin()
+    other.abort()
+    assert other.is_aborted
+
+
+def test_read_ts_none_until_first_op_with_deferred_snapshot(db):
+    txn = db.begin("si")
+    assert txn.read_ts is None
+    assert txn.begin_ts == txn.begin_seq  # falls back to begin order
+    txn.read("t", 1)
+    assert txn.read_ts is not None
+    assert txn.begin_ts == txn.read_ts
+    txn.commit()
+
+
+def test_s2pl_never_gets_snapshot(db):
+    txn = db.begin("s2pl")
+    txn.read("t", 1)
+    assert txn.snapshot is None
+    txn.commit()
+
+
+class TestOverlaps:
+    def test_concurrent_snapshots_overlap(self, db):
+        t1 = db.begin("si")
+        t2 = db.begin("si")
+        t1.read("t", 1)
+        t2.read("t", 1)
+        assert t1.overlaps(t2) and t2.overlaps(t1)
+        t1.commit()
+        t2.commit()
+
+    def test_sequential_transactions_do_not_overlap(self, db):
+        t1 = db.begin("si")
+        t1.read("t", 1)
+        t1.commit()
+        t2 = db.begin("si")
+        t2.read("t", 1)
+        assert not t2.overlaps(t1)
+        assert not t1.overlaps(t2)
+        t2.commit()
+
+    def test_active_spanning_commit_overlaps(self, db):
+        t1 = db.begin("si")
+        t1.read("t", 1)
+        t2 = db.begin("si")
+        t2.read("t", 1)
+        t1.commit()
+        assert t2.overlaps(t1)
+        t2.commit()
+
+
+def test_repr_mentions_state(db):
+    txn = db.begin("ssi")
+    assert "ssi" in repr(txn) and "active" in repr(txn)
+    txn.commit()
+    assert "committed" in repr(txn)
+
+
+def test_commit_ts_ordering(db):
+    stamps = []
+    for _round in range(3):
+        txn = db.begin()
+        txn.write("t", 1, _round)
+        txn.commit()
+        stamps.append(txn.commit_ts)
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 3
+
+
+def test_suspended_flag_visible(db):
+    pin = db.begin("ssi")
+    pin.read("t", 1)
+    reader = db.begin("ssi")
+    reader.read("t", 1)
+    reader.commit()
+    assert reader.suspended
+    pin.commit()
+    assert not reader.suspended

@@ -1,0 +1,64 @@
+"""The examples are part of the public contract: each must run cleanly
+and demonstrate what its docstring promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart_shows_the_contrast():
+    out = run_example("quickstart.py")
+    assert "constraint violated" in out          # SI breaks the invariant
+    assert "aborted (unsafe)" in out             # SSI prevents it
+
+
+def test_doctors_example_invariant_outcomes():
+    out = run_example("doctors_on_call.py")
+    assert "VIOLATED" in out                     # under snapshot isolation
+    assert out.count("OK") >= 1                  # under Serializable SI
+
+
+def test_credit_check_example():
+    out = run_example("credit_check.py")
+    assert "credit check committed BC" in out    # the SI anomaly
+    assert "unsafe" in out                       # SSI intercepts
+
+
+def test_durability_example():
+    out = run_example("durability.py")
+    assert "CRASH!" in out
+    assert "recovered state" in out
+
+
+def test_history_oracle_example():
+    out = run_example("history_oracle.py")
+    assert "NON-SERIALIZABLE" in out
+    assert "digraph MVSG" in out
+
+
+def test_reproduce_figure_listing():
+    out = run_example("reproduce_figure.py", "--list", timeout=60)
+    assert "fig6.1" in out and "fig6.18" in out
+
+
+@pytest.mark.slow
+def test_smallbank_analysis_example():
+    out = run_example("smallbank_analysis.py", timeout=240)
+    assert "pivots: ['WC']" in out
+    assert "promote WC->TS" in out
+    assert "throughput" in out

@@ -1,0 +1,223 @@
+"""Exhaustive interleaving validation — the paper's Section 4.7 harness.
+
+Two transaction sets are exercised through *every* interleaving:
+
+* the Section 4.7 test set (T1: r(x); T2: r(y) w(x); T3: w(y)) — two
+  consecutive rw edges but no closing cycle, so every execution is
+  serializable; SI commits all interleavings, Serializable SI
+  conservatively aborts the concurrent ones (exactly the paper's
+  observation);
+* the Example 3 read-only-anomaly set (Tin: r(x) r(z); Tpivot: r(y) w(x);
+  Tout: w(y) w(z)) — genuinely non-serializable interleavings exist,
+  which SI lets through and SSI must intercept.
+"""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.sgt.checker import check_serializable
+from repro.sim.interleave import all_interleavings, run_interleaving
+from repro.sim.ops import Read, Write
+
+
+def three_txn_setup(db):
+    db.create_table("t")
+    db.load("t", [("x", 0), ("y", 0), ("z", 0)])
+
+
+# --- Section 4.7 test set ------------------------------------------------
+
+
+def s47_t1():
+    yield Read("t", "x")
+
+
+def s47_t2():
+    yield Read("t", "y")
+    yield Write("t", "x", 2)
+
+
+def s47_t3():
+    yield Write("t", "y", 3)
+
+
+S47_PROGRAMS = (s47_t1, s47_t2, s47_t3)
+S47_STEPS = [2, 3, 2]  # yields + commit
+
+
+# --- Example 3 (read-only anomaly) set -----------------------------------
+
+
+def ex3_tin():
+    yield Read("t", "x")
+    yield Read("t", "z")
+
+
+def ex3_tpivot():
+    yield Read("t", "y")
+    yield Write("t", "x", 5)
+
+
+def ex3_tout():
+    yield Write("t", "y", 10)
+    yield Write("t", "z", 10)
+
+
+EX3_PROGRAMS = (ex3_tin, ex3_tpivot, ex3_tout)
+EX3_STEPS = [3, 3, 3]
+
+
+@pytest.mark.parametrize("precise", [True, False], ids=["enhanced", "basic"])
+def test_section_4_7_set_under_ssi(precise):
+    orders = list(all_interleavings(S47_STEPS))
+    assert len(orders) == 210
+    unsafe_seen = 0
+    for order in orders:
+        outcome = run_interleaving(
+            three_txn_setup,
+            list(S47_PROGRAMS),
+            order,
+            isolation="ssi",
+            engine_config=EngineConfig(record_history=True, precise_conflicts=precise),
+        )
+        report = check_serializable(outcome.db.history)
+        assert report.serializable, (
+            f"order {order} produced a non-serializable SSI execution:\n"
+            + report.describe()
+        )
+        if "unsafe" in outcome.statuses.values():
+            unsafe_seen += 1
+    # The concurrent interleavings trip the conservative detector.
+    assert unsafe_seen > 0
+
+
+def test_section_4_7_set_si_commits_everything():
+    """Matches the paper: 'all interleavings committed without error at
+    SI' — the set has no cycle, only the dangerous two-edge prefix."""
+    for order in all_interleavings(S47_STEPS):
+        outcome = run_interleaving(
+            three_txn_setup,
+            list(S47_PROGRAMS),
+            order,
+            isolation="si",
+            engine_config=EngineConfig(record_history=True),
+        )
+        assert outcome.all_committed
+        assert check_serializable(outcome.db.history).serializable
+
+
+def test_example_3_set_si_exhibits_anomalies():
+    non_serializable = 0
+    for order in all_interleavings(EX3_STEPS):
+        outcome = run_interleaving(
+            three_txn_setup,
+            list(EX3_PROGRAMS),
+            order,
+            isolation="si",
+            engine_config=EngineConfig(record_history=True),
+        )
+        assert "unsafe" not in outcome.statuses.values()
+        if not check_serializable(outcome.db.history).serializable:
+            non_serializable += 1
+    assert non_serializable > 0
+
+
+def test_example_3_set_ssi_always_serializable():
+    unsafe_seen = 0
+    for order in all_interleavings(EX3_STEPS):
+        outcome = run_interleaving(
+            three_txn_setup,
+            list(EX3_PROGRAMS),
+            order,
+            isolation="ssi",
+            engine_config=EngineConfig(record_history=True),
+        )
+        report = check_serializable(outcome.db.history)
+        assert report.serializable, (
+            f"order {order}: non-serializable SSI execution\n" + report.describe()
+        )
+        if "unsafe" in outcome.statuses.values():
+            unsafe_seen += 1
+    assert unsafe_seen > 0
+
+
+def test_s2pl_every_interleaving_serializable():
+    for order in all_interleavings(S47_STEPS):
+        outcome = run_interleaving(
+            three_txn_setup,
+            list(S47_PROGRAMS),
+            order,
+            isolation="s2pl",
+            engine_config=EngineConfig(record_history=True),
+        )
+        assert check_serializable(outcome.db.history).serializable
+
+
+def test_sgt_aborts_at_most_as_often_as_ssi():
+    """SGT tests true cycles only; on the cycle-free Section 4.7 set it
+    must commit every interleaving, while SSI aborts some."""
+    ssi_aborts = sgt_aborts = 0
+    for order in all_interleavings(S47_STEPS):
+        for isolation in ("ssi", "sgt"):
+            outcome = run_interleaving(
+                three_txn_setup,
+                list(S47_PROGRAMS),
+                order,
+                isolation=isolation,
+                engine_config=EngineConfig(record_history=True),
+            )
+            assert check_serializable(outcome.db.history).serializable
+            aborted = sum(
+                1 for status in outcome.statuses.values() if status != "committed"
+            )
+            if isolation == "ssi":
+                ssi_aborts += aborted
+            else:
+                sgt_aborts += aborted
+    assert sgt_aborts == 0, "no real cycle exists in this set"
+    assert ssi_aborts > 0, "the conservative detector fires on this set"
+
+
+# --- Example 2 write-skew invariant --------------------------------------
+
+
+def write_skew_setup(db):
+    db.create_table("acct")
+    db.load("acct", [("x", 50), ("y", 50)])
+
+
+def withdraw_x():
+    x = yield Read("acct", "x")
+    y = yield Read("acct", "y")
+    if x + y > 60:
+        yield Write("acct", "x", x - 60)
+
+
+def withdraw_y():
+    x = yield Read("acct", "x")
+    y = yield Read("acct", "y")
+    if x + y > 60:
+        yield Write("acct", "y", y - 60)
+
+
+def _invariant_violations(isolation):
+    violations = 0
+    for order in all_interleavings([4, 4]):
+        outcome = run_interleaving(
+            write_skew_setup, [withdraw_x, withdraw_y], order, isolation=isolation
+        )
+        check = outcome.db.begin("si")
+        total = check.read("acct", "x") + check.read("acct", "y")
+        check.commit()
+        if total <= 0:
+            violations += 1
+    return violations
+
+
+def test_write_skew_invariant_exhaustive_ssi():
+    """x + y > 0 must hold after every SSI interleaving (Example 2)."""
+    assert _invariant_violations("ssi") == 0
+
+
+def test_write_skew_invariant_violated_under_si():
+    assert _invariant_violations("si") > 0

@@ -1,0 +1,130 @@
+"""Real-thread integration tests.
+
+The public Transaction API blocks the calling thread on lock waits; these
+tests drive genuinely concurrent clients (actual threads, GIL
+notwithstanding — lock waits and wakeups are real) and check liveness and
+serializability end to end.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.engine.config import DeadlockMode
+from repro.errors import ConstraintError, TransactionAbortedError
+from repro.sgt.checker import check_serializable
+
+from tests.conftest import fill
+
+
+def run_clients(db, client_fn, n_threads=4, iterations=25):
+    errors = []
+    counters = {"commits": 0, "aborts": 0}
+    lock = threading.Lock()
+
+    def loop(index):
+        rng = random.Random(index)
+        for _round in range(iterations):
+            try:
+                client_fn(rng)
+                with lock:
+                    counters["commits"] += 1
+            except (TransactionAbortedError, ConstraintError):
+                with lock:
+                    counters["aborts"] += 1
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+                raise
+
+    threads = [threading.Thread(target=loop, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "client thread hung"
+    assert not errors
+    return counters
+
+
+@pytest.mark.parametrize("level", ["si", "ssi", "s2pl", "sgt"])
+def test_concurrent_counter_increments_are_exact(level):
+    db = Database(EngineConfig())
+    fill(db, "c", {0: 0})
+
+    def client(rng):
+        txn = db.begin(level)
+        try:
+            value = txn.read_for_update("c", 0)
+            txn.write("c", 0, value + 1)
+            txn.commit()
+        except TransactionAbortedError:
+            raise
+
+    counters = run_clients(db, client, n_threads=4, iterations=20)
+    final = db.begin("si")
+    assert final.read("c", 0) == counters["commits"]
+    final.commit()
+    assert counters["commits"] > 0
+
+
+def test_threaded_smallbank_ssi_serializable():
+    from repro.sim.direct import run_program
+    from repro.workloads.smallbank import make_smallbank
+
+    db = Database(EngineConfig(record_history=True))
+    workload = make_smallbank(customers=8)
+    workload.setup(db)
+
+    def client(rng):
+        _name, program = workload.next_transaction(rng)
+        run_program(db, program, isolation="ssi")
+
+    counters = run_clients(db, client, n_threads=4, iterations=20)
+    assert counters["commits"] > 0
+    report = check_serializable(db.history)
+    assert report.serializable, report.describe()
+
+
+def test_threaded_write_skew_invariant_held_under_ssi():
+    db = Database(EngineConfig())
+    fill(db, "acct", {"x": 60, "y": 60})
+
+    def client(rng):
+        account = "x" if rng.random() < 0.5 else "y"
+        txn = db.begin("ssi")
+        try:
+            total = txn.read("acct", "x") + txn.read("acct", "y")
+            if total - 50 >= 0:
+                txn.write("acct", account, txn.read("acct", account) - 50)
+                txn.commit()
+            else:
+                txn.abort()
+                raise ConstraintError("insufficient funds")
+        except TransactionAbortedError:
+            raise
+
+    run_clients(db, client, n_threads=4, iterations=15)
+    final = db.begin("si")
+    assert final.read("acct", "x") + final.read("acct", "y") >= 0
+    final.commit()
+
+
+def test_threaded_deadlocks_resolved_by_periodic_sweep():
+    db = Database(EngineConfig(deadlock_mode=DeadlockMode.PERIODIC))
+    fill(db, "t", {"a": 0, "b": 0})
+
+    def client(rng):
+        first, second = ("a", "b") if rng.random() < 0.5 else ("b", "a")
+        txn = db.begin("s2pl")
+        try:
+            txn.write("t", first, 1)
+            txn.write("t", second, 1)
+            txn.commit()
+        except TransactionAbortedError:
+            raise
+
+    counters = run_clients(db, client, n_threads=4, iterations=10)
+    # Liveness is the point: every thread finished; some work committed.
+    assert counters["commits"] > 0

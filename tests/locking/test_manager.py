@@ -1,0 +1,197 @@
+"""Lock manager unit tests: grants, queuing, upgrades, SIREAD handling."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.locking.manager import (
+    AcquireStatus,
+    LockManager,
+    RequestState,
+    gap_resource,
+    record_resource,
+)
+from repro.locking.modes import LockMode
+
+S, X, SIREAD = LockMode.SHARED, LockMode.EXCLUSIVE, LockMode.SIREAD
+
+
+@dataclass
+class Owner:
+    id: int
+    begin_ts: int = 0
+
+
+@pytest.fixture
+def lm():
+    return LockManager()
+
+
+@pytest.fixture
+def owners():
+    return [Owner(i, begin_ts=i) for i in range(8)]
+
+
+R = record_resource("t", "k")
+R2 = record_resource("t", "k2")
+
+
+class TestBasicGrants:
+    def test_fresh_grant(self, lm, owners):
+        result = lm.acquire(owners[0], R, X)
+        assert result.granted
+        assert lm.holds(owners[0], R, X)
+
+    def test_shared_coexist(self, lm, owners):
+        assert lm.acquire(owners[0], R, S).granted
+        assert lm.acquire(owners[1], R, S).granted
+        assert len(lm.locks_on(R)) == 2
+
+    def test_exclusive_blocks_shared(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        result = lm.acquire(owners[1], R, S)
+        assert result.status is AcquireStatus.WAIT
+        assert result.request.state is RequestState.WAITING
+
+    def test_idempotent_reacquire(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        again = lm.acquire(owners[0], R, X)
+        assert again.granted
+        assert len(lm.locks_on(R)) == 1
+
+    def test_weaker_request_noop_when_stronger_held(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        assert lm.acquire(owners[0], R, S).granted
+        assert lm.holds(owners[0], R, X)  # still exclusive
+
+
+class TestFifoAndPromotion:
+    def test_release_promotes_in_fifo_order(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        wait1 = lm.acquire(owners[1], R, X).request
+        wait2 = lm.acquire(owners[2], R, X).request
+        lm.release_all(owners[0])
+        assert wait1.state is RequestState.GRANTED
+        assert wait2.state is RequestState.WAITING
+        lm.release_all(owners[1])
+        assert wait2.state is RequestState.GRANTED
+
+    def test_release_grants_all_compatible_waiters(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        waits = [lm.acquire(owners[i], R, S).request for i in (1, 2, 3)]
+        lm.release_all(owners[0])
+        assert all(w.state is RequestState.GRANTED for w in waits)
+
+    def test_fresh_shared_queues_behind_waiting_exclusive(self, lm, owners):
+        lm.acquire(owners[0], R, S)
+        blocked_x = lm.acquire(owners[1], R, X)
+        assert blocked_x.status is AcquireStatus.WAIT
+        # FIFO fairness: a later SHARED must not starve the writer.
+        late_s = lm.acquire(owners[2], R, S)
+        assert late_s.status is AcquireStatus.WAIT
+
+    def test_cancel_waits_unblocks_queue(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        first = lm.acquire(owners[1], R, X).request
+        second = lm.acquire(owners[2], R, X).request
+        error = RuntimeError("doomed")
+        lm.cancel_waits(owners[1], error)
+        assert first.state is RequestState.DENIED
+        assert first.error is error
+        lm.release_all(owners[0])
+        assert second.state is RequestState.GRANTED
+
+
+class TestUpgrades:
+    def test_shared_to_exclusive_upgrade_when_alone(self, lm, owners):
+        lm.acquire(owners[0], R, S)
+        result = lm.acquire(owners[0], R, X)
+        assert result.granted
+        assert lm.holds(owners[0], R, X)
+        assert len(lm.locks_on(R)) == 1
+
+    def test_upgrade_waits_for_other_shared(self, lm, owners):
+        lm.acquire(owners[0], R, S)
+        lm.acquire(owners[1], R, S)
+        result = lm.acquire(owners[0], R, X)
+        assert result.status is AcquireStatus.WAIT
+        lm.release_all(owners[1])
+        assert result.request.state is RequestState.GRANTED
+        assert lm.holds(owners[0], R, X)
+
+    def test_upgrader_jumps_plain_queue(self, lm, owners):
+        lm.acquire(owners[0], R, S)
+        lm.acquire(owners[1], R, S)
+        plain = lm.acquire(owners[2], R, X).request
+        upgrade = lm.acquire(owners[1], R, X).request
+        lm.release_all(owners[0])
+        assert upgrade.state is RequestState.GRANTED
+        assert plain.state is RequestState.WAITING
+
+
+class TestSiread:
+    def test_siread_never_waits_even_under_exclusive(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        result = lm.acquire(owners[1], R, SIREAD)
+        assert result.granted
+        # ... and reports the exclusive holder for conflict marking.
+        assert [l.owner_id for l in result.detection_conflicts] == [0]
+
+    def test_exclusive_ignores_siread_but_reports_it(self, lm, owners):
+        lm.acquire(owners[0], R, SIREAD)
+        result = lm.acquire(owners[1], R, X)
+        assert result.granted
+        assert [l.owner_id for l in result.detection_conflicts] == [0]
+
+    def test_release_keep_siread(self, lm, owners):
+        lm.acquire(owners[0], R, SIREAD)
+        lm.acquire(owners[0], R2, X)
+        lm.release_all(owners[0], keep_siread=True)
+        assert lm.holds(owners[0], R, SIREAD)
+        assert not lm.holds(owners[0], R2)
+        assert lm.holds_any_siread(owners[0])
+
+    def test_drop_siread_locks(self, lm, owners):
+        lm.acquire(owners[0], R, SIREAD)
+        lm.acquire(owners[0], R2, SIREAD)
+        assert lm.drop_siread_locks(owners[0]) == 2
+        assert not lm.holds_any_siread(owners[0])
+        assert lm.table_size() == 0
+
+    def test_siread_upgraded_to_exclusive_is_not_kept(self, lm, owners):
+        # Section 3.7.3: read-modify-write keeps only the EXCLUSIVE lock.
+        lm.acquire(owners[0], R, SIREAD)
+        result = lm.acquire(owners[0], R, X)
+        assert result.granted
+        assert lm.holds(owners[0], R, X)
+        lm.release_all(owners[0], keep_siread=True)
+        assert not lm.holds(owners[0], R)
+
+    def test_multiple_sireads_on_one_item(self, lm, owners):
+        for i in range(4):
+            assert lm.acquire(owners[i], R, SIREAD).granted
+        assert len(lm.locks_on(R)) == 4
+
+
+class TestResources:
+    def test_gap_and_record_are_distinct(self, lm, owners):
+        lm.acquire(owners[0], record_resource("t", 5), X)
+        # A gap lock on the same key does not conflict with the record
+        # lock: "a lock on the gap just before x ... does not conflict
+        # with locks on item x itself" (Section 2.5.2).
+        result = lm.acquire(owners[1], gap_resource("t", 5), X)
+        assert result.granted
+
+    def test_table_size_counts_granted(self, lm, owners):
+        lm.acquire(owners[0], R, S)
+        lm.acquire(owners[1], R, S)
+        lm.acquire(owners[0], R2, X)
+        assert lm.table_size() == 3
+
+
+class TestStats:
+    def test_wait_and_acquire_counters(self, lm, owners):
+        lm.acquire(owners[0], R, X)
+        lm.acquire(owners[1], R, X)
+        assert lm.stats["acquires"] == 2
+        assert lm.stats["waits"] == 1

@@ -1,0 +1,40 @@
+"""Snapshot (read view) unit tests."""
+
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.version import TOMBSTONE, Version, VersionChain
+
+
+def make_chain():
+    chain = VersionChain()
+    chain.install(Version("v1", 2, 1))
+    chain.install(Version("v2", 7, 2))
+    return chain
+
+
+def test_snapshot_sees_versions_at_or_before_read_ts():
+    chain = make_chain()
+    assert Snapshot(1).visible(chain) is None
+    assert Snapshot(2).visible(chain).value == "v1"
+    assert Snapshot(6).visible(chain).value == "v1"
+    assert Snapshot(7).visible(chain).value == "v2"
+
+
+def test_ignored_versions_lists_newer_commits():
+    chain = make_chain()
+    assert [v.value for v in Snapshot(2).ignored_versions(chain)] == ["v2"]
+    assert Snapshot(7).ignored_versions(chain) == []
+
+
+def test_sees_commit_ts():
+    snapshot = Snapshot(5)
+    assert snapshot.sees(5)
+    assert snapshot.sees(1)
+    assert not snapshot.sees(6)
+
+
+def test_snapshot_over_tombstone():
+    chain = make_chain()
+    chain.install(Version(TOMBSTONE, 9, 3))
+    visible = Snapshot(10).visible(chain)
+    assert visible.is_tombstone
+    assert Snapshot(8).visible(chain).value == "v2"

@@ -1,0 +1,85 @@
+"""VersionChain unit tests: visibility, ordering, tombstones, pruning."""
+
+import pytest
+
+from repro.mvcc.version import TOMBSTONE, Version, VersionChain
+
+
+def chain_of(*specs):
+    """Build a chain from (value, commit_ts, creator) tuples, oldest first."""
+    chain = VersionChain()
+    for value, ts, creator in specs:
+        chain.install(Version(value=value, commit_ts=ts, creator_id=creator))
+    return chain
+
+
+class TestInstall:
+    def test_install_orders_newest_first(self):
+        chain = chain_of(("a", 1, 10), ("b", 5, 11), ("c", 9, 12))
+        assert [v.commit_ts for v in chain] == [9, 5, 1]
+
+    def test_out_of_order_install_rejected(self):
+        chain = chain_of(("a", 5, 1))
+        with pytest.raises(ValueError):
+            chain.install(Version("b", 5, 2))
+        with pytest.raises(ValueError):
+            chain.install(Version("b", 3, 2))
+
+
+class TestVisibility:
+    def test_visible_picks_newest_at_or_before(self):
+        chain = chain_of(("a", 1, 1), ("b", 5, 2), ("c", 9, 3))
+        assert chain.visible(0) is None
+        assert chain.visible(1).value == "a"
+        assert chain.visible(4).value == "a"
+        assert chain.visible(5).value == "b"
+        assert chain.visible(100).value == "c"
+
+    def test_visible_tombstone_is_returned_not_hidden(self):
+        chain = chain_of(("a", 1, 1), (TOMBSTONE, 5, 2))
+        version = chain.visible(6)
+        assert version is not None and version.is_tombstone
+        assert chain.visible(3).value == "a"
+
+    def test_newer_than_yields_ignored_versions(self):
+        chain = chain_of(("a", 1, 1), ("b", 5, 2), ("c", 9, 3))
+        assert [v.commit_ts for v in chain.newer_than(1)] == [9, 5]
+        assert [v.commit_ts for v in chain.newer_than(9)] == []
+        assert [v.commit_ts for v in chain.newer_than(0)] == [9, 5, 1]
+
+    def test_latest(self):
+        assert VersionChain().latest() is None
+        chain = chain_of(("a", 1, 1), ("b", 5, 2))
+        assert chain.latest().value == "b"
+
+
+class TestPrune:
+    def test_prune_keeps_visible_version(self):
+        chain = chain_of(("a", 1, 1), ("b", 5, 2), ("c", 9, 3))
+        removed = chain.prune(horizon_ts=6)
+        assert removed == 1  # "a" dropped; "b" still visible at 6
+        assert chain.visible(6).value == "b"
+        assert chain.visible(100).value == "c"
+
+    def test_prune_keeps_everything_when_horizon_precedes_all(self):
+        chain = chain_of(("a", 5, 1), ("b", 9, 2))
+        assert chain.prune(horizon_ts=1) == 0
+        assert len(chain) == 2
+
+    def test_prune_reclaims_sole_tombstone(self):
+        chain = chain_of(("a", 1, 1), (TOMBSTONE, 5, 2))
+        removed = chain.prune(horizon_ts=10)
+        # "a" removed, then the tombstone itself (nothing left to shadow).
+        assert removed == 2
+        assert len(chain) == 0
+
+    def test_prune_keeps_tombstone_while_older_version_readable(self):
+        chain = chain_of(("a", 1, 1), (TOMBSTONE, 5, 2))
+        chain.prune(horizon_ts=3)  # a still visible at 3
+        assert len(chain) == 2
+
+
+def test_version_is_tombstone_flag():
+    assert Version(TOMBSTONE, 1, 1).is_tombstone
+    assert not Version(None, 1, 1).is_tombstone
+    assert not Version(0, 1, 1).is_tombstone

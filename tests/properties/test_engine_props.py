@@ -1,0 +1,177 @@
+"""Property-based engine tests.
+
+Two families of invariants:
+
+* a **sequential** transaction stream must behave exactly like a plain
+  dict, at every isolation level;
+* **randomly interleaved** transaction programs must never produce a
+  non-serializable committed history under SSI / S2PL / SGT (checked with
+  the MVSG oracle), while committed SI histories must still satisfy the
+  per-transaction snapshot rules the engine promises.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import (
+    ConstraintError,
+    KeyNotFoundError,
+    DuplicateKeyError,
+    LockWaitRequired,
+    TransactionAbortedError,
+)
+from repro.sgt.checker import check_serializable
+from repro.sim.interleave import run_interleaving
+from repro.sim.ops import Delete, Get, Insert, Read, Scan, Write
+
+KEYS = st.integers(min_value=0, max_value=6)
+LEVELS = st.sampled_from(["si", "ssi", "s2pl", "sgt"])
+
+seq_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), KEYS, st.integers(0, 99)),
+        st.tuples(st.just("insert"), KEYS, st.integers(0, 99)),
+        st.tuples(st.just("delete"), KEYS, st.just(0)),
+        st.tuples(st.just("read"), KEYS, st.just(0)),
+        st.tuples(st.just("commit_point"), st.just(0), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+@given(ops=seq_ops, level=LEVELS)
+@settings(max_examples=80, deadline=None)
+def test_sequential_stream_matches_dict_model(ops, level):
+    db = Database(EngineConfig())
+    db.create_table("t")
+    model: dict[int, int] = {}
+    pending: dict[int, int | None] = {}
+    txn = db.begin(level)
+
+    def rollforward():
+        for key, value in pending.items():
+            if value is None:
+                model.pop(key, None)
+            else:
+                model[key] = value
+        pending.clear()
+
+    for kind, key, value in ops:
+        if kind == "commit_point":
+            txn.commit()
+            rollforward()
+            txn = db.begin(level)
+        elif kind == "write":
+            txn.write("t", key, value)
+            pending[key] = value
+        elif kind == "insert":
+            visible = {**model, **{k: v for k, v in pending.items()}}
+            exists = visible.get(key) is not None
+            try:
+                txn.insert("t", key, value)
+                assert not exists
+                pending[key] = value
+            except DuplicateKeyError:
+                assert exists
+        elif kind == "delete":
+            visible = {**model, **{k: v for k, v in pending.items()}}
+            exists = visible.get(key) is not None
+            try:
+                txn.delete("t", key)
+                assert exists
+                pending[key] = None
+            except KeyNotFoundError:
+                assert not exists
+        else:
+            visible = {**model, **{k: v for k, v in pending.items()}}
+            expected = visible.get(key)
+            assert txn.get("t", key) == expected
+    txn.commit()
+    rollforward()
+    check = db.begin(level)
+    assert dict(check.scan("t")) == {
+        key: value for key, value in model.items() if value is not None
+    }
+    check.commit()
+
+
+program_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("read"), KEYS),
+        st.tuples(st.just("write"), KEYS),
+        st.tuples(st.just("scan"), KEYS),
+        st.tuples(st.just("insert"), st.integers(min_value=10, max_value=14)),
+        st.tuples(st.just("delete"), KEYS),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_program(spec, tag):
+    """Insert/delete may hit application errors (duplicate key, missing
+    key); the interleaving driver rolls such transactions back with the
+    'constraint' status."""
+
+    def program():
+        for step, (kind, key) in enumerate(spec):
+            if kind == "read":
+                yield Get("t", key)
+            elif kind == "write":
+                yield Write("t", key, f"{tag}.{step}")
+            elif kind == "scan":
+                yield Scan("t", key, key + 3)
+            elif kind == "insert":
+                yield Insert("t", key, tag)
+            else:
+                yield Delete("t", key)
+
+    return program
+
+
+def setup(db):
+    db.create_table("t")
+    db.load("t", ((i, f"init{i}") for i in range(7)))
+
+
+@given(
+    specs=st.lists(program_ops, min_size=2, max_size=3),
+    seed=st.integers(0, 2**16),
+    level=st.sampled_from(["ssi", "s2pl", "sgt"]),
+    precise=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_random_interleavings_serializable(specs, seed, level, precise):
+    rng = random.Random(seed)
+    programs = [build_program(spec, f"T{i}") for i, spec in enumerate(specs)]
+    steps = [len(spec) + 1 for spec in specs]
+    slots = [i for i, count in enumerate(steps) for _ in range(count)]
+    rng.shuffle(slots)
+    outcome = run_interleaving(
+        setup,
+        programs,
+        slots,
+        isolation=level,
+        engine_config=EngineConfig(record_history=True, precise_conflicts=precise),
+    )
+    report = check_serializable(outcome.db.history)
+    assert report.serializable, report.describe()
+
+
+@given(
+    specs=st.lists(program_ops, min_size=2, max_size=3),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_interleavings_si_no_unsafe_errors(specs, seed):
+    """SI never raises the new unsafe error, whatever happens."""
+    rng = random.Random(seed)
+    programs = [build_program(spec, f"T{i}") for i, spec in enumerate(specs)]
+    steps = [len(spec) + 1 for spec in specs]
+    slots = [i for i, count in enumerate(steps) for _ in range(count)]
+    rng.shuffle(slots)
+    outcome = run_interleaving(setup, programs, slots, isolation="si")
+    assert "unsafe" not in outcome.statuses.values()

@@ -1,0 +1,59 @@
+"""HistoryRecorder unit tests."""
+
+from repro.sgt.history import HistoryRecorder, OpRecord
+
+
+def test_lifecycle_recording():
+    history = HistoryRecorder()
+    history.on_begin(1)
+    history.on_snapshot(1, 100)
+    history.on_read(1, "t", "k", 50)
+    history.on_write(1, "t", "k")
+    history.on_commit(1, 110)
+    record = history.transactions[1]
+    assert record.begin_ts == 100
+    assert record.commit_ts == 110
+    assert record.committed
+    assert len(list(record.reads())) == 1
+    assert len(list(record.writes())) == 1
+
+
+def test_snapshot_recorded_once():
+    history = HistoryRecorder()
+    history.on_begin(1)
+    history.on_snapshot(1, 100)
+    history.on_snapshot(1, 200)  # ignored
+    assert history.transactions[1].begin_ts == 100
+
+
+def test_abort_status():
+    history = HistoryRecorder()
+    history.on_begin(1)
+    history.on_abort(1)
+    assert history.transactions[1].status == "aborted"
+    assert history.committed() == []
+
+
+def test_scan_record():
+    history = HistoryRecorder()
+    history.on_begin(1)
+    history.on_scan(1, "t", (0, 10), (1, 2, 3), read_ts=5)
+    (scan,) = list(history.transactions[1].scans())
+    assert scan.key == (0, 10)
+    assert scan.seen_keys == (1, 2, 3)
+    assert scan.version_ts == 5
+
+
+def test_ops_for_unknown_txn_create_record():
+    history = HistoryRecorder()
+    history.on_read(9, "t", "k", None)
+    assert 9 in history.transactions
+
+
+def test_write_kinds():
+    history = HistoryRecorder()
+    history.on_begin(1)
+    history.on_write(1, "t", "a", kind="insert")
+    history.on_write(1, "t", "b", kind="delete")
+    kinds = [op.kind for op in history.transactions[1].writes()]
+    assert kinds == ["insert", "delete"]

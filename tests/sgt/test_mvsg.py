@@ -1,0 +1,128 @@
+"""MVSG construction and cycle detection tests."""
+
+from repro.sgt.history import HistoryRecorder
+from repro.sgt.mvsg import build_mvsg
+from repro.sgt.checker import check_serializable
+
+
+def make_history(txns):
+    """txns: list of dicts with id, begin, commit, ops (kind, table, key,
+    version_ts)."""
+    history = HistoryRecorder()
+    for txn in txns:
+        history.on_begin(txn["id"])
+        history.on_snapshot(txn["id"], txn["begin"])
+        for op in txn.get("ops", ()):
+            kind = op[0]
+            if kind == "read":
+                history.on_read(txn["id"], op[1], op[2], op[3])
+            elif kind == "scan":
+                history.on_scan(txn["id"], op[1], op[2], op[3], txn["begin"])
+            else:
+                history.on_write(txn["id"], op[1], op[2], kind=kind)
+        if txn.get("commit"):
+            history.on_commit(txn["id"], txn["commit"])
+    return history
+
+
+def test_serial_history_acyclic():
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 2,
+         "ops": [("read", "t", "x", 0), ("write", "t", "x")]},
+        {"id": 2, "begin": 3, "commit": 4,
+         "ops": [("read", "t", "x", 2), ("write", "t", "x")]},
+    ])
+    graph = build_mvsg(history)
+    assert graph.find_cycle() == []
+    # wr and ww edges from T1 to T2 exist.
+    kinds = {(e.src, e.dst, e.kind) for e in graph.edges}
+    assert (1, 2, "wr") in kinds
+    assert (1, 2, "ww") in kinds
+
+
+def test_write_skew_cycle_detected():
+    # T1 reads x,y writes x; T2 reads x,y writes y; concurrent snapshots.
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 10,
+         "ops": [("read", "t", "x", 0), ("read", "t", "y", 0), ("write", "t", "x")]},
+        {"id": 2, "begin": 1, "commit": 11,
+         "ops": [("read", "t", "x", 0), ("read", "t", "y", 0), ("write", "t", "y")]},
+    ])
+    graph = build_mvsg(history)
+    cycle = graph.find_cycle()
+    assert set(cycle) == {1, 2}
+    rw = {(e.src, e.dst) for e in graph.rw_edges()}
+    assert (1, 2) in rw and (2, 1) in rw
+    assert set(graph.pivots_in_cycle()) == {1, 2}
+
+
+def test_aborted_txn_excluded():
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 10,
+         "ops": [("read", "t", "x", 0), ("write", "t", "x")]},
+        {"id": 2, "begin": 1, "commit": None,
+         "ops": [("read", "t", "x", 0), ("write", "t", "x")]},
+    ])
+    history.on_abort(2)
+    graph = build_mvsg(history)
+    assert graph.nodes == {1}
+    assert graph.edges == set()
+
+
+def test_phantom_edge_from_scan():
+    # T1 scans [0, 100] at ts 1; T2 inserts key 5 committing at ts 10.
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 12,
+         "ops": [("scan", "t", (0, 100), ())]},
+        {"id": 2, "begin": 1, "commit": 10,
+         "ops": [("insert", "t", 5)]},
+    ])
+    graph = build_mvsg(history)
+    rw = {(e.src, e.dst) for e in graph.rw_edges()}
+    assert (1, 2) in rw
+
+
+def test_scan_outside_range_no_edge():
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 12,
+         "ops": [("scan", "t", (0, 3), ())]},
+        {"id": 2, "begin": 1, "commit": 10,
+         "ops": [("insert", "t", 5)]},
+    ])
+    graph = build_mvsg(history)
+    assert graph.rw_edges() == []
+
+
+def test_read_of_absent_key_antidependency():
+    # T1 reads key k (absent), T2 creates k later: rw edge T1 -> T2.
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 12,
+         "ops": [("read", "t", "k", None)]},
+        {"id": 2, "begin": 1, "commit": 10,
+         "ops": [("insert", "t", "k")]},
+    ])
+    graph = build_mvsg(history)
+    assert {(e.src, e.dst) for e in graph.rw_edges()} == {(1, 2)}
+
+
+def test_checker_reports():
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 10,
+         "ops": [("read", "t", "x", 0), ("write", "t", "y")]},
+    ])
+    report = check_serializable(history)
+    assert report.serializable
+    assert "serializable" in report.describe()
+
+
+def test_checker_describes_cycle():
+    history = make_history([
+        {"id": 1, "begin": 1, "commit": 10,
+         "ops": [("read", "t", "x", 0), ("write", "t", "y")]},
+        {"id": 2, "begin": 1, "commit": 11,
+         "ops": [("read", "t", "y", 0), ("write", "t", "x")]},
+    ])
+    report = check_serializable(history)
+    assert not report.serializable
+    assert "NON-SERIALIZABLE" in report.describe()
+    assert not bool(report)

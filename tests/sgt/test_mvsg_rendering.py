@@ -1,0 +1,38 @@
+"""MVSG Graphviz rendering tests."""
+
+from repro.sgt.history import HistoryRecorder
+from repro.sgt.mvsg import build_mvsg
+
+
+def history_with_cycle():
+    history = HistoryRecorder()
+    for txn_id in (1, 2):
+        history.on_begin(txn_id)
+        history.on_snapshot(txn_id, 1)
+    history.on_read(1, "t", "x", 0)
+    history.on_write(1, "t", "y")
+    history.on_read(2, "t", "y", 0)
+    history.on_write(2, "t", "x")
+    history.on_commit(1, 10)
+    history.on_commit(2, 11)
+    return history
+
+
+def test_to_dot_marks_cycle_and_edge_styles():
+    graph = build_mvsg(history_with_cycle())
+    dot = graph.to_dot()
+    assert dot.startswith("digraph MVSG")
+    assert '"T1" -> "T2" [style=dashed, label="rw"]' in dot
+    assert '"T2" -> "T1" [style=dashed, label="rw"]' in dot
+    assert dot.count("fillcolor") == 2  # both nodes on the cycle
+
+
+def test_to_dot_acyclic_unhighlighted():
+    history = HistoryRecorder()
+    history.on_begin(1)
+    history.on_snapshot(1, 1)
+    history.on_write(1, "t", "x")
+    history.on_commit(1, 5)
+    dot = build_mvsg(history).to_dot()
+    assert "fillcolor" not in dot
+    assert '"T1"' in dot

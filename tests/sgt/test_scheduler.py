@@ -1,0 +1,68 @@
+"""SGTCertifier unit tests."""
+
+from repro.sgt.scheduler import SGTCertifier
+
+
+def test_acyclic_edges_return_empty():
+    certifier = SGTCertifier()
+    assert certifier.add_dependency(1, 2) == []
+    assert certifier.add_dependency(2, 3) == []
+    assert certifier.stats["cycles"] == 0
+
+
+def test_cycle_returned_with_path():
+    certifier = SGTCertifier()
+    certifier.add_dependency(1, 2)
+    certifier.add_dependency(2, 3)
+    cycle = certifier.add_dependency(3, 1)
+    assert cycle[0] == 3
+    assert set(cycle) == {1, 2, 3}
+    assert certifier.stats["cycles"] == 1
+
+
+def test_self_edge_ignored():
+    certifier = SGTCertifier()
+    assert certifier.add_dependency(5, 5) == []
+
+
+def test_remove_breaks_cycle():
+    certifier = SGTCertifier()
+    certifier.add_dependency(1, 2)
+    certifier.add_dependency(2, 1)
+    certifier.remove(2)
+    assert certifier.add_dependency(1, 3) == []
+    assert not certifier.has_incoming(1)
+
+
+def test_has_incoming():
+    certifier = SGTCertifier()
+    certifier.add_dependency(1, 2)
+    assert certifier.has_incoming(2)
+    assert not certifier.has_incoming(1)
+    certifier.remove(1)
+    assert not certifier.has_incoming(2)
+
+
+def test_would_cycle_is_non_mutating():
+    certifier = SGTCertifier()
+    certifier.add_dependency(1, 2)
+    assert certifier.would_cycle(2, 1)
+    assert not certifier.would_cycle(1, 2)
+    # graph unchanged: adding the edge still reports the cycle
+    assert certifier.add_dependency(2, 1) != []
+
+
+def test_node_count_tracks_registrations():
+    certifier = SGTCertifier()
+    certifier.register(1)
+    certifier.add_dependency(2, 3)
+    assert certifier.node_count() == 3
+    certifier.remove(3)
+    assert certifier.node_count() == 2
+
+
+def test_duplicate_edges_harmless():
+    certifier = SGTCertifier()
+    certifier.add_dependency(1, 2)
+    certifier.add_dependency(1, 2)
+    assert certifier.add_dependency(2, 1) != []

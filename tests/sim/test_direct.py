@@ -1,0 +1,75 @@
+"""Direct program executor tests."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import ConstraintError, DuplicateKeyError
+from repro.sim.direct import run_program
+from repro.sim.ops import Get, Insert, Read, Rollback, Scan, Write
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t")
+    database.load("t", [(1, "a"), (2, "b")])
+    return database
+
+
+def test_returns_program_value(db):
+    def program():
+        value = yield Read("t", 1)
+        return value.upper()
+
+    assert run_program(db, program()) == "A"
+
+
+def test_commits_writes(db):
+    def program():
+        yield Write("t", 1, "z")
+
+    run_program(db, program())
+    assert db.begin().read("t", 1) == "z"
+
+
+def test_rollback_propagates_and_aborts(db):
+    def program():
+        yield Write("t", 1, "lost")
+        yield Rollback("never mind")
+
+    with pytest.raises(ConstraintError):
+        run_program(db, program())
+    assert db.begin().read("t", 1) == "a"
+
+
+def test_application_error_aborts_txn(db):
+    def program():
+        yield Write("t", 2, "lost-too")
+        yield Insert("t", 1, "dup")
+
+    with pytest.raises(DuplicateKeyError):
+        run_program(db, program())
+    check = db.begin()
+    assert check.read("t", 2) == "b"
+    check.commit()
+    assert db.active_count() == 0  # nothing leaked
+
+
+def test_runs_inside_existing_txn(db):
+    def program():
+        rows = yield Scan("t")
+        return len(rows)
+
+    txn = db.begin("ssi")
+    assert run_program(db, program(), txn=txn) == 2
+    assert txn.is_active  # caller keeps control of commit
+    txn.commit()
+
+
+def test_generator_receives_values(db):
+    def program():
+        a = yield Get("t", 1)
+        b = yield Get("t", 99, default="?")
+        return (a, b)
+
+    assert run_program(db, program()) == ("a", "?")

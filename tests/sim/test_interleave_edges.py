@@ -1,0 +1,84 @@
+"""Interleaving-driver edge cases."""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.sim.interleave import all_interleavings, run_interleaving
+from repro.sim.ops import Insert, Read, Rollback, Write
+
+
+def test_single_transaction_order():
+    assert list(all_interleavings([3])) == [(0, 0, 0)]
+
+
+def test_empty_input():
+    assert list(all_interleavings([])) == [()]
+
+
+def test_counts_multinomial():
+    # (3+1)! / (3! 1!) = 4
+    assert len(list(all_interleavings([3, 1]))) == 4
+
+
+def setup(db):
+    db.create_table("t")
+    db.load("t", [("k", 0)])
+
+
+def test_constraint_rollback_status():
+    def gives_up():
+        yield Read("t", "k")
+        yield Rollback("nah")
+
+    outcome = run_interleaving(setup, [gives_up], [0, 0, 0], isolation="si")
+    assert outcome.statuses[0] == "constraint"
+    assert not outcome.all_committed
+    assert outcome.aborted == {0: "constraint"}
+
+
+def test_application_error_rolls_back():
+    def duplicate():
+        yield Insert("t", "k", "again")  # key exists
+
+    outcome = run_interleaving(setup, [duplicate], [0, 0], isolation="si")
+    assert outcome.statuses[0] == "constraint"
+
+
+def test_surplus_schedule_slots_tolerated():
+    def one_write():
+        yield Write("t", "k", 1)
+
+    # more slots than steps: extras are skipped once the txn finished
+    outcome = run_interleaving(setup, [one_write], [0, 0, 0, 0, 0], isolation="si")
+    assert outcome.statuses[0] == "committed"
+
+
+def test_deficient_schedule_leaves_transaction_running():
+    def two_writes():
+        yield Write("t", "k", 1)
+        yield Write("t", "k", 2)
+
+    outcome = run_interleaving(setup, [two_writes], [0], isolation="si")
+    assert outcome.statuses[0] == "running"
+    check = outcome.db.begin("si")
+    assert check.read("t", "k") == 0  # nothing committed
+    check.commit()
+
+
+def test_blocked_steps_defer_and_complete():
+    """A lock wait defers the blocked step; the holder's commit lets it
+    run on a later slot."""
+    def writer_a():
+        yield Write("t", "k", "a")
+
+    def writer_b():
+        yield Write("t", "k", "b")
+
+    # a writes (locks), b tries (defers), a commits, b retries, b commits
+    outcome = run_interleaving(setup, [writer_a, writer_b],
+                               [0, 1, 0, 1, 1], isolation="s2pl")
+    assert outcome.statuses[0] == "committed"
+    assert outcome.statuses[1] == "committed"
+    check = outcome.db.begin("si")
+    assert check.read("t", "k") == "b"  # b serialised after a
+    check.commit()

@@ -1,0 +1,50 @@
+"""Log-device modelling tests: group commit on/off, flush serialisation."""
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.sim.ops import ReadForUpdate, Write
+from repro.sim.scheduler import SimConfig, Simulator
+from repro.sim.workload import Mix, Workload
+
+
+def writers_workload(keys=32):
+    def setup(db):
+        db.create_table("t")
+        db.load("t", ((i, 0) for i in range(keys)))
+
+    def update(rng):
+        key = rng.randrange(keys)
+        value = yield ReadForUpdate("t", key)
+        yield Write("t", key, value + 1)
+
+    return Workload("writers", setup, Mix([("u", 1.0, update)]))
+
+
+def run(mpl, group_commit):
+    workload = writers_workload()
+    db = Database(EngineConfig())
+    workload.setup(db)
+    return Simulator(
+        db, workload, "si", mpl,
+        SimConfig(duration=1.0, warmup=0.0, commit_flush=True,
+                  flush_time=0.010, group_commit=group_commit),
+    ).run()
+
+
+def test_without_group_commit_flushes_serialise():
+    """One flush per commit: throughput pinned near 1/flush_time
+    regardless of MPL."""
+    result = run(mpl=8, group_commit=False)
+    assert result.throughput <= 110
+
+
+def test_group_commit_batches():
+    grouped = run(mpl=8, group_commit=True)
+    serial = run(mpl=8, group_commit=False)
+    assert grouped.throughput > serial.throughput * 3
+
+
+def test_single_client_unaffected_by_grouping():
+    a = run(mpl=1, group_commit=True)
+    b = run(mpl=1, group_commit=False)
+    assert abs(a.throughput - b.throughput) < 10

@@ -1,0 +1,56 @@
+"""SimResult metric computations."""
+
+import pytest
+
+from repro.sim.metrics import SimResult
+
+
+def make_result(**overrides):
+    result = SimResult(isolation="ssi", mpl=10, duration=2.0)
+    for key, value in overrides.items():
+        setattr(result, key, value)
+    return result
+
+
+def test_throughput():
+    result = make_result(commits=500)
+    assert result.throughput == 250.0
+
+
+def test_throughput_zero_duration():
+    result = SimResult(isolation="si", mpl=1, duration=0.0)
+    assert result.throughput == 0.0
+
+
+def test_abort_classification():
+    result = make_result(commits=100)
+    result.aborts.update({"conflict": 5, "unsafe": 3, "deadlock": 2,
+                          "constraint": 10})
+    assert result.total_aborts == 20
+    assert result.cc_aborts == 10  # constraint rollbacks excluded
+    assert result.error_rate == pytest.approx(0.10)
+    assert result.abort_rate("unsafe") == pytest.approx(0.03)
+
+
+def test_error_rate_with_no_commits_is_infinite():
+    result = make_result(commits=0)
+    result.aborts["conflict"] = 1
+    assert result.error_rate == float("inf")
+
+
+def test_mean_response_time():
+    result = make_result(commits=4, response_time_sum=2.0)
+    assert result.mean_response_time == 0.5
+    empty = make_result(commits=0)
+    assert empty.mean_response_time == 0.0
+
+
+def test_summary_text():
+    result = make_result(commits=100)
+    result.aborts["unsafe"] = 7
+    text = result.summary()
+    assert "ssi" in text and "MPL=10" in text and "unsafe=7" in text
+
+
+def test_summary_without_aborts():
+    assert "none" in make_result(commits=1).summary()

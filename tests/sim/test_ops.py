@@ -1,0 +1,74 @@
+"""Op descriptor / apply_op tests."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import ConstraintError
+from repro.sim.ops import (
+    Compute,
+    Delete,
+    Get,
+    Insert,
+    Read,
+    ReadForUpdate,
+    Rollback,
+    Scan,
+    Write,
+    apply_op,
+)
+
+from tests.conftest import fill
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    fill(database, "t", {1: "a", 2: "b"})
+    return database
+
+
+def test_read_and_get(db):
+    txn = db.begin()
+    assert apply_op(db, txn, Read("t", 1)) == "a"
+    assert apply_op(db, txn, Get("t", 99, default="dflt")) == "dflt"
+    txn.commit()
+
+
+def test_write_insert_delete(db):
+    txn = db.begin()
+    apply_op(db, txn, Write("t", 1, "A"))
+    apply_op(db, txn, Insert("t", 3, "c"))
+    apply_op(db, txn, Delete("t", 2))
+    txn.commit()
+    check = db.begin()
+    assert apply_op(db, check, Scan("t")) == [(1, "A"), (3, "c")]
+    check.commit()
+
+
+def test_read_for_update_locks(db):
+    txn = db.begin()
+    assert apply_op(db, txn, ReadForUpdate("t", 1)) == "a"
+    from repro.locking.manager import record_resource
+    from repro.locking.modes import LockMode
+    assert db.locks.holds(txn, record_resource("t", 1), LockMode.EXCLUSIVE)
+    txn.commit()
+
+
+def test_compute_is_noop(db):
+    txn = db.begin()
+    assert apply_op(db, txn, Compute(10)) is None
+    txn.commit()
+
+
+def test_rollback_aborts_with_constraint(db):
+    txn = db.begin()
+    with pytest.raises(ConstraintError):
+        apply_op(db, txn, Rollback("nope"))
+    assert txn.is_aborted
+    assert db.stats["aborts"]["constraint"] == 1
+
+
+def test_unknown_op_rejected(db):
+    txn = db.begin()
+    with pytest.raises(TypeError):
+        apply_op(db, txn, object())

@@ -1,0 +1,51 @@
+"""Workload/Mix abstraction tests."""
+
+import random
+
+from repro.sim.ops import Read
+from repro.sim.workload import Mix, Workload
+
+
+def make_factory(label):
+    def factory(rng):
+        def program():
+            yield Read("t", label)
+        return program()
+    return factory
+
+
+def test_mix_sampling_respects_weights():
+    mix = Mix([
+        ("a", 9.0, make_factory("a")),
+        ("b", 1.0, make_factory("b")),
+    ])
+    rng = random.Random(0)
+    names = [mix.sample(rng)[0] for _ in range(2000)]
+    ratio = names.count("a") / names.count("b")
+    assert 6 < ratio < 14
+
+
+def test_mix_returns_fresh_generators():
+    mix = Mix([("a", 1.0, make_factory("a"))])
+    rng = random.Random(0)
+    _name1, gen1 = mix.sample(rng)
+    _name2, gen2 = mix.sample(rng)
+    assert gen1 is not gen2
+
+
+def test_mix_names():
+    mix = Mix([("x", 1, make_factory("x")), ("y", 2, make_factory("y"))])
+    assert mix.names() == ["x", "y"]
+
+
+def test_workload_wiring():
+    called = []
+    workload = Workload(
+        "demo", setup=lambda db: called.append(db),
+        mix=Mix([("x", 1, make_factory("x"))]),
+    )
+    workload.setup("DB")
+    assert called == ["DB"]
+    name, gen = workload.next_transaction(random.Random(1))
+    assert name == "x"
+    assert "demo" in repr(workload)

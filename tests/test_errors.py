@@ -1,0 +1,74 @@
+"""Error-hierarchy tests: the DB_* error returns of Sections 4.3/4.6."""
+
+import pytest
+
+from repro.errors import (
+    ABORT_REASONS,
+    ConstraintError,
+    DeadlockError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    LockWaitRequired,
+    ReproError,
+    TransactionAbortedError,
+    UnsafeError,
+    UpdateConflictError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(UnsafeError, TransactionAbortedError)
+    assert issubclass(UpdateConflictError, TransactionAbortedError)
+    assert issubclass(DeadlockError, TransactionAbortedError)
+    assert issubclass(ConstraintError, TransactionAbortedError)
+    assert issubclass(TransactionAbortedError, ReproError)
+    assert issubclass(KeyNotFoundError, ReproError)
+    assert not issubclass(KeyNotFoundError, TransactionAbortedError)
+
+
+@pytest.mark.parametrize(
+    "cls,reason",
+    [
+        (UnsafeError, "unsafe"),
+        (UpdateConflictError, "conflict"),
+        (DeadlockError, "deadlock"),
+        (ConstraintError, "constraint"),
+        (TransactionAbortedError, "aborted"),
+    ],
+)
+def test_reasons(cls, reason):
+    assert cls.reason == reason
+    assert reason in ABORT_REASONS
+
+
+def test_abort_error_carries_txn_id():
+    error = UnsafeError("boom", txn_id=42)
+    assert error.txn_id == 42
+    assert "boom" in str(error)
+
+
+def test_key_errors_carry_location():
+    error = KeyNotFoundError("accounts", ("w", 3))
+    assert error.table == "accounts" and error.key == ("w", 3)
+    dup = DuplicateKeyError("t", 1)
+    assert "t[1]" in str(dup)
+
+
+def test_lock_wait_wraps_request():
+    class Req:
+        def __repr__(self):
+            return "req"
+
+    wait = LockWaitRequired(Req())
+    assert wait.request is not None
+
+
+def test_catching_one_class_suffices_for_retry_loops():
+    """The documented pattern: catch TransactionAbortedError, retry."""
+    caught = []
+    for error in (UnsafeError(), UpdateConflictError(), DeadlockError()):
+        try:
+            raise error
+        except TransactionAbortedError as e:
+            caught.append(e.reason)
+    assert caught == ["unsafe", "conflict", "deadlock"]

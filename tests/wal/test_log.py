@@ -1,0 +1,97 @@
+"""Write-ahead log unit tests."""
+
+import pytest
+
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    WriteRecord,
+)
+
+
+def test_lsns_monotonic():
+    log = WriteAheadLog()
+    records = [log.log_begin(1), log.log_write(1, "t", "k", 1), log.log_commit(1, 5)]
+    assert [r.lsn for r in records] == [1, 2, 3]
+    assert log.last_lsn == 3
+
+
+def test_durable_prefix_only_after_flush():
+    log = WriteAheadLog()
+    log.log_write(1, "t", "k", 1)
+    assert list(log.records()) == []  # nothing durable yet
+    log.flush()
+    assert len(list(log.records())) == 1
+    log.log_write(2, "t", "k", 2)
+    assert len(list(log.records())) == 1
+    assert len(list(log.records(durable_only=False))) == 2
+
+
+def test_crash_discards_unflushed_suffix():
+    log = WriteAheadLog()
+    log.log_write(1, "t", "a", 1)
+    log.flush()
+    log.log_write(2, "t", "b", 2)
+    log.log_commit(2, 9)
+    lost = log.crash()
+    assert lost == 2
+    assert len(log) == 1
+    # LSNs continue from the watermark.
+    record = log.log_write(3, "t", "c", 3)
+    assert record.lsn == 2
+
+
+def test_group_commit_one_flush_covers_many():
+    log = WriteAheadLog()
+    for txn_id in range(5):
+        log.log_commit(txn_id, txn_id + 1)
+    log.flush()
+    assert log.stats["flushes"] == 1
+    assert log.committed_txn_ids() == list(range(5))
+
+
+def test_record_types():
+    log = WriteAheadLog()
+    log.log_begin(1)
+    log.log_write(1, "t", "k", "v", tombstone=False, kind="insert")
+    log.log_abort(1)
+    log.log_checkpoint()
+    log.flush()
+    kinds = [type(record) for record in log.records()]
+    assert kinds == [BeginRecord, WriteRecord, AbortRecord, CheckpointRecord]
+    write = list(log.records())[1]
+    assert write.kind == "insert" and not write.tombstone
+
+
+def test_file_persistence_roundtrip(tmp_path):
+    path = str(tmp_path / "wal.bin")
+    log = WriteAheadLog(path=path)
+    log.log_write(1, "t", ("composite", 3), {"balance": 10.5})
+    log.log_commit(1, 7)
+    log.flush()
+    log.log_write(2, "t", "lost", 0)  # never flushed
+
+    reloaded = WriteAheadLog.load(path)
+    records = list(reloaded.records())
+    assert len(records) == 2
+    assert records[0].key == ("composite", 3)
+    assert reloaded.committed_txn_ids() == [1]
+
+
+def test_load_missing_file_gives_empty_log(tmp_path):
+    log = WriteAheadLog.load(str(tmp_path / "absent.bin"))
+    assert len(log) == 0
+    assert log.last_lsn == 0
+
+
+def test_truncate_before():
+    log = WriteAheadLog()
+    for i in range(5):
+        log.log_write(1, "t", i, i)
+    log.flush()
+    removed = log.truncate_before(lsn=3)
+    assert removed == 2
+    assert [r.lsn for r in log.records()] == [3, 4, 5]

@@ -1,0 +1,70 @@
+"""sibench workload tests (Section 5.2)."""
+
+import random
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.sim.direct import run_program
+from repro.sim.scheduler import SimConfig, run_simulation
+from repro.workloads.sibench import make_sibench, query, setup_sibench, update
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    setup_sibench(database, items=10)
+    return database
+
+
+def test_query_returns_min_value_id(db):
+    run_program(db, update(3))
+    run_program(db, update(3))
+    run_program(db, update(7))
+    # all values 0 except 3 (=2) and 7 (=1): min id with min value is 0
+    assert run_program(db, query()) == 0
+    # drain the zeros
+    for item in (0, 1, 2, 4, 5, 6, 8, 9):
+        for _ in range(3):
+            run_program(db, update(item))
+    assert run_program(db, query()) == 7
+
+
+def test_update_increments(db):
+    run_program(db, update(5))
+    check = db.begin("si")
+    assert check.read("sitest", 5) == 1
+    check.commit()
+
+
+def test_mix_ratio_respected():
+    workload = make_sibench(items=10, queries_per_update=10)
+    rng = random.Random(0)
+    names = [workload.next_transaction(rng)[0] for _ in range(800)]
+    ratio = names.count("query") / max(1, names.count("update"))
+    assert 6 < ratio < 16
+
+
+def test_no_rollbacks_in_sibench():
+    """Section 5.2: no deadlocks or write-skew are possible; the paper
+    verifies no transactions roll back at any isolation level."""
+    workload = make_sibench(items=10)
+    for level in ("si", "ssi", "s2pl"):
+        result = run_simulation(
+            workload, level, 8,
+            sim_config=SimConfig(duration=0.15, warmup=0.0),
+        )
+        assert result.cc_aborts == 0, (level, result.aborts)
+        assert result.commits > 0
+
+
+def test_query_cost_scales_with_items():
+    slow = run_simulation(
+        make_sibench(items=400), "si", 1,
+        sim_config=SimConfig(duration=0.15, warmup=0.0),
+    )
+    fast = run_simulation(
+        make_sibench(items=10), "si", 1,
+        sim_config=SimConfig(duration=0.15, warmup=0.0),
+    )
+    assert fast.throughput > slow.throughput * 2

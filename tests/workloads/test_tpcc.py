@@ -1,0 +1,139 @@
+"""TPC-C workload tests: schema, loader, and the five transactions."""
+
+import random
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.sim.direct import run_program
+from repro.workloads import tpcc
+from repro.workloads.tpcc import (
+    TpccScale,
+    delivery,
+    last_name_for,
+    new_order,
+    order_status,
+    payment,
+    setup_tpcc,
+    stock_level,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(EngineConfig())
+    setup_tpcc(database, TpccScale.tiny(1))
+    return database
+
+
+class TestScale:
+    def test_standard_vs_tiny_ratios(self):
+        std = TpccScale.standard()
+        tiny = TpccScale.tiny()
+        # the paper's ratios: customers / 30, items / 100 (5.3.6)
+        assert std.customers_per_district // 3 == tiny.customers_per_district
+        assert std.items // 10 == tiny.items
+
+    def test_approx_rows(self):
+        rows = TpccScale(warehouses=2, customers_per_district=100,
+                         items=1000, initial_orders_per_district=30).approx_rows()
+        assert rows["warehouse"] == 2
+        assert rows["district"] == 20
+        assert rows["customer"] == 2000
+        assert rows["stock"] == 2000
+        assert rows["orders"] == 600
+
+    def test_last_name_syllables(self):
+        assert last_name_for(0) == "BARBARBAR"
+        assert last_name_for(371) == "PRICALLYOUGHT"  # digits 3,7,1
+
+
+class TestLoader:
+    def test_tables_populated(self, db):
+        scale = TpccScale.tiny(1)
+        assert len(db.table(tpcc.WAREHOUSE)) == 1
+        assert len(db.table(tpcc.DISTRICT)) == 10
+        assert len(db.table(tpcc.CUSTOMER)) == 1000
+        assert len(db.table(tpcc.ITEM)) == scale.items
+        assert len(db.table(tpcc.STOCK)) == scale.items
+        assert len(db.table(tpcc.NEW_ORDER)) == 300
+
+    def test_district_next_o_id_consistent_with_orders(self, db):
+        txn = db.begin("si")
+        district = txn.read(tpcc.DISTRICT, (1, 1))
+        orders = txn.scan(tpcc.ORDERS, (1, 1, 0), (1, 1, 1 << 30))
+        assert district["next_o_id"] == len(orders) + 1
+        txn.commit()
+
+
+class TestTransactions:
+    def test_new_order_places_order(self, db):
+        rng = random.Random(0)
+        scale = TpccScale.tiny(1)
+        before = len(db.table(tpcc.NEW_ORDER))
+        credit = run_program(db, new_order(rng, scale, 1))
+        assert credit in ("GC", "BC")
+        assert len(db.table(tpcc.NEW_ORDER)) == before + 1
+
+    def test_payment_updates_balances(self, db):
+        rng = random.Random(1)
+        scale = TpccScale.tiny(1)
+        txn = db.begin("si")
+        w_before = txn.read(tpcc.WAREHOUSE, 1)["ytd"]
+        txn.commit()
+        run_program(db, payment(rng, scale, 1))
+        txn = db.begin("si")
+        assert txn.read(tpcc.WAREHOUSE, 1)["ytd"] > w_before
+        txn.commit()
+
+    def test_payment_skip_ytd_leaves_warehouse_untouched(self, db):
+        rng = random.Random(2)
+        scale = TpccScale.tiny(1)
+        txn = db.begin("si")
+        w_before = txn.read(tpcc.WAREHOUSE, 1)["ytd"]
+        txn.commit()
+        run_program(db, payment(rng, scale, 1, skip_ytd=True))
+        txn = db.begin("si")
+        assert txn.read(tpcc.WAREHOUSE, 1)["ytd"] == w_before
+        txn.commit()
+
+    def test_order_status_reads_latest_order(self, db):
+        rng = random.Random(3)
+        scale = TpccScale.tiny(1)
+        status = run_program(db, order_status(rng, scale, 1))
+        assert status is None or status["lines"] > 0
+
+    def test_delivery_consumes_new_order_queue(self, db):
+        rng = random.Random(4)
+        scale = TpccScale.tiny(1)
+        before = len(db.table(tpcc.NEW_ORDER))
+        # NEW_ORDER keys remain in the tree as tombstones; count visible.
+        txn = db.begin("si")
+        visible_before = len(txn.scan(tpcc.NEW_ORDER))
+        txn.commit()
+        result = run_program(db, delivery(rng, scale, 1))
+        txn = db.begin("si")
+        visible_after = len(txn.scan(tpcc.NEW_ORDER))
+        txn.commit()
+        if result == "DLVY2":
+            assert visible_after == visible_before - 1
+        else:
+            assert visible_after == visible_before
+
+    def test_delivery_pays_customer_balance(self, db):
+        rng = random.Random(5)
+        scale = TpccScale.tiny(1)
+        # run until a DLVY2 happens
+        for _ in range(30):
+            if run_program(db, delivery(rng, scale, 1)) == "DLVY2":
+                break
+        else:
+            pytest.fail("no deliverable order found")
+
+    def test_stock_level_counts_low_stock(self, db):
+        rng = random.Random(6)
+        scale = TpccScale.tiny(1)
+        low = run_program(db, stock_level(rng, scale, 1, threshold=101))
+        assert low > 0  # every stock row is below 101
+        none_low = run_program(db, stock_level(rng, scale, 1, threshold=0))
+        assert none_low == 0
