@@ -14,12 +14,18 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
 
 from repro.bench.harness import run_experiment  # noqa: E402
-from repro.bench.report import summarize  # noqa: E402
+from repro.bench.report import render_json, summarize, write_json  # noqa: E402
 
 
 def run_figure(benchmark, experiment, mpls, levels=None):
-    """Run one experiment grid under the benchmark fixture and print the
-    paper-style tables."""
+    """Run one experiment grid under the benchmark fixture, print the
+    paper-style tables and emit the machine-readable JSON report.
+
+    The JSON rendering always runs (it validates that every counter in
+    the grid survives strict serialisation — no ``Infinity``/``NaN``);
+    the report is additionally written to
+    ``$BENCH_JSON_DIR/BENCH_<exp_id>.json`` when that directory is set.
+    """
     outcome = benchmark.pedantic(
         lambda: run_experiment(experiment, mpls=mpls, levels=levels),
         rounds=1,
@@ -27,4 +33,11 @@ def run_figure(benchmark, experiment, mpls, levels=None):
     )
     print()
     print(summarize(outcome))
+    json_dir = os.environ.get("BENCH_JSON_DIR")
+    if json_dir:
+        os.makedirs(json_dir, exist_ok=True)
+        path = os.path.join(json_dir, f"BENCH_{outcome.experiment.exp_id}.json")
+        write_json(outcome, path)
+    else:
+        render_json(outcome)
     return outcome

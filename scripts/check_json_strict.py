@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Validate that JSON files parse under a *strict* reader.
+
+``json.loads`` happily accepts the non-standard ``Infinity``/``NaN``
+literals that ``json.dumps`` emits for non-finite floats — exactly the
+corruption the telemetry layer is designed to prevent.  This checker
+rejects them, so CI fails loudly if any emitted report regresses.
+
+Usage::
+
+    python scripts/check_json_strict.py FILE [FILE ...]
+
+``.jsonl`` files are validated line by line; everything else is parsed
+as one document.  Exits non-zero on the first invalid file.
+"""
+
+import json
+import sys
+
+
+def reject_constant(value):
+    raise ValueError(f"non-standard JSON constant: {value!r}")
+
+
+def check_file(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        if path.endswith(".jsonl"):
+            for number, line in enumerate(handle, start=1):
+                if line.strip():
+                    try:
+                        json.loads(line, parse_constant=reject_constant)
+                    except ValueError as error:
+                        raise ValueError(f"line {number}: {error}") from None
+        else:
+            json.loads(handle.read(), parse_constant=reject_constant)
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    for path in argv:
+        try:
+            check_file(path)
+        except (OSError, ValueError) as error:
+            print(f"FAIL {path}: {error}")
+            return 1
+        print(f"ok   {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

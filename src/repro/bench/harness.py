@@ -69,6 +69,25 @@ class ExperimentResult:
     def peak_throughput(self, level: str) -> float:
         return max(result.throughput for result in self.series[level])
 
+    def to_dict(self) -> dict:
+        """Strictly-JSON-safe export of the whole grid: experiment
+        identity plus every per-(level, MPL) result including the engine
+        telemetry snapshot (see :meth:`SimResult.to_dict`)."""
+        experiment = self.experiment
+        return {
+            "experiment": {
+                "exp_id": experiment.exp_id,
+                "title": experiment.title,
+                "expectation": experiment.expectation,
+                "levels": list(experiment.levels),
+                "mpls": list(experiment.mpls),
+            },
+            "series": {
+                level: [result.to_dict() for result in results]
+                for level, results in self.series.items()
+            },
+        }
+
 
 def run_experiment(
     experiment: Experiment,

@@ -1,11 +1,40 @@
-"""Plain-text rendering of experiment results, in the paper's layout:
-a throughput-vs-MPL table and an errors-per-commit table per figure."""
+"""Rendering of experiment results: the paper's plain-text layout (a
+throughput-vs-MPL table and an errors-per-commit table per figure) plus a
+strictly-valid JSON export for trajectory files."""
 
 from __future__ import annotations
+
+import json
 
 from repro.bench.harness import ExperimentResult
 
 _ERROR_KINDS = ("conflict", "unsafe", "deadlock")
+
+
+def _reject_constant(value: str) -> None:
+    raise ValueError(f"non-standard JSON constant in report: {value}")
+
+
+def render_json(outcome: ExperimentResult, indent: int | None = 2) -> str:
+    """Serialise the grid as strictly-valid JSON.
+
+    ``allow_nan=False`` makes ``json.dumps`` raise rather than emit the
+    non-standard ``Infinity``/``NaN`` literals, and the result is parsed
+    back with a rejecting ``parse_constant`` before being returned — a
+    corrupt ``BENCH_*.json`` can never be written silently.
+    """
+    text = json.dumps(outcome.to_dict(), indent=indent, allow_nan=False)
+    json.loads(text, parse_constant=_reject_constant)  # round-trip check
+    return text
+
+
+def write_json(outcome: ExperimentResult, path) -> str:
+    """Validate and write the JSON report; returns the rendered text."""
+    text = render_json(outcome)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n")
+    return text
 
 
 def format_throughput_table(outcome: ExperimentResult) -> str:

@@ -32,6 +32,33 @@ import math
 from typing import Optional
 
 from repro.core.victim import POLICIES, VictimPolicy, pivot_first
+from repro.obs.registry import CounterGroup
+
+
+def conflict_ref_id(ref, txn) -> int | str | None:
+    """Render a conflict slot for telemetry.
+
+    ``None``/``False`` -> no conflict recorded; the transaction itself ->
+    ``"multiple"`` (self-reference, order lost); ``True`` (basic boolean
+    tracker) -> ``"unknown"``; otherwise the peer's id.
+    """
+    if ref is None or ref is False:
+        return None
+    if ref is True:
+        return "unknown"
+    if ref is txn:
+        return "multiple"
+    return ref.id
+
+
+def pivot_triple(pivot) -> tuple:
+    """The dangerous structure around ``pivot``:
+    ``(t_in, pivot_id, t_out)`` ids, from its conflict slots."""
+    return (
+        conflict_ref_id(pivot.in_conflict, pivot),
+        pivot.id,
+        conflict_ref_id(pivot.out_conflict, pivot),
+    )
 
 
 class ConflictTracker:
@@ -44,8 +71,11 @@ class ConflictTracker:
         if isinstance(victim_policy, str):
             victim_policy = POLICIES[victim_policy]
         self.victim_policy: VictimPolicy = victim_policy
-        #: statistics for the evaluation: how many times each path fired
-        self.stats = {"marked": 0, "unsafe_at_mark": 0, "unsafe_at_commit": 0}
+        #: statistics for the evaluation: how many times each path fired.
+        #: A CounterGroup so the engine's MetricsRegistry can adopt it.
+        self.stats = CounterGroup(
+            {"marked": 0, "unsafe_at_mark": 0, "unsafe_at_commit": 0}
+        )
 
     def init_transaction(self, txn) -> None:
         """Fig 3.1: establish the conflict slots at begin(T)."""

@@ -25,7 +25,12 @@ from __future__ import annotations
 import threading
 from typing import Any, Hashable, Iterable, Optional
 
-from repro.core.conflicts import ConflictTracker, make_tracker
+from repro.core.conflicts import (
+    ConflictTracker,
+    conflict_ref_id,
+    make_tracker,
+    pivot_triple,
+)
 from repro.engine.config import DeadlockMode, EngineConfig, LockGranularity
 from repro.engine.indexes import IndexDef, KeyFunc
 from repro.engine.isolation import IsolationLevel
@@ -58,6 +63,9 @@ from repro.locking.modes import LockMode
 from repro.mvcc.snapshot import Snapshot
 from repro.mvcc.timestamps import LogicalClock
 from repro.mvcc.version import TOMBSTONE, Version
+from repro.obs.explain import AbortExplanation, explain_abort as _explain_abort
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import EventTrace, EventType
 from repro.sgt.history import HistoryRecorder
 from repro.sgt.scheduler import SGTCertifier
 from repro.storage.btree import SUPREMUM
@@ -118,7 +126,14 @@ class Database:
         self.history: HistoryRecorder | None = (
             HistoryRecorder() if self.config.record_history else None
         )
-        self.stats = {
+
+        #: unified observability: one registry absorbs the engine, lock
+        #: manager, tracker and certifier counters behind a deep-copy
+        #: snapshot API (``db.metrics.snapshot()``).
+        self.metrics = MetricsRegistry()
+        #: engine counters — a CounterGroup (dict subclass), so hot-path
+        #: increments keep native dict speed.
+        self.stats = self.metrics.group("engine", {
             "begins": 0,
             "commits": 0,
             "aborts": {reason: 0 for reason in ABORT_REASONS},
@@ -127,7 +142,61 @@ class Database:
             "scans": 0,
             "suspended_peak": 0,
             "cleaned": 0,
-        }
+        })
+        # The lock manager, tracker and certifier already keep their
+        # counters in CounterGroups; adopting them (same object, no copy)
+        # folds all three formerly-scattered stats dicts into one surface.
+        self.metrics.register_group("locks", self.locks.stats)
+        self.metrics.register_group("tracker", self.tracker.stats)
+        self.metrics.register_group("sgt", self.certifier.stats)
+        self._h_lock_wait = self.metrics.histogram("lock_wait_time")
+        self._h_chain_length = self.metrics.histogram(
+            "version_chain_length", edges=(1, 2, 4, 8, 16, 32, 64)
+        )
+        self._h_siread_retention = self.metrics.histogram(
+            "siread_retention", edges=(1, 4, 16, 64, 256, 1024, 4096)
+        )
+        self._h_suspended = self.metrics.histogram(
+            "suspended_transactions", edges=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        #: event-trace layer — off (None) by default; every emission site
+        #: below is guarded by a single ``is not None`` test.
+        self.trace: EventTrace | None = None
+
+    # ------------------------------------------------------ observability
+
+    def enable_tracing(self, *sinks, capacity: int = 8192) -> EventTrace:
+        """Turn on the event-trace layer.
+
+        ``sinks`` are objects with an ``emit(event)`` method (e.g.
+        :class:`~repro.obs.trace.JsonlFileSink`); with none given, a
+        bounded in-memory ring buffer of ``capacity`` events is attached.
+        Returns the :class:`~repro.obs.trace.EventTrace` for querying.
+        """
+        with self._mutex:
+            trace = EventTrace(*sinks, clock=self.clock.now, capacity=capacity)
+            self.trace = trace
+            self.locks.trace = trace
+            return trace
+
+    def disable_tracing(self) -> None:
+        """Detach and close the trace layer (no-op when already off)."""
+        with self._mutex:
+            trace, self.trace = self.trace, None
+            self.locks.trace = None
+            if trace is not None:
+                trace.close()
+
+    def explain_abort(self, txn_id: int) -> AbortExplanation:
+        """Reconstruct why transaction ``txn_id`` was doomed, from the
+        trace: abort reason, the rw-antidependencies it participated in,
+        and — for a dangerous-structure abort — the pivot triple
+        T_in -> pivot -> T_out.  Requires :meth:`enable_tracing`."""
+        if self.trace is None:
+            raise TransactionStateError(
+                "explain_abort needs the event trace; call enable_tracing() first"
+            )
+        return _explain_abort(self.trace, txn_id)
 
     # ------------------------------------------------------------- schema
 
@@ -215,6 +284,8 @@ class Database:
                 self.tracker.init_transaction(txn)
             if isolation is IsolationLevel.SGT:
                 self.certifier.register(txn.id)
+            if self.trace is not None:
+                self.trace.emit(EventType.BEGIN, txn.id, isolation=isolation.value)
             if isolation.uses_snapshots and not self.config.deferred_snapshot:
                 self._assign_snapshot(txn)
             if self.history is not None:
@@ -243,6 +314,12 @@ class Database:
                 raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
             if txn.isolation is IsolationLevel.SERIALIZABLE_SSI:
                 if self.tracker.check_commit(txn):
+                    if self.trace is not None:
+                        t_in, pivot_id, t_out = pivot_triple(txn)
+                        self.trace.emit(
+                            EventType.UNSAFE, txn.id, at="commit",
+                            pivot=pivot_id, t_in=t_in, t_out=t_out,
+                        )
                     error = UnsafeError(
                         "commit would risk a non-serializable execution", txn_id=txn.id
                     )
@@ -254,9 +331,10 @@ class Database:
             for (table_name, key), value in txn.write_set.items():
                 table = self.table(table_name)
                 chain, _pages = table.ensure_chain(key)
-                chain.install(
+                chain_length = chain.install(
                     Version(value=value, commit_ts=txn.commit_ts, creator_id=txn.id)
                 )
+                self._h_chain_length.observe(chain_length)
                 if page_mode:
                     page_key = (table_name, table.leaf_page_of(key))
                     self._page_commit_ts[page_key] = txn.commit_ts
@@ -276,6 +354,8 @@ class Database:
                     self.wal.flush()
             if self.history is not None:
                 self.history.on_commit(txn.id, txn.commit_ts)
+            if self.trace is not None:
+                self.trace.emit(EventType.COMMIT, txn.id, commit_ts=txn.commit_ts)
             self.stats["commits"] += 1
 
     def finalize_commit(self, txn: Transaction) -> None:
@@ -297,6 +377,11 @@ class Database:
                 self.stats["suspended_peak"] = max(
                     self.stats["suspended_peak"], len(self._suspended)
                 )
+                self._h_suspended.observe(len(self._suspended))
+                if self.trace is not None:
+                    self.trace.emit(
+                        EventType.SUSPEND, txn.id, keep_siread=keep_siread
+                    )
             else:
                 self._registry.pop(txn.id, None)
             self._maybe_cleanup()
@@ -570,6 +655,8 @@ class Database:
                 self.deadlock_detector.victim_policy
             )
             for victim in victims:
+                if self.trace is not None:
+                    self.trace.emit(EventType.VICTIM, victim.id, cause="deadlock")
                 self._doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
             return victims
 
@@ -593,6 +680,12 @@ class Database:
                     self._registry.pop(txn.id, None)
                     txn.suspended = False
                     cleaned += 1
+                    retention = self.clock.now() - txn.commit_ts
+                    self._h_siread_retention.observe(retention)
+                    if self.trace is not None:
+                        self.trace.emit(
+                            EventType.CLEANUP, txn.id, retention=retention
+                        )
                 else:
                     kept.append(txn)
             self._suspended = kept
@@ -659,6 +752,8 @@ class Database:
 
     def _assign_snapshot(self, txn: Transaction) -> None:
         txn.snapshot = Snapshot(self.clock.now())
+        if self.trace is not None:
+            self.trace.emit(EventType.SNAPSHOT, txn.id, read_ts=txn.snapshot.read_ts)
         if self.history is not None:
             self.history.on_snapshot(txn.id, txn.snapshot.read_ts)
 
@@ -828,8 +923,37 @@ class Database:
             # Mixed-level edge (e.g. an SI query, Section 3.8): no tracking.
             return
         victim = self.tracker.mark_conflict(reader, writer)
+        if self.trace is not None:
+            # Conflict-flag transition: the slot states *after* marking
+            # (Fig 3.4/3.5's inConflict/outConflict bookkeeping).
+            self.trace.emit(
+                EventType.RW_CONFLICT, reader.id, peer=writer.id,
+                reader_out=conflict_ref_id(reader.out_conflict, reader),
+                writer_in=conflict_ref_id(writer.in_conflict, writer),
+            )
         if victim is not None:
+            if self.trace is not None:
+                self._trace_victim(victim, reader, writer)
             self._doom(victim, UnsafeError("unsafe pattern of conflicts", txn_id=victim.id))
+
+    def _trace_victim(self, victim: Transaction, reader: Transaction,
+                      writer: Transaction) -> None:
+        """Emit the victim-selection event with the full pivot triple.
+
+        The pivot is whichever edge party carries both an incoming and an
+        outgoing conflict (the victim itself under the default policy; the
+        committed party when the tracker's closing-edge rule fired)."""
+        candidates = [
+            txn for txn in (victim, writer, reader)
+            if bool(txn.in_conflict) and bool(txn.out_conflict)
+        ]
+        pivot = candidates[0] if candidates else victim
+        t_in, pivot_id, t_out = pivot_triple(pivot)
+        self.trace.emit(
+            EventType.VICTIM, victim.id, cause="unsafe",
+            pivot=pivot_id, t_in=t_in, t_out=t_out,
+            policy=self.config.victim_policy,
+        )
 
     def _certify_ww(self, txn: Transaction, table_name: str, key: Hashable) -> None:
         """SGT baseline: ww edge from the creator of the version this
@@ -862,6 +986,12 @@ class Database:
             victim = max(cycle, key=lambda txn: txn.begin_seq)
         else:
             victim = request.owner
+        if self.trace is not None:
+            self.trace.emit(
+                EventType.VICTIM, victim.id, cause="deadlock",
+                policy=self.config.deadlock_victim,
+                cycle=[txn.id for txn in cycle],
+            )
         self._doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
         return victim
 
@@ -1006,7 +1136,10 @@ class Database:
         self.certifier.remove(txn.id)
         if self.history is not None:
             self.history.on_abort(txn.id)
-        self.stats["aborts"][reason if reason in self.stats["aborts"] else "aborted"] += 1
+        bucket = reason if reason in self.stats["aborts"] else "aborted"
+        if self.trace is not None:
+            self.trace.emit(EventType.ABORT, txn.id, reason=bucket)
+        self.stats["aborts"][bucket] += 1
 
 
 _MISSING = object()

@@ -179,9 +179,10 @@ class Transaction:
     def _block_on(self, request: LockRequest) -> None:
         import time
 
+        wait_started = time.monotonic()
         deadline = None
         if self._db.config.lock_timeout is not None:
-            deadline = time.monotonic() + self._db.config.lock_timeout
+            deadline = wait_started + self._db.config.lock_timeout
         event = threading.Event()
         request.on_resolve(lambda _req: event.set())
         while not event.is_set():
@@ -193,6 +194,11 @@ class Transaction:
             # Gives periodic deadlock detection a chance to run even when
             # every client thread is blocked (Berkeley DB db_perf style).
             self._db.poll_waiters()
+        # Threaded clients measure wall-clock lock waits; the simulator
+        # feeds the same histogram in simulated seconds instead.
+        self._db.metrics.histogram("lock_wait_time").observe(
+            time.monotonic() - wait_started
+        )
         if request.state is RequestState.DENIED:
             error = request.error or TransactionAbortedError(txn_id=self.id)
             self._db.abort(self)

@@ -30,6 +30,8 @@ from typing import Any, Callable, Hashable, Iterable, NamedTuple
 
 from repro.locking.deadlock import WaitsForGraph
 from repro.locking.modes import LockMode, compatible
+from repro.obs.registry import CounterGroup
+from repro.obs.trace import EventType
 
 
 class Resource(NamedTuple):
@@ -233,8 +235,12 @@ class LockManager:
         self.waits_for = WaitsForGraph()
         self.deadlock_handler = deadlock_handler
         self.siread_upgrade = siread_upgrade
-        #: cumulative counters for the overhead benchmarks
-        self.stats = {"acquires": 0, "waits": 0, "upgrades": 0, "siread_dropped": 0}
+        #: cumulative counters for the overhead benchmarks (registry-adoptable)
+        self.stats = CounterGroup(
+            {"acquires": 0, "waits": 0, "upgrades": 0, "siread_dropped": 0}
+        )
+        #: event trace, installed by Database.enable_tracing (None = off)
+        self.trace = None
 
     # ------------------------------------------------------------------ API
 
@@ -283,6 +289,11 @@ class LockManager:
         else:
             head.queue.append(request)
         self.stats["waits"] += 1
+        if self.trace is not None:
+            self.trace.emit(
+                EventType.LOCK_WAIT, owner.id,
+                resource=repr(resource), mode=mode.value,
+            )
         self._refresh_wait_edges(head)
 
         if self.deadlock_handler is not None:
@@ -378,6 +389,12 @@ class LockManager:
             return False
         head.queue.remove(request)
         request._resolve(RequestState.DENIED, error)
+        if self.trace is not None:
+            self.trace.emit(
+                EventType.LOCK_DENY, request.owner.id,
+                resource=repr(request.resource), mode=request.mode.value,
+                error=type(error).__name__ if error else None,
+            )
         self._refresh_wait_edges(head)
         self._promote(request.resource)
         return True
@@ -395,6 +412,12 @@ class LockManager:
             for request in pending:
                 head.queue.remove(request)
                 request._resolve(RequestState.DENIED, error)
+                if self.trace is not None:
+                    self.trace.emit(
+                        EventType.LOCK_DENY, request.owner.id,
+                        resource=repr(request.resource), mode=request.mode.value,
+                        error=type(error).__name__ if error else None,
+                    )
             self._refresh_wait_edges(head)
             self._promote(resource)
         self.waits_for.remove_node(owner.id)
@@ -549,6 +572,11 @@ class LockManager:
             head.queue.popleft()
             self._grant(head, request.owner, resource, request.mode)
             request._resolve(RequestState.GRANTED)
+            if self.trace is not None:
+                self.trace.emit(
+                    EventType.LOCK_GRANT, request.owner.id,
+                    resource=repr(resource), mode=request.mode.value,
+                )
             granted_any = True
         if granted_any or True:
             self._refresh_wait_edges(head)

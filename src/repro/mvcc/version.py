@@ -69,8 +69,10 @@ class VersionChain:
     def __init__(self, versions: list[Version] | None = None):
         self._versions: list[Version] = versions or []
 
-    def install(self, version: Version) -> None:
-        """Append a newly committed version.
+    def install(self, version: Version) -> int:
+        """Append a newly committed version; returns the new chain length
+        (the engine's version-chain-length histogram observes it without
+        re-walking the chain).
 
         Commit timestamps are handed out under the engine's commit mutex,
         so installs always arrive in increasing commit_ts order.
@@ -81,6 +83,7 @@ class VersionChain:
                 f"<= {self._versions[0].commit_ts}"
             )
         self._versions.insert(0, version)
+        return len(self._versions)
 
     def visible(self, read_ts: int) -> Version | None:
         """Return the version a snapshot taken at ``read_ts`` sees.

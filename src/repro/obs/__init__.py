@@ -1,0 +1,47 @@
+"""obs — the engine's unified observability layer.
+
+Three pieces (see DESIGN.md "Observability"):
+
+* :class:`MetricsRegistry` / :class:`CounterGroup` / :class:`Histogram` —
+  typed counters and histograms behind one deep-copy snapshot API,
+  absorbing the formerly scattered ``stats`` dicts;
+* :class:`EventTrace` with pluggable sinks (:class:`RingBufferSink`,
+  :class:`JsonlFileSink`) — structured per-transaction lifecycle events,
+  off by default and near-zero cost when disabled;
+* :func:`explain_abort` — reconstructs why a transaction was doomed
+  (including the dangerous-structure pivot triple) from the trace.
+"""
+
+from repro.obs.explain import AbortExplanation, PivotTriple, explain_abort
+from repro.obs.registry import (
+    CounterGroup,
+    Histogram,
+    MetricsRegistry,
+    deep_copy_counters,
+    json_safe,
+)
+from repro.obs.trace import (
+    CallbackSink,
+    EventTrace,
+    EventType,
+    JsonlFileSink,
+    RingBufferSink,
+    TraceEvent,
+)
+
+__all__ = [
+    "AbortExplanation",
+    "CallbackSink",
+    "CounterGroup",
+    "EventTrace",
+    "EventType",
+    "Histogram",
+    "JsonlFileSink",
+    "MetricsRegistry",
+    "PivotTriple",
+    "RingBufferSink",
+    "TraceEvent",
+    "deep_copy_counters",
+    "explain_abort",
+    "json_safe",
+]

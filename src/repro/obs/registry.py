@@ -1,0 +1,215 @@
+"""Typed metrics: counters, counter groups and histograms.
+
+The engine used to report its telemetry through three disconnected ad-hoc
+dicts (``Database.stats``, ``LockManager.stats``, tracker stats).  The
+:class:`MetricsRegistry` absorbs them behind one snapshot API — the
+``pg_stat``-style counter surface the PostgreSQL SSI implementation leans
+on to validate and tune its algorithm (Ports & Grittner, VLDB 2012).
+
+Design constraints:
+
+* **Hot-path cost ~ a dict increment.**  :class:`CounterGroup` is a
+  ``dict`` subclass, so ``stats["reads"] += 1`` in the engine's read path
+  compiles to the exact native-dict operations it always did; the
+  registry only adds *snapshot* semantics around the same storage.
+* **Snapshots are deep and JSON-safe.**  :meth:`MetricsRegistry.snapshot`
+  returns plain nested dicts of ints/floats, recursively copied, so an
+  exported snapshot never aliases live engine state and always survives
+  strict ``json.dumps`` (no ``Infinity``/``NaN``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+
+def deep_copy_counters(mapping: Mapping) -> dict:
+    """Recursively copy a counter mapping into plain dicts."""
+    return {
+        key: deep_copy_counters(value) if isinstance(value, Mapping) else value
+        for key, value in mapping.items()
+    }
+
+
+def json_safe(obj: Any) -> Any:
+    """Recursively convert ``obj`` into strictly-JSON-serialisable data.
+
+    Non-finite floats become ``None`` (``json.dumps`` would otherwise emit
+    the non-standard ``Infinity``/``NaN`` literals that silently corrupt
+    trajectory files); mappings and sequences are copied; any other
+    non-scalar value is rendered via ``str``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, Mapping):
+        return {str(key): json_safe(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in obj]
+    return str(obj)
+
+
+class CounterGroup(dict):
+    """A named group of counters with native-dict increment speed.
+
+    Values are ints (or nested :class:`CounterGroup`/dicts for
+    sub-buckets, e.g. the per-reason abort counts).  The group itself is
+    what engine components mutate directly; the registry holds a
+    reference and deep-copies on snapshot.
+    """
+
+    __slots__ = ()
+
+    def snapshot(self) -> dict:
+        """Deep plain-dict copy; safe to hand out and to serialise."""
+        return deep_copy_counters(self)
+
+    def reset(self) -> None:
+        """Zero every counter, recursively, in place."""
+        for key, value in self.items():
+            if isinstance(value, Mapping):
+                for sub in value:
+                    value[sub] = 0
+            else:
+                self[key] = 0
+
+
+class Histogram:
+    """A streaming histogram: count/sum/min/max plus fixed buckets.
+
+    Buckets are upper-bound edges (``le``); one overflow bucket catches
+    everything above the last edge.  Cheap enough to observe on engine
+    paths (a bisect over a handful of edges) and summarises without
+    retaining samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_edges", "_buckets")
+
+    #: default edges suit both sub-millisecond waits and chain lengths
+    DEFAULT_EDGES = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+    def __init__(self, name: str, edges: Iterable[float] | None = None):
+        self.name = name
+        self._edges = tuple(edges) if edges is not None else self.DEFAULT_EDGES
+        self._buckets = [0] * (len(self._edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, edge in enumerate(self._edges):
+            if value <= edge:
+                self._buckets[index] += 1
+                return
+        self._buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary; all values finite and JSON-safe."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{edge:g}": n for edge, n in zip(self._edges, self._buckets)},
+                "overflow": self._buckets[-1],
+            },
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._buckets = [0] * (len(self._edges) + 1)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """The unified telemetry surface of one :class:`~repro.engine.database.Database`.
+
+    Components register their :class:`CounterGroup` (keeping a direct
+    reference for hot-path increments); consumers call :meth:`snapshot`
+    and get an isolated deep copy of everything.
+    """
+
+    def __init__(self):
+        self._groups: dict[str, CounterGroup] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -------------------------------------------------------- registration
+
+    def group(self, name: str, initial: Mapping | None = None) -> CounterGroup:
+        """Create (or fetch) a counter group.  ``initial`` seeds counters
+        on first creation; nested mappings become nested groups."""
+        existing = self._groups.get(name)
+        if existing is not None:
+            return existing
+        group = CounterGroup()
+        for key, value in (initial or {}).items():
+            group[key] = (
+                CounterGroup(value) if isinstance(value, Mapping) else value
+            )
+        self._groups[name] = group
+        return group
+
+    def register_group(self, name: str, group: Mapping) -> CounterGroup:
+        """Adopt an externally-created group (e.g. the lock manager's)."""
+        if not isinstance(group, CounterGroup):
+            group = CounterGroup(group)
+        self._groups[name] = group
+        return group
+
+    def histogram(self, name: str, edges: Iterable[float] | None = None) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is not None:
+            return existing
+        histogram = Histogram(name, edges)
+        self._histograms[name] = histogram
+        return histogram
+
+    # ------------------------------------------------------------ queries
+
+    def groups(self) -> dict[str, CounterGroup]:
+        return dict(self._groups)
+
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> dict:
+        """Deep, immutable-by-copy snapshot of every registered metric.
+
+        The result contains only plain dicts, ints, floats and None, so
+        it round-trips through strict JSON and never aliases live state.
+        """
+        return {
+            "counters": {
+                name: group.snapshot() for name, group in self._groups.items()
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        for group in self._groups.values():
+            group.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

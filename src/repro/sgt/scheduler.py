@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Hashable
 
+from repro.obs.registry import CounterGroup
+
 
 class SGTCertifier:
     """Incremental cycle-checking over the transaction conflict graph."""
@@ -23,7 +25,7 @@ class SGTCertifier:
         self._edges: dict[Hashable, set[Hashable]] = defaultdict(set)
         self._reverse: dict[Hashable, set[Hashable]] = defaultdict(set)
         self._nodes: set[Hashable] = set()
-        self.stats = {"edges": 0, "cycle_checks": 0, "cycles": 0}
+        self.stats = CounterGroup({"edges": 0, "cycle_checks": 0, "cycles": 0})
 
     def register(self, txn_id: Hashable) -> None:
         self._nodes.add(txn_id)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ABORT_REASONS
+from repro.obs.registry import json_safe
 
 
 @dataclass(slots=True)
@@ -45,8 +46,14 @@ class SimResult:
 
     @property
     def error_rate(self) -> float:
-        """CC errors per commit — the paper's 'errors / commit' axis."""
-        return self.cc_aborts / self.commits if self.commits else float("inf")
+        """CC errors per commit — the paper's 'errors / commit' axis.
+
+        A run with zero commits reports 0.0, not ``float("inf")``:
+        ``json.dumps`` serialises infinity as the non-standard
+        ``Infinity`` literal, which silently corrupts exported trajectory
+        files (strict parsers reject it).
+        """
+        return self.cc_aborts / self.commits if self.commits else 0.0
 
     @property
     def mean_response_time(self) -> float:
@@ -54,6 +61,30 @@ class SimResult:
 
     def abort_rate(self, reason: str) -> float:
         return self.aborts.get(reason, 0) / self.commits if self.commits else 0.0
+
+    def to_dict(self) -> dict:
+        """Strictly-JSON-safe export of the run (derived rates included).
+
+        Every value is a plain int/float/str/None or nested dict/list of
+        those, with non-finite floats rendered as ``None`` — the result
+        round-trips through ``json.dumps``/``json.loads`` with a strict
+        ``parse_constant``.
+        """
+        return json_safe({
+            "isolation": self.isolation,
+            "mpl": self.mpl,
+            "duration": self.duration,
+            "commits": self.commits,
+            "aborts": dict(self.aborts),
+            "commits_by_type": dict(self.commits_by_type),
+            "response_time_sum": self.response_time_sum,
+            "throughput": self.throughput,
+            "total_aborts": self.total_aborts,
+            "cc_aborts": self.cc_aborts,
+            "error_rate": self.error_rate,
+            "mean_response_time": self.mean_response_time,
+            "engine_stats": self.engine_stats,
+        })
 
     def summary(self) -> str:
         aborts = ", ".join(

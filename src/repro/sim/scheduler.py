@@ -161,6 +161,9 @@ class Simulator:
             isolation=self.isolation.value, mpl=mpl, duration=self.config.duration
         )
         self._horizon = self.config.warmup + self.config.duration
+        #: lock-wait histogram, cached off the database's registry so the
+        #: park/wake path pays one attribute load per wait.
+        self._h_lock_wait = database.metrics.histogram("lock_wait_time")
 
     # ------------------------------------------------------------ plumbing
 
@@ -201,26 +204,45 @@ class Simulator:
                 break
             self.now = when
             fn()
+        # One deep, immutable-by-copy snapshot from the engine's metrics
+        # registry: exported results never alias live engine state (the
+        # nested aborts dict in particular used to leak by reference).
+        snapshot = self.db.metrics.snapshot()
         self.result.engine_stats = {
-            "locks": dict(self.db.locks.stats),
-            "tracker": dict(self.db.tracker.stats),
-            "suspended_peak": self.db.stats["suspended_peak"],
+            "locks": snapshot["counters"]["locks"],
+            "tracker": snapshot["counters"]["tracker"],
+            "engine": snapshot["counters"]["engine"],
+            "histograms": snapshot["histograms"],
+            "suspended_peak": snapshot["counters"]["engine"]["suspended_peak"],
         }
         return self.result
 
-    def _schedule_deadlock_sweep(self) -> None:
-        def sweep() -> None:
-            self.db.sweep_deadlocks()
-            self._schedule_deadlock_sweep()
+    def _schedule_periodic(self, start: float, interval: float, action) -> None:
+        """Run ``action`` every ``interval`` simulated seconds.
 
-        self.schedule_at(self.now + self.config.deadlock_interval, sweep)
+        Each tick re-schedules from its *intended* fire time, not from
+        ``self.now`` inside the callback: if a tick ever runs late (event
+        bursts scheduled ahead of it at the same timestamp, or a callback
+        that advances the clock), the cadence catches back up instead of
+        permanently slipping by the delay."""
+
+        def tick(fire_at: float) -> None:
+            action()
+            next_at = fire_at + interval
+            self.schedule_at(next_at, lambda: tick(next_at))
+
+        first = start + interval
+        self.schedule_at(first, lambda: tick(first))
+
+    def _schedule_deadlock_sweep(self) -> None:
+        self._schedule_periodic(
+            self.now, self.config.deadlock_interval, self.db.sweep_deadlocks
+        )
 
     def _schedule_vacuum(self) -> None:
-        def vacuum() -> None:
-            self.db.vacuum()
-            self._schedule_vacuum()
-
-        self.schedule_at(self.now + self.config.vacuum_interval, vacuum)
+        self._schedule_periodic(
+            self.now, self.config.vacuum_interval, self.db.vacuum
+        )
 
     # -------------------------------------------------------- client logic
 
@@ -272,6 +294,7 @@ class Simulator:
 
     def _park(self, client: _Client, op, request) -> None:
         client.parked = True
+        wait_started = self.now
         timeout = self.db.config.lock_timeout
         if timeout is not None:
             def fire_timeout() -> None:
@@ -282,6 +305,7 @@ class Simulator:
         def on_resolve(resolved) -> None:
             def wake() -> None:
                 client.parked = False
+                self._h_lock_wait.observe(self.now - wait_started)
                 if resolved.state is RequestState.GRANTED:
                     self._execute(client, op)
                 else:

@@ -1,0 +1,143 @@
+"""Abort accounting: every abort lands in exactly one reason bucket.
+
+The reason histogram (``db.stats["aborts"]``) feeds the paper's
+error-rate figures; a double-counted or mis-bucketed abort skews every
+"errors per commit" series.  These tests pin down the bucket each
+termination path uses, across the three isolation levels the paper
+compares, and that voluntary rollbacks stay out of the CC-abort count.
+"""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import (
+    ABORT_REASONS,
+    DeadlockError,
+    UpdateConflictError,
+    LockWaitRequired,
+    TransactionAbortedError,
+    UnsafeError,
+)
+from repro.sim.metrics import SimResult
+
+from tests.conftest import commit_outcomes, fill
+
+
+def abort_deltas(db, before):
+    after = db.stats["aborts"]
+    return {reason: after[reason] - before[reason] for reason in after}
+
+
+def only_bucket(deltas, reason):
+    """True iff exactly ``reason`` moved, by exactly one."""
+    return deltas[reason] == 1 and sum(deltas.values()) == 1
+
+
+class TestBucketPerPath:
+    def test_buckets_match_abort_reasons(self, db):
+        assert tuple(db.stats["aborts"]) == ABORT_REASONS
+
+    def test_si_first_committer_wins_counts_conflict(self, db):
+        fill(db, "t", {"k": 1})
+        t1, t2 = db.begin("si"), db.begin("si")
+        t1.read("t", "k"), t2.read("t", "k")
+        t1.write("t", "k", 2)
+        t1.commit()
+        before = dict(db.stats["aborts"])
+        with pytest.raises(UpdateConflictError):
+            t2.write("t", "k", 3)
+        assert only_bucket(abort_deltas(db, before), "conflict")
+
+    def test_ssi_write_skew_counts_unsafe(self, db):
+        fill(db, "acct", {"x": 50, "y": 50})
+        t1, t2 = db.begin("ssi"), db.begin("ssi")
+        before = dict(db.stats["aborts"])
+        outcomes = []
+        for txn, key in ((t1, "x"), (t2, "y")):
+            try:
+                total = txn.read("acct", "x") + txn.read("acct", "y")
+                txn.write("acct", key, total - 150)
+            except TransactionAbortedError as error:
+                outcomes.append(error.reason)
+        outcomes.extend(commit_outcomes(t1, t2))
+        assert "unsafe" in outcomes
+        deltas = abort_deltas(db, before)
+        assert deltas["unsafe"] == outcomes.count("unsafe")
+        assert sum(deltas.values()) == deltas["unsafe"]
+
+    def test_s2pl_deadlock_counts_deadlock(self, db):
+        fill(db, "t", {"a": 1, "b": 2})
+        t1, t2 = db.begin("s2pl"), db.begin("s2pl")
+        t1.write("t", "a", 10)
+        t2.write("t", "b", 20)
+        before = dict(db.stats["aborts"])
+        with pytest.raises(LockWaitRequired):
+            db.write(t1, "t", "b", 11)
+        with pytest.raises(DeadlockError):
+            db.write(t2, "t", "a", 21)
+        assert only_bucket(abort_deltas(db, before), "deadlock")
+        db.write(t1, "t", "b", 11)
+        t1.commit()
+
+    def test_voluntary_rollback_counts_aborted(self, db):
+        txn = db.begin("si")
+        before = dict(db.stats["aborts"])
+        txn.abort()
+        assert only_bucket(abort_deltas(db, before), "aborted")
+
+    def test_explicit_constraint_rollback_counts_constraint(self, db):
+        # The simulator maps integrity failures to reason="constraint";
+        # the engine must file them under that bucket, not "aborted".
+        txn = db.begin("si")
+        before = dict(db.stats["aborts"])
+        db.abort(txn, reason="constraint")
+        assert only_bucket(abort_deltas(db, before), "constraint")
+
+    def test_unknown_reason_falls_back_to_aborted(self, db):
+        txn = db.begin("si")
+        before = dict(db.stats["aborts"])
+        db.abort(txn, reason="user-hit-ctrl-c")
+        assert only_bucket(abort_deltas(db, before), "aborted")
+
+    def test_double_abort_counts_once(self, db):
+        txn = db.begin("si")
+        before = dict(db.stats["aborts"])
+        txn.abort()
+        txn.abort()
+        db.abort(txn)
+        assert sum(abort_deltas(db, before).values()) == 1
+
+    def test_doomed_ssi_victim_counts_once(self, db):
+        """A doomed pivot aborts exactly once even though the doom is
+        discovered on a later operation."""
+        fill(db, "acct", {"x": 50, "y": 50})
+        t1, t2 = db.begin("ssi"), db.begin("ssi")
+        before = dict(db.stats["aborts"])
+        aborted = 0
+        for txn, key in ((t1, "x"), (t2, "y")):
+            try:
+                total = txn.read("acct", "x") + txn.read("acct", "y")
+                txn.write("acct", key, total - 150)
+            except UnsafeError:
+                aborted += 1
+        for txn in (t1, t2):
+            if txn.is_active:
+                try:
+                    txn.commit()
+                except TransactionAbortedError:
+                    aborted += 1
+        deltas = abort_deltas(db, before)
+        assert sum(deltas.values()) == aborted
+
+
+class TestCcAbortExclusions:
+    def test_cc_aborts_exclude_voluntary_rollbacks(self):
+        result = SimResult(isolation="si", mpl=1, duration=1.0)
+        result.aborts.update({"conflict": 2, "unsafe": 1, "constraint": 7})
+        assert result.total_aborts == 10
+        assert result.cc_aborts == 3
+
+    def test_error_rate_uses_cc_aborts_only(self):
+        result = SimResult(isolation="si", mpl=1, duration=1.0, commits=10)
+        result.aborts.update({"constraint": 30, "deadlock": 5})
+        assert result.error_rate == pytest.approx(0.5)

@@ -1,0 +1,102 @@
+"""End-to-end observability: trace a real SSI run, explain its aborts.
+
+The acceptance scenario for the telemetry layer: a contended SmallBank
+run under Serializable SI produces dangerous-structure aborts, and the
+event trace alone — no live transaction records — suffices to
+reconstruct the pivot triple behind at least one of them.
+"""
+
+import json
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import TransactionStateError
+from repro.obs.trace import EventType, JsonlFileSink, RingBufferSink
+from repro.sim.scheduler import SimConfig, Simulator
+from repro.workloads.smallbank import make_smallbank
+
+
+def run_contended_smallbank(db, mpl=8, duration=0.5):
+    workload = make_smallbank(customers=4)
+    workload.setup(db)
+    sim = Simulator(db, workload, "ssi", mpl,
+                    SimConfig(duration=duration, warmup=0.0))
+    return sim.run()
+
+
+def unsafe_abort_ids(trace):
+    return [
+        event.txn_id
+        for event in trace.events(etype=EventType.ABORT)
+        if event.data.get("reason") == "unsafe"
+    ]
+
+
+class TestExplainAbortEndToEnd:
+    def test_pivot_reconstructed_from_a_real_run(self):
+        db = Database(EngineConfig())
+        trace = db.enable_tracing(RingBufferSink(capacity=200_000))
+        result = run_contended_smallbank(db)
+        assert result.aborts["unsafe"] > 0, "contended run must hit unsafe aborts"
+
+        doomed = unsafe_abort_ids(trace)
+        assert doomed, "every unsafe abort must appear in the trace"
+        explained = 0
+        for txn_id in doomed:
+            explanation = db.explain_abort(txn_id)
+            assert explanation.found
+            assert explanation.reason == "unsafe"
+            if explanation.pivot is None:
+                continue
+            triple = explanation.pivot
+            # The dangerous structure is complete: the pivot is known and
+            # both the incoming and outgoing rw-edge parties are recorded.
+            if triple.pivot is not None and triple.t_in is not None \
+                    and triple.t_out is not None:
+                explained += 1
+                text = explanation.render()
+                assert "--rw-->" in text and "reason=unsafe" in text
+        assert explained > 0, "no unsafe abort could be fully explained"
+
+    def test_trace_events_cover_lifecycle(self):
+        db = Database(EngineConfig())
+        trace = db.enable_tracing(RingBufferSink(capacity=200_000))
+        run_contended_smallbank(db, duration=0.2)
+        seen = {event.type for event in trace.events()}
+        assert {EventType.BEGIN, EventType.SNAPSHOT, EventType.COMMIT,
+                EventType.RW_CONFLICT, EventType.ABORT} <= seen
+
+    def test_explain_requires_tracing(self):
+        db = Database(EngineConfig())
+        with pytest.raises(TransactionStateError):
+            db.explain_abort(1)
+
+
+class TestJsonlTrajectory:
+    def test_full_run_trajectory_is_strict_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        db = Database(EngineConfig())
+        sink = JsonlFileSink(path, flush_every=64)
+        db.enable_tracing(sink, RingBufferSink(capacity=10_000))
+        run_contended_smallbank(db, duration=0.2)
+        db.disable_tracing()  # closes (and flushes) the file sink
+
+        def reject(value):
+            raise ValueError(f"non-standard JSON constant: {value!r}")
+
+        lines = path.read_text().splitlines()
+        assert len(lines) > 100
+        for line in lines:
+            event = json.loads(line, parse_constant=reject)
+            assert event["type"] in EventType.ALL
+
+
+class TestDisabledTracingStaysQuiet:
+    def test_simulation_without_tracing_allocates_no_trace(self):
+        db = Database(EngineConfig())
+        run_contended_smallbank(db, duration=0.1)
+        assert db.trace is None
+        with pytest.raises(TransactionStateError):
+            db.explain_abort(1)

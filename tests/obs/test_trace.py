@@ -1,0 +1,115 @@
+"""Event-trace layer: sinks, filtering, engine integration."""
+
+import json
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.obs.trace import (
+    CallbackSink,
+    EventTrace,
+    EventType,
+    JsonlFileSink,
+    RingBufferSink,
+)
+
+from tests.conftest import fill
+
+
+def reject_constant(value):
+    raise ValueError(f"non-standard JSON constant: {value!r}")
+
+
+class TestRingBufferSink:
+    def test_bounded_and_counts_drops(self):
+        trace = EventTrace(RingBufferSink(capacity=3))
+        for index in range(5):
+            trace.emit(EventType.BEGIN, index)
+        sink = trace.sinks[0]
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [event.txn_id for event in sink.events()] == [2, 3, 4]
+
+    def test_clear(self):
+        sink = RingBufferSink(capacity=4)
+        EventTrace(sink).emit(EventType.BEGIN, 1)
+        sink.clear()
+        assert len(sink) == 0 and sink.dropped == 0
+
+
+class TestJsonlFileSink:
+    def test_every_line_is_strict_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlFileSink(path, flush_every=1) as sink:
+            trace = EventTrace(sink)
+            trace.emit(EventType.BEGIN, 7, isolation="ssi")
+            trace.emit(EventType.ABORT, 7, reason="unsafe", bad=float("nan"))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line, parse_constant=reject_constant) for line in lines]
+        assert events[0]["type"] == "begin" and events[0]["txn"] == 7
+        assert events[1]["reason"] == "unsafe"
+        assert events[1]["bad"] is None  # non-finite floats scrubbed
+
+
+class TestEventTrace:
+    def test_sequence_is_monotonic(self):
+        trace = EventTrace()
+        events = [trace.emit(EventType.BEGIN, i) for i in range(4)]
+        assert [event.seq for event in events] == [0, 1, 2, 3]
+
+    def test_callback_sink(self):
+        seen = []
+        trace = EventTrace(CallbackSink(seen.append), RingBufferSink())
+        trace.emit(EventType.COMMIT, 1)
+        assert len(seen) == 1 and seen[0].type == "commit"
+
+    def test_filter_by_txn_includes_peer_edges(self):
+        trace = EventTrace()
+        trace.emit(EventType.RW_CONFLICT, 1, peer=2)
+        trace.emit(EventType.BEGIN, 3)
+        events = trace.events(txn_id=2)
+        assert len(events) == 1 and events[0].data["peer"] == 2
+
+    def test_filter_by_type(self):
+        trace = EventTrace()
+        trace.emit(EventType.BEGIN, 1)
+        trace.emit(EventType.COMMIT, 1)
+        assert [e.type for e in trace.events(etype=EventType.COMMIT)] == ["commit"]
+        both = trace.events(etype=(EventType.BEGIN, EventType.COMMIT))
+        assert len(both) == 2
+
+
+class TestDatabaseIntegration:
+    def test_tracing_off_by_default(self):
+        db = Database(EngineConfig())
+        assert db.trace is None
+        assert db.locks.trace is None
+
+    def test_enable_then_disable(self):
+        db = Database(EngineConfig())
+        trace = db.enable_tracing()
+        assert db.trace is trace and db.locks.trace is trace
+        db.disable_tracing()
+        assert db.trace is None and db.locks.trace is None
+
+    def test_lifecycle_events_for_a_commit(self):
+        db = Database(EngineConfig())
+        trace = db.enable_tracing()
+        fill(db, "t", {"k": 1})
+        txn = db.begin("ssi")
+        txn.read("t", "k")
+        txn.write("t", "k", 2)
+        txn.commit()
+        types = [event.type for event in trace.events(txn_id=txn.id)]
+        assert types[0] == EventType.BEGIN
+        assert EventType.SNAPSHOT in types
+        assert types[-1] in (EventType.COMMIT, EventType.CLEANUP)
+
+    def test_abort_event_carries_reason(self):
+        db = Database(EngineConfig())
+        trace = db.enable_tracing()
+        txn = db.begin("si")
+        db.abort(txn)
+        aborts = trace.events(txn_id=txn.id, etype=EventType.ABORT)
+        assert len(aborts) == 1
+        assert aborts[0].data["reason"] == "aborted"

@@ -32,10 +32,39 @@ def test_abort_classification():
     assert result.abort_rate("unsafe") == pytest.approx(0.03)
 
 
-def test_error_rate_with_no_commits_is_infinite():
+def test_error_rate_with_no_commits_is_zero():
+    # A zero-commit run must not report float("inf") — json.dumps turns
+    # that into the non-standard Infinity literal and corrupts exports.
     result = make_result(commits=0)
     result.aborts["conflict"] = 1
-    assert result.error_rate == float("inf")
+    assert result.error_rate == 0.0
+
+
+def _reject(value):
+    raise ValueError(f"non-standard JSON constant: {value!r}")
+
+
+def test_to_dict_round_trips_under_strict_json():
+    import json
+
+    result = make_result(commits=0)
+    result.aborts["conflict"] = 3
+    result.engine_stats = {"locks": {"acquires": 17}}
+    text = json.dumps(result.to_dict(), allow_nan=False)
+    restored = json.loads(text, parse_constant=_reject)
+    assert restored["error_rate"] == 0.0
+    assert restored["aborts"]["conflict"] == 3
+    assert restored["engine_stats"]["locks"]["acquires"] == 17
+
+
+def test_to_dict_scrubs_non_finite_floats():
+    import json
+
+    result = make_result(commits=2, response_time_sum=float("nan"))
+    text = json.dumps(result.to_dict(), allow_nan=False)
+    restored = json.loads(text, parse_constant=_reject)
+    assert restored["response_time_sum"] is None
+    assert restored["mean_response_time"] is None
 
 
 def test_mean_response_time():
