@@ -1,0 +1,203 @@
+"""Generate the golden-outcome fixture for the CC-policy equivalence test.
+
+Runs a bank of conflict-prone transaction scenarios through seeded random
+interleavings at every isolation level and records who committed, who
+aborted, and with which reason.  The resulting JSON is committed as
+``tests/properties/data/cc_equivalence.json`` and replayed by
+``tests/properties/test_cc_equivalence.py``: any refactor of the
+concurrency-control dispatch must reproduce these outcomes exactly.
+
+The committed fixture was generated from the pre-policy-extraction engine
+(the monolithic ``Database`` with inline ``if txn.isolation is ...``
+branches), so the test proves the policy layer is behaviour-preserving.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_cc_equivalence.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from repro.engine.config import EngineConfig
+from repro.sim.interleave import run_interleaving
+from repro.sim.ops import Delete, Get, Insert, Read, ReadForUpdate, Scan, Write
+
+LEVELS = ("ssi", "si", "s2pl", "sgt")
+
+OUT_PATH = Path(__file__).resolve().parent.parent / (
+    "tests/properties/data/cc_equivalence.json"
+)
+
+
+def _write_skew():
+    """The canonical SI write-skew pair (paper Fig 2.1)."""
+
+    def setup(db):
+        db.create_table("t")
+        db.load("t", [("x", 50), ("y", 50)])
+
+    def t0():
+        x = yield Read("t", "x")
+        y = yield Read("t", "y")
+        yield Write("t", "x", x + y - 150)
+
+    def t1():
+        x = yield Read("t", "x")
+        y = yield Read("t", "y")
+        yield Write("t", "y", x + y - 150)
+
+    return setup, [t0, t1], [4, 4]
+
+
+def _lost_update():
+    """Two read-modify-write increments of the same item."""
+
+    def setup(db):
+        db.create_table("t")
+        db.load("t", [("x", 0)])
+
+    def incr():
+        x = yield Read("t", "x")
+        yield Write("t", "x", x + 1)
+
+    return setup, [incr, incr], [3, 3]
+
+
+def _locking_rmw():
+    """Two SELECT-FOR-UPDATE increments (first-updater-wins path)."""
+
+    def setup(db):
+        db.create_table("t")
+        db.load("t", [("x", 0)])
+
+    def incr():
+        x = yield ReadForUpdate("t", "x")
+        yield Write("t", "x", x + 1)
+
+    return setup, [incr, incr], [3, 3]
+
+
+def _phantom_pair():
+    """Two scan-then-insert transactions over one range (Fig 3.6/3.7)."""
+
+    def setup(db):
+        db.create_table("t")
+        db.load("t", [(0, "a"), (10, "b")])
+
+    def t0():
+        rows = yield Scan("t", 0, 10)
+        yield Insert("t", 5, len(rows))
+
+    def t1():
+        rows = yield Scan("t", 0, 10)
+        yield Insert("t", 6, len(rows))
+
+    return setup, [t0, t1], [3, 3]
+
+
+def _read_only_anomaly():
+    """Fekete/O'Neil read-only anomaly: two updaters plus a reporter."""
+
+    def setup(db):
+        db.create_table("acct")
+        db.load("acct", [("chk", 0), ("sav", 0)])
+
+    def deposit():
+        sav = yield Read("acct", "sav")
+        yield Write("acct", "sav", sav + 20)
+
+    def withdraw():
+        chk = yield Read("acct", "chk")
+        sav = yield Read("acct", "sav")
+        yield Write("acct", "chk", chk + sav - 10)
+
+    def report():
+        yield Read("acct", "chk")
+        yield Read("acct", "sav")
+
+    return setup, [deposit, withdraw, report], [3, 4, 3]
+
+
+def _delete_vs_read():
+    """A scan-and-delete racing a read-and-write of the doomed key."""
+
+    def setup(db):
+        db.create_table("t")
+        db.load("t", [(1, "a"), (3, "b"), (7, "c")])
+
+    def reaper():
+        yield Scan("t", 1, 7)
+        yield Delete("t", 3)
+
+    def toucher():
+        v = yield Get("t", 3, "gone")
+        yield Write("t", 7, v)
+
+    return setup, [reaper, toucher], [3, 3]
+
+
+SCENARIOS = [
+    ("write_skew", _write_skew),
+    ("lost_update", _lost_update),
+    ("locking_rmw", _locking_rmw),
+    ("phantom_pair", _phantom_pair),
+    ("read_only_anomaly", _read_only_anomaly),
+    ("delete_vs_read", _delete_vs_read),
+]
+
+
+def random_order(rng: random.Random, step_counts) -> list[int]:
+    """A seeded random merge of the per-transaction step sequences."""
+    order = [
+        index for index, count in enumerate(step_counts) for _ in range(count)
+    ]
+    rng.shuffle(order)
+    return order
+
+
+def generate(case_count: int = 60) -> list[dict]:
+    cases = []
+    for seed in range(case_count):
+        rng = random.Random(seed)
+        name, factory = SCENARIOS[seed % len(SCENARIOS)]
+        setup, programs, step_counts = factory()
+        order = random_order(rng, step_counts)
+        outcomes = {}
+        for level in LEVELS:
+            setup_l, programs_l, _counts = factory()
+            outcome = run_interleaving(
+                setup_l,
+                programs_l,
+                order,
+                isolation=level,
+                engine_config=EngineConfig(record_history=True),
+            )
+            outcomes[level] = {
+                str(index): status for index, status in outcome.statuses.items()
+            }
+        cases.append(
+            {"seed": seed, "scenario": name, "order": order, "outcomes": outcomes}
+        )
+    return cases
+
+
+def main() -> None:
+    cases = generate()
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps({"cases": cases}, indent=1) + "\n")
+    committed = sum(
+        1
+        for case in cases
+        for statuses in case["outcomes"].values()
+        for status in statuses.values()
+        if status == "committed"
+    )
+    print(f"wrote {len(cases)} cases ({committed} commits) to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

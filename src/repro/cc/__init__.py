@@ -1,0 +1,36 @@
+"""Pluggable concurrency-control policies.
+
+One :class:`~repro.cc.policy.CCPolicy` per isolation level, registered by
+level in :mod:`repro.cc.registry`; the database kernel dispatches every
+discipline-specific decision through the owning transaction's policy.
+
+Import order below is registration/installation order and is deliberate:
+SSI installs the shared conflict tracker before SGT installs the
+certifier (fixing the metrics-group layout ``tracker`` then ``sgt``), and
+before the read-only-optimized variant binds to that tracker.
+"""
+
+from repro.cc.policy import CCPolicy
+from repro.cc.registry import build_policies, register_policy, registered_levels
+from repro.cc.s2pl import S2PLPolicy
+from repro.cc.si import SIPolicy
+from repro.cc.ssi import SSIPolicy, SSIReadOnlyOptPolicy
+from repro.cc.sgt import SGTPolicy
+
+register_policy(S2PLPolicy)
+register_policy(SIPolicy)
+register_policy(SSIPolicy)
+register_policy(SGTPolicy)
+register_policy(SSIReadOnlyOptPolicy)
+
+__all__ = [
+    "CCPolicy",
+    "S2PLPolicy",
+    "SIPolicy",
+    "SSIPolicy",
+    "SSIReadOnlyOptPolicy",
+    "SGTPolicy",
+    "build_policies",
+    "register_policy",
+    "registered_levels",
+]

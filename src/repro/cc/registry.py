@@ -1,0 +1,49 @@
+"""The policy registry: IsolationLevel -> CCPolicy class.
+
+Policies self-register at import time (the package ``__init__`` imports
+the built-ins in a deliberate order);
+:func:`build_policies` instantiates one policy per registered level for a
+database and runs their two-phase installation — construct everything
+first, then :meth:`~repro.cc.policy.CCPolicy.install` in registration
+order, so a policy that piggybacks on another's subsystem (the read-only
+optimization sharing SSI's tracker) finds it published.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Type
+
+from repro.cc.policy import CCPolicy
+from repro.engine.isolation import IsolationLevel
+
+if TYPE_CHECKING:
+    from repro.engine.database import Database
+
+_REGISTRY: Dict[IsolationLevel, Type[CCPolicy]] = {}
+
+
+def register_policy(policy_cls: Type[CCPolicy]) -> Type[CCPolicy]:
+    """Register (or replace) the policy class for its declared level.
+    Usable as a class decorator; returns the class unchanged."""
+    level = getattr(policy_cls, "level", None)
+    if not isinstance(level, IsolationLevel):
+        raise TypeError(
+            f"{policy_cls.__name__} must declare a `level` IsolationLevel"
+        )
+    _REGISTRY[level] = policy_cls
+    return policy_cls
+
+
+def registered_levels() -> tuple[IsolationLevel, ...]:
+    """The levels with a registered policy, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def build_policies(db: "Database") -> Dict[IsolationLevel, CCPolicy]:
+    """Instantiate and install one policy per registered level for ``db``."""
+    policies = {
+        level: policy_cls(db) for level, policy_cls in _REGISTRY.items()
+    }
+    for policy in policies.values():
+        policy.install(db)
+    return policies

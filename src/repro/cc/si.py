@@ -1,0 +1,20 @@
+"""Plain snapshot isolation (Section 2.3).
+
+Reads come from the begin-time snapshot with no read locks of any kind;
+writes take EXCLUSIVE locks under first-updater/first-committer-wins.
+Write skew and phantom anomalies are permitted — this is the discipline
+the paper's algorithm upgrades.  Every hook is the kernel default (the
+base class *is* the SI policy); the subclass exists only to carry the
+level key.
+"""
+
+from __future__ import annotations
+
+from repro.cc.policy import CCPolicy
+from repro.engine.isolation import IsolationLevel
+
+
+class SIPolicy(CCPolicy):
+    """Snapshot isolation: the unmodified substrate."""
+
+    level = IsolationLevel.SNAPSHOT

@@ -74,7 +74,8 @@ class ConflictTracker:
         #: statistics for the evaluation: how many times each path fired.
         #: A CounterGroup so the engine's MetricsRegistry can adopt it.
         self.stats = CounterGroup(
-            {"marked": 0, "unsafe_at_mark": 0, "unsafe_at_commit": 0}
+            {"marked": 0, "unsafe_at_mark": 0, "unsafe_at_commit": 0,
+             "excused": 0}
         )
 
     def init_transaction(self, txn) -> None:
@@ -264,7 +265,18 @@ class EnhancedConflictTracker(ConflictTracker):
             # Single outgoing reference, not yet committed: it will commit
             # after txn, so it is provably not the first committer.
             return False
-        return out_bound <= self._in_bound(txn)
+        if out_bound > self._in_bound(txn):
+            return False
+        # The structure is dangerous by commit order; give the pivot's CC
+        # policy a veto (e.g. the read-only optimization, which excuses a
+        # structure whose read-only T_in took its snapshot before T_out
+        # committed).  The precise slot references this tracker keeps are
+        # exactly what such excuses need.
+        policy = getattr(txn, "policy", None)
+        if policy is not None and policy.excuses_unsafe(txn):
+            self.stats["excused"] += 1
+            return False
+        return True
 
     def _abort_early_victim_enhanced(self, reader, writer) -> Optional[object]:
         """Abort-early for the enhanced tracker: only abort an active

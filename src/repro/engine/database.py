@@ -25,12 +25,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Hashable, Iterable, Optional
 
-from repro.core.conflicts import (
-    ConflictTracker,
-    conflict_ref_id,
-    make_tracker,
-    pivot_triple,
-)
+from repro.cc import build_policies
 from repro.engine.config import DeadlockMode, EngineConfig, LockGranularity
 from repro.engine.indexes import IndexDef, KeyFunc
 from repro.engine.isolation import IsolationLevel
@@ -45,7 +40,6 @@ from repro.errors import (
     TableError,
     TransactionAbortedError,
     TransactionStateError,
-    UnsafeError,
     UpdateConflictError,
 )
 from repro.locking.deadlock import DeadlockDetector
@@ -67,7 +61,6 @@ from repro.obs.explain import AbortExplanation, explain_abort as _explain_abort
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import EventTrace, EventType
 from repro.sgt.history import HistoryRecorder
-from repro.sgt.scheduler import SGTCertifier
 from repro.storage.btree import SUPREMUM
 from repro.storage.table import Table
 
@@ -101,12 +94,6 @@ class Database:
         self.locks = LockManager(
             deadlock_handler=handler, siread_upgrade=self.config.siread_upgrade
         )
-        self.tracker: ConflictTracker = make_tracker(
-            precise=self.config.precise_conflicts,
-            victim_policy=self.config.victim_policy,
-            abort_early=self.config.abort_early,
-        )
-        self.certifier = SGTCertifier()
         self.deadlock_detector = DeadlockDetector()
 
         #: transactions findable by id: active, plus committed-suspended
@@ -142,13 +129,17 @@ class Database:
             "scans": 0,
             "suspended_peak": 0,
             "cleaned": 0,
+            "mixed_edges_dropped": 0,
         })
-        # The lock manager, tracker and certifier already keep their
-        # counters in CounterGroups; adopting them (same object, no copy)
-        # folds all three formerly-scattered stats dicts into one surface.
+        # The lock manager (and the policy-owned tracker/certifier, below)
+        # keep their counters in CounterGroups; adopting them (same
+        # object, no copy) folds every stats dict into one surface.
         self.metrics.register_group("locks", self.locks.stats)
-        self.metrics.register_group("tracker", self.tracker.stats)
-        self.metrics.register_group("sgt", self.certifier.stats)
+        #: one CCPolicy instance per isolation level.  Policies that own
+        #: engine subsystems publish them during install (SSIPolicy sets
+        #: ``self.tracker``, SGTPolicy sets ``self.certifier``) and adopt
+        #: their metrics groups into the registry.
+        self._policies = build_policies(self)
         self._h_lock_wait = self.metrics.histogram("lock_wait_time")
         self._h_chain_length = self.metrics.histogram(
             "version_chain_length", edges=(1, 2, 4, 8, 16, 32, 64)
@@ -275,18 +266,21 @@ class Database:
         """Start a transaction at the given isolation level (Fig 3.1)."""
         isolation = IsolationLevel.parse(isolation)
         with self._mutex:
-            txn = Transaction(self, self._next_txn_id, isolation, self.clock.next())
+            # The single level -> behavior lookup: everything downstream
+            # dispatches through txn.policy.
+            policy = self._policies[isolation]
+            txn = Transaction(
+                self, self._next_txn_id, isolation, self.clock.next(),
+                policy=policy,
+            )
             self._next_txn_id += 1
             self._registry[txn.id] = txn
             self._active[txn.id] = txn
             self.stats["begins"] += 1
-            if isolation is IsolationLevel.SERIALIZABLE_SSI:
-                self.tracker.init_transaction(txn)
-            if isolation is IsolationLevel.SGT:
-                self.certifier.register(txn.id)
+            policy.on_begin(txn)
             if self.trace is not None:
                 self.trace.emit(EventType.BEGIN, txn.id, isolation=isolation.value)
-            if isolation.uses_snapshots and not self.config.deferred_snapshot:
+            if policy.uses_snapshots and not self.config.deferred_snapshot:
                 self._assign_snapshot(txn)
             if self.history is not None:
                 self.history.on_begin(txn.id)
@@ -312,19 +306,10 @@ class Database:
             self._check_doom(txn)
             if not txn.is_active:
                 raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
-            if txn.isolation is IsolationLevel.SERIALIZABLE_SSI:
-                if self.tracker.check_commit(txn):
-                    if self.trace is not None:
-                        t_in, pivot_id, t_out = pivot_triple(txn)
-                        self.trace.emit(
-                            EventType.UNSAFE, txn.id, at="commit",
-                            pivot=pivot_id, t_in=t_in, t_out=t_out,
-                        )
-                    error = UnsafeError(
-                        "commit would risk a non-serializable execution", txn_id=txn.id
-                    )
-                    self._abort_internal(txn, error.reason)
-                    raise error
+            error = txn.policy.before_commit(txn)
+            if error is not None:
+                self._abort_internal(txn, error.reason)
+                raise error
             txn.commit_ts = self.clock.next()
             txn.status = TransactionStatus.COMMITTED
             page_mode = self.config.granularity is LockGranularity.PAGE
@@ -338,8 +323,7 @@ class Database:
                 if page_mode:
                     page_key = (table_name, table.leaf_page_of(key))
                     self._page_commit_ts[page_key] = txn.commit_ts
-            if txn.isolation is IsolationLevel.SERIALIZABLE_SSI:
-                self.tracker.after_commit(txn)
+            txn.policy.after_commit(txn)
             if self.wal is not None and txn.write_set:
                 for (table_name, key), value in txn.write_set.items():
                     self.wal.log_write(
@@ -363,12 +347,8 @@ class Database:
         with self._mutex:
             if not txn.is_committed:
                 raise TransactionStateError("finalize_commit before prepare_commit")
-            keep_siread = False
-            if txn.isolation.detects_rw_conflicts:
-                # Suspend if SIREAD locks are held OR an outgoing conflict
-                # was detected (the Section 3.7.3 adjustment).
-                keep_siread = self.locks.holds_any_siread(txn) or bool(txn.out_conflict)
-            retain = keep_siread or txn.isolation is IsolationLevel.SGT
+            keep_siread = txn.policy.retain_read_locks(txn)
+            retain = txn.policy.retain_record(txn, keep_siread)
             self.locks.release_all(txn, keep_siread=keep_siread)
             self._active.pop(txn.id, None)
             if retain:
@@ -449,7 +429,7 @@ class Database:
             self._ensure_snapshot(txn)
             self.stats["scans"] += 1
 
-            read_mode = self._read_lock_mode(txn)
+            read_mode = txn.policy.read_lock_mode(txn)
             chains = table.scan_chains(lo, hi)
             results: list[tuple[Hashable, Any]] = []
             seen: list[Hashable] = []
@@ -487,7 +467,7 @@ class Database:
             self._acquire_write_locks(txn, table_name, key, gap=False)
             self._ensure_snapshot(txn)
             self._first_committer_check(txn, table_name, key)
-            self._certify_ww(txn, table_name, key)
+            txn.policy.on_write(txn, table_name, key)
             self._maintain_indexes(txn, table_name, key, value)
             txn.write_set[(table_name, key)] = value
             txn.write_kinds.setdefault((table_name, key), "write")
@@ -509,7 +489,7 @@ class Database:
             del value_now
             if exists:
                 raise DuplicateKeyError(table_name, key)
-            self._certify_ww(txn, table_name, key)
+            txn.policy.on_write(txn, table_name, key)
             self._maintain_indexes(txn, table_name, key, value)
             # Register the key in the tree now (with an empty, invisible
             # chain) so gap structure and page layout reflect the insert.
@@ -545,7 +525,7 @@ class Database:
             )
             if not exists:
                 raise KeyNotFoundError(table_name, key)
-            self._certify_ww(txn, table_name, key)
+            txn.policy.on_write(txn, table_name, key)
             self._maintain_indexes(txn, table_name, key, None, deleting=True)
             txn.write_set[(table_name, key)] = TOMBSTONE
             txn.write_kinds[(table_name, key)] = "delete"
@@ -657,7 +637,7 @@ class Database:
             for victim in victims:
                 if self.trace is not None:
                     self.trace.emit(EventType.VICTIM, victim.id, cause="deadlock")
-                self._doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
+                self.doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
             return victims
 
     def cleanup_suspended(self) -> int:
@@ -669,14 +649,11 @@ class Database:
             cleaned = 0
             for txn in self._suspended:
                 removable = txn.commit_ts is not None and txn.commit_ts <= horizon
-                if removable and txn.isolation is IsolationLevel.SGT:
-                    # SGT nodes additionally wait out their incoming edges:
-                    # future wr/ww edges out of this node could otherwise
-                    # complete a cycle we already hold half of.
-                    removable = not self.certifier.has_incoming(txn.id)
+                if removable:
+                    removable = txn.policy.may_cleanup(txn)
                 if removable:
                     self.locks.drop_siread_locks(txn)
-                    self.certifier.remove(txn.id)
+                    self._retire(txn)
                     self._registry.pop(txn.id, None)
                     txn.suspended = False
                     cleaned += 1
@@ -758,7 +735,7 @@ class Database:
             self.history.on_snapshot(txn.id, txn.snapshot.read_ts)
 
     def _ensure_snapshot(self, txn: Transaction) -> None:
-        if txn.isolation.uses_snapshots and txn.snapshot is None:
+        if txn.policy.uses_snapshots and txn.snapshot is None:
             self._assign_snapshot(txn)
 
     def _oldest_active_read_ts(self) -> float:
@@ -786,13 +763,6 @@ class Database:
             return page_resource(table_name, self.table(table_name).leaf_page_of(gap_key))
         return gap_resource(table_name, gap_key)
 
-    def _read_lock_mode(self, txn: Transaction) -> LockMode | None:
-        if txn.isolation is IsolationLevel.SERIALIZABLE_2PL:
-            return LockMode.SHARED
-        if txn.isolation.detects_rw_conflicts:
-            return LockMode.SIREAD
-        return None  # plain SI: no read locks at all
-
     def _acquire(self, txn: Transaction, resource: Resource, mode: LockMode) -> AcquireResult:
         """Acquire or raise LockWaitRequired; resolves denied requests."""
         result = self.locks.acquire(txn, resource, mode)
@@ -812,28 +782,28 @@ class Database:
         self, txn: Transaction, table_name: str, key: Hashable, gap: bool
     ) -> None:
         """Read-side locking for one key (record, plus its gap in scans)."""
-        mode = self._read_lock_mode(txn)
+        mode = txn.policy.read_lock_mode(txn)
         if mode is None:
             return
         if gap:
             self._acquire_gap_read_lock(txn, table_name, key)
         result = self._acquire(txn, self._rec_resource(table_name, key), mode)
-        if txn.isolation.detects_rw_conflicts:
-            for lock in result.detection_conflicts:
-                # Fig 3.4 lines 2-4: a concurrent writer holds EXCLUSIVE.
-                self._mark_rw(reader=txn, writer=lock.owner)
+        for lock in result.detection_conflicts:
+            # Fig 3.4 lines 2-4: a concurrent writer holds EXCLUSIVE.
+            # (SHARED requests report no detection conflicts, so this
+            # loop is empty for lock-based readers.)
+            self.dispatch_rw_edge(reader=txn, writer=lock.owner)
 
     def _acquire_gap_read_lock(
         self, txn: Transaction, table_name: str, gap_key: Hashable
     ) -> None:
         """Fig 3.6 lines 2-4: SIREAD (or SHARED for S2PL) on a gap."""
-        mode = self._read_lock_mode(txn)
+        mode = txn.policy.read_lock_mode(txn)
         if mode is None:
             return
         result = self._acquire(txn, self._gap_resource_for(table_name, gap_key), mode)
-        if txn.isolation.detects_rw_conflicts:
-            for lock in result.detection_conflicts:
-                self._mark_rw(reader=txn, writer=lock.owner)
+        for lock in result.detection_conflicts:
+            self.dispatch_rw_edge(reader=txn, writer=lock.owner)
 
     def _acquire_write_locks(
         self, txn: Transaction, table_name: str, key: Hashable, gap: bool
@@ -867,7 +837,10 @@ class Database:
         for resource, mode in requests:
             result = self._acquire(txn, resource, mode)
             for lock in result.detection_conflicts:
-                self._mark_siread_conflict(reader=lock.owner, writer=txn)
+                # Fig 3.5/3.7: a SIREAD holder signals a potential rw
+                # edge holder -> txn; the writer's policy applies its
+                # concurrency filter (or drops the edge).
+                txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
 
     def _lock_touched_pages(
         self, txn: Transaction, table_name: str, pages: list[int]
@@ -877,103 +850,61 @@ class Database:
         for page_id in pages:
             result = self._acquire(txn, page_resource(table_name, page_id), LockMode.EXCLUSIVE)
             for lock in result.detection_conflicts:
-                self._mark_siread_conflict(reader=lock.owner, writer=txn)
-
-    def _mark_siread_conflict(self, reader: Transaction, writer: Transaction) -> None:
-        """Apply the Fig 3.5 concurrency filter, then mark."""
-        if not writer.isolation.detects_rw_conflicts:
-            return
-        if reader.is_aborted or reader.doom_error is not None:
-            return
-        if writer.isolation is IsolationLevel.SGT:
-            # The certifier tracks the full graph: even a non-concurrent
-            # rw edge (reader committed before writer began) can lie on a
-            # cycle, so no concurrency filter applies (Section 2.7).
-            self._mark_rw(reader=reader, writer=writer)
-            return
-        if reader.is_committed and reader.commit_ts is not None:
-            begin = writer.read_ts
-            if begin is None or reader.commit_ts <= begin:
-                # Not concurrent: the reader committed before the writer's
-                # snapshot — including the deferred-snapshot case, where
-                # the snapshot will be allocated after this lock grant and
-                # hence after the reader's commit (Section 4.5).
-                return
-        self._mark_rw(reader=reader, writer=writer)
+                txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
 
     # ---------------------------------------------------------- conflicts
 
-    def _mark_rw(self, reader: Transaction, writer: Transaction) -> None:
-        """Record an rw-antidependency reader -> writer; apply the victim
-        decision (UnsafeError for the calling transaction, doom for the
-        other)."""
+    def find_transaction(self, txn_id: int) -> Transaction | None:
+        """The transaction with this id, if still findable (active or
+        committed-suspended)."""
+        return self._registry.get(txn_id)
+
+    def dispatch_rw_edge(self, reader: Transaction, writer: Transaction) -> None:
+        """Offer the rw-antidependency reader -> writer to the policies of
+        both endpoints, higher ``edge_precedence`` first; the accepting
+        policy records it (and applies its victim decision).  An edge
+        neither endpoint can track — a mixed-level edge such as an SI
+        query against SSI updaters, Section 3.8 — is counted and dropped.
+        """
         if reader.id == writer.id:
             return
         if reader.is_aborted or writer.is_aborted:
             return
         if reader.doom_error is not None or writer.doom_error is not None:
             return
-        if reader.isolation is IsolationLevel.SGT or writer.isolation is IsolationLevel.SGT:
-            self._certify_edge(reader, writer)
+        first, second = reader.policy, writer.policy
+        if second.edge_precedence > first.edge_precedence:
+            first, second = second, first
+        for policy in (first, second):
+            if policy.handles_rw_edge(reader, writer):
+                policy.on_rw_edge(reader, writer)
+                return
+        self.count_dropped_mixed_edge(reader=reader, writer=writer)
+
+    def count_dropped_mixed_edge(
+        self, reader: Transaction, writer: Transaction
+    ) -> None:
+        """Telemetry for rw edges no policy could record: without it,
+        Section 3.8 mixed-workload runs silently lose their cross-level
+        dependencies and cannot be audited."""
+        if reader.id == writer.id:
             return
-        if (
-            reader.isolation is not IsolationLevel.SERIALIZABLE_SSI
-            or writer.isolation is not IsolationLevel.SERIALIZABLE_SSI
-        ):
-            # Mixed-level edge (e.g. an SI query, Section 3.8): no tracking.
-            return
-        victim = self.tracker.mark_conflict(reader, writer)
+        self.stats["mixed_edges_dropped"] += 1
         if self.trace is not None:
-            # Conflict-flag transition: the slot states *after* marking
-            # (Fig 3.4/3.5's inConflict/outConflict bookkeeping).
             self.trace.emit(
-                EventType.RW_CONFLICT, reader.id, peer=writer.id,
-                reader_out=conflict_ref_id(reader.out_conflict, reader),
-                writer_in=conflict_ref_id(writer.in_conflict, writer),
+                EventType.MIXED_EDGE, reader.id, peer=writer.id,
+                reader_level=reader.isolation.value,
+                writer_level=writer.isolation.value,
             )
-        if victim is not None:
-            if self.trace is not None:
-                self._trace_victim(victim, reader, writer)
-            self._doom(victim, UnsafeError("unsafe pattern of conflicts", txn_id=victim.id))
 
-    def _trace_victim(self, victim: Transaction, reader: Transaction,
-                      writer: Transaction) -> None:
-        """Emit the victim-selection event with the full pivot triple.
+    def _retire(self, txn: Transaction) -> None:
+        """Tell every policy ``txn`` is leaving the system (cross-level
+        edges mean one policy's bookkeeping can reference another level's
+        transactions)."""
+        for policy in self._policies.values():
+            policy.on_transaction_retired(txn)
 
-        The pivot is whichever edge party carries both an incoming and an
-        outgoing conflict (the victim itself under the default policy; the
-        committed party when the tracker's closing-edge rule fired)."""
-        candidates = [
-            txn for txn in (victim, writer, reader)
-            if bool(txn.in_conflict) and bool(txn.out_conflict)
-        ]
-        pivot = candidates[0] if candidates else victim
-        t_in, pivot_id, t_out = pivot_triple(pivot)
-        self.trace.emit(
-            EventType.VICTIM, victim.id, cause="unsafe",
-            pivot=pivot_id, t_in=t_in, t_out=t_out,
-            policy=self.config.victim_policy,
-        )
-
-    def _certify_ww(self, txn: Transaction, table_name: str, key: Hashable) -> None:
-        """SGT baseline: ww edge from the creator of the version this
-        write will supersede (rw/wr edges come from locks and reads)."""
-        if txn.isolation is not IsolationLevel.SGT:
-            return
-        chain = self.table(table_name).chain(key)
-        latest = chain.latest() if chain is not None else None
-        if latest is not None and latest.creator_id in self._registry:
-            self._certify_edge(self._registry[latest.creator_id], txn)
-
-    def _certify_edge(self, src: Transaction, dst: Transaction) -> None:
-        """SGT baseline: install the edge; abort an active participant if
-        it closes a real cycle."""
-        cycle = self.certifier.add_dependency(src.id, dst.id)
-        if cycle:
-            victim = src if src.is_active else dst
-            self._doom(victim, UnsafeError("SGT cycle detected", txn_id=victim.id))
-
-    def _doom(self, victim: Transaction, error: TransactionAbortedError) -> None:
+    def doom(self, victim: Transaction, error: TransactionAbortedError) -> None:
         """Mark a transaction for abort and wake it if it is blocked."""
         if not victim.is_active or victim.doom_error is not None:
             return
@@ -992,7 +923,7 @@ class Database:
                 policy=self.config.deadlock_victim,
                 cycle=[txn.id for txn in cycle],
             )
-        self._doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
+        self.doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
         return victim
 
     # ------------------------------------------------------------- reads
@@ -1006,7 +937,7 @@ class Database:
         if not locking:
             self._acquire_read_locks(txn, table_name, key, gap=False)
         self._ensure_snapshot(txn)
-        if locking and txn.isolation.uses_snapshots:
+        if locking and txn.policy.uses_snapshots:
             # Promotion semantics: a locking read of an item with a newer
             # committed version conflicts exactly like a write would.
             self._first_committer_check(txn, table_name, key)
@@ -1022,7 +953,8 @@ class Database:
     ) -> tuple[Any, bool]:
         """Resolve what ``txn`` sees for key: own write set, then the
         snapshot (SI family) or the latest committed version (S2PL).
-        Runs the Fig 3.4 newer-version conflict detection for SSI/SGT."""
+        The policy's ``on_read`` hook then runs its conflict detection
+        (Fig 3.4 newer-version marking, SGT wr edges)."""
         self.stats["reads"] += 1
         own = txn.write_set.get((table_name, key), _MISSING)
         if own is not _MISSING:
@@ -1035,17 +967,11 @@ class Database:
                 self.history.on_read(txn.id, table_name, key, None)
             return None, False
 
-        if txn.isolation.uses_snapshots:
+        if txn.policy.uses_snapshots:
             version = txn.snapshot.visible(chain)
-            if txn.isolation.detects_rw_conflicts:
-                # Fig 3.4 lines 8-9: every ignored newer version is an
-                # rw-dependency to its creator (if its record survives).
-                for newer in chain.newer_than(txn.snapshot.read_ts):
-                    creator = self._registry.get(newer.creator_id)
-                    if creator is not None:
-                        self._mark_rw(reader=txn, writer=creator)
         else:
             version = chain.latest()
+        txn.policy.on_read(txn, table_name, key, chain, version)
 
         if record and self.history is not None:
             self.history.on_read(
@@ -1053,14 +979,6 @@ class Database:
             )
         if version is None or version.is_tombstone:
             return None, False
-        if (
-            txn.isolation is IsolationLevel.SGT
-            and version.commit_ts > 0
-            and version.creator_id in self._registry
-        ):
-            # wr edge for the certifier baseline.
-            creator = self._registry[version.creator_id]
-            self._certify_edge(creator, txn)
         return version.value, True
 
     def _overlay_write_set(
@@ -1095,7 +1013,7 @@ class Database:
         """First-committer-wins (Section 2.5): abort if a version newer
         than our snapshot exists.  S2PL transactions skip this — their
         SHARED locks give them current reads instead."""
-        if not txn.isolation.uses_snapshots or txn.snapshot is None:
+        if not txn.policy.uses_snapshots or txn.snapshot is None:
             return
         table = self.table(table_name)
         conflicting = False
@@ -1133,7 +1051,8 @@ class Database:
         self.locks.cancel_waits(txn)
         self._active.pop(txn.id, None)
         self._registry.pop(txn.id, None)
-        self.certifier.remove(txn.id)
+        txn.policy.on_abort(txn)
+        self._retire(txn)
         if self.history is not None:
             self.history.on_abort(txn.id)
         bucket = reason if reason in self.stats["aborts"] else "aborted"

@@ -36,10 +36,22 @@ class TransactionStatus(enum.Enum):
 class Transaction:
     """One transaction; created via :meth:`Database.begin`."""
 
-    def __init__(self, database, txn_id: int, isolation: IsolationLevel, begin_seq: int):
+    def __init__(
+        self,
+        database,
+        txn_id: int,
+        isolation: IsolationLevel,
+        begin_seq: int,
+        policy=None,
+    ):
         self._db = database
         self.id = txn_id
         self.isolation = isolation
+        #: the CCPolicy implementing this transaction's isolation level;
+        #: every discipline-specific engine decision dispatches through it.
+        self.policy = (
+            policy if policy is not None else database._policies[isolation]
+        )
         #: monotonic begin order (used by victim/deadlock policies)
         self.begin_seq = begin_seq
         self.status = TransactionStatus.ACTIVE

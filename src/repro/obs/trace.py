@@ -29,6 +29,7 @@ class EventType:
     LOCK_GRANT = "lock_grant"
     LOCK_DENY = "lock_deny"
     RW_CONFLICT = "rw_conflict"
+    MIXED_EDGE = "mixed_edge_dropped"
     VICTIM = "victim"
     UNSAFE = "unsafe"
     COMMIT = "commit"
@@ -38,7 +39,7 @@ class EventType:
 
     ALL = (
         BEGIN, SNAPSHOT, LOCK_WAIT, LOCK_GRANT, LOCK_DENY, RW_CONFLICT,
-        VICTIM, UNSAFE, COMMIT, SUSPEND, CLEANUP, ABORT,
+        MIXED_EDGE, VICTIM, UNSAFE, COMMIT, SUSPEND, CLEANUP, ABORT,
     )
 
 

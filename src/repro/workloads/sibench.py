@@ -14,7 +14,7 @@ import random
 from typing import Generator
 
 from repro.engine.database import Database
-from repro.sim.ops import Compute, ReadForUpdate, Scan, Write
+from repro.sim.ops import Compute, Read, ReadForUpdate, Scan, Write
 from repro.sim.workload import Mix, Workload
 
 TABLE = "sitest"
@@ -50,6 +50,22 @@ def update(item_id: int) -> Generator:
     yield Write(TABLE, item_id, value + 1)
 
 
+def update_rmw(item_id: int, other_id: int) -> Generator:
+    """A read-modify-write update that also *observes* another row.
+
+    Unlike :func:`update` (whose locking read keeps sibench's SDG down to
+    a single rw edge), the plain read of ``other_id`` takes a SIREAD lock,
+    so concurrent updaters acquire rw-antidependencies *out of* this
+    transaction while queries hold edges *into* it — producing the
+    dangerous structures ``query --rw--> updater --rw--> updater`` with a
+    read-only incoming transaction that the Ports & Grittner read-only
+    optimization targets.
+    """
+    yield Read(TABLE, other_id)
+    value = yield ReadForUpdate(TABLE, item_id)
+    yield Write(TABLE, item_id, value + 1)
+
+
 def make_sibench(items: int = 100, queries_per_update: float = 1.0) -> Workload:
     """Build sibench.
 
@@ -73,6 +89,47 @@ def make_sibench(items: int = 100, queries_per_update: float = 1.0) -> Workload:
     )
     return Workload(
         name=f"sibench[I={items},q:u={queries_per_update}:1]",
+        setup=lambda db: setup_sibench(db, items),
+        mix=mix,
+    )
+
+
+def make_sibench_rmw(
+    items: int = 20, queries_per_update: float = 2.0
+) -> Workload:
+    """Read-mostly sibench variant with :func:`update_rmw` updaters.
+
+    The default mix (2 queries per update) is the regime where stock
+    Serializable SI pays for false positives that the ``ssi-ro``
+    read-only optimization excuses: most dangerous structures have a
+    read-only query as the sole incoming transaction.  Pushing the query
+    share much higher is counter-productive for the optimization — with
+    several queries concurrently conflicting into the same pivot, the
+    enhanced tracker's single ``inConflict`` reference degrades to the
+    "multiple conflicts, order lost" self-reference and the excuse can no
+    longer prove the incoming side read-only.  Run it at a low
+    multiprogramming level (2-4) for the same reason.
+    """
+
+    def query_program(rng: random.Random) -> Generator:
+        return query()
+
+    def update_program(rng: random.Random) -> Generator:
+        item = rng.randrange(items)
+        other = rng.randrange(items)
+        if items > 1:
+            while other == item:
+                other = rng.randrange(items)
+        return update_rmw(item, other)
+
+    mix = Mix(
+        [
+            ("query", queries_per_update, query_program),
+            ("update", 1.0, update_program),
+        ]
+    )
+    return Workload(
+        name=f"sibench-rmw[I={items},q:u={queries_per_update}:1]",
         setup=lambda db: setup_sibench(db, items),
         mix=mix,
     )

@@ -1,0 +1,160 @@
+"""The pluggable CC-policy layer: registry, installation, dispatch."""
+
+import pytest
+
+from repro.cc import (
+    CCPolicy,
+    S2PLPolicy,
+    SGTPolicy,
+    SIPolicy,
+    SSIPolicy,
+    SSIReadOnlyOptPolicy,
+    build_policies,
+    registered_levels,
+)
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.engine.isolation import IsolationLevel
+from repro.locking.modes import LockMode
+
+from tests.conftest import fill
+
+
+class TestRegistry:
+    def test_every_isolation_level_has_a_policy(self):
+        assert set(registered_levels()) == set(IsolationLevel)
+
+    def test_build_policies_covers_every_level(self, db):
+        assert set(db._policies) == set(IsolationLevel)
+        for level, policy in db._policies.items():
+            assert policy.level is level
+
+    def test_policy_instances_are_per_database(self):
+        db_a = Database(EngineConfig())
+        db_b = Database(EngineConfig())
+        for level in IsolationLevel:
+            assert db_a._policies[level] is not db_b._policies[level]
+        assert db_a.tracker is not db_b.tracker
+        assert db_a.certifier is not db_b.certifier
+
+    def test_expected_classes(self, db):
+        assert isinstance(db._policies[IsolationLevel.SERIALIZABLE_2PL], S2PLPolicy)
+        assert isinstance(db._policies[IsolationLevel.SNAPSHOT], SIPolicy)
+        assert type(db._policies[IsolationLevel.SERIALIZABLE_SSI]) is SSIPolicy
+        assert isinstance(
+            db._policies[IsolationLevel.SERIALIZABLE_SSI_RO], SSIReadOnlyOptPolicy
+        )
+        assert isinstance(db._policies[IsolationLevel.SGT], SGTPolicy)
+
+
+class TestInstallation:
+    def test_ssi_policy_publishes_the_tracker(self, db):
+        policy = db._policies[IsolationLevel.SERIALIZABLE_SSI]
+        assert policy.tracker is db.tracker
+
+    def test_ssi_ro_shares_the_ssi_tracker(self, db):
+        """ssi and ssi-ro transactions must interoperate: one tracker."""
+        ssi = db._policies[IsolationLevel.SERIALIZABLE_SSI]
+        ro = db._policies[IsolationLevel.SERIALIZABLE_SSI_RO]
+        assert ro.tracker is ssi.tracker is db.tracker
+
+    def test_sgt_policy_publishes_the_certifier(self, db):
+        policy = db._policies[IsolationLevel.SGT]
+        assert policy.certifier is db.certifier
+
+    def test_tracker_metrics_adopted(self, db):
+        counters = db.metrics.snapshot()["counters"]
+        assert counters["tracker"] == dict(db.tracker.stats)
+        assert counters["sgt"] == dict(db.certifier.stats)
+
+
+class TestPolicyBinding:
+    def test_transaction_carries_its_policy(self, db):
+        for level in IsolationLevel:
+            txn = db.begin(level)
+            assert txn.policy is db._policies[level]
+            txn.abort()
+
+    @pytest.mark.parametrize(
+        "level,mode",
+        [
+            ("s2pl", LockMode.SHARED),
+            ("ssi", LockMode.SIREAD),
+            ("ssi-ro", LockMode.SIREAD),
+            ("sgt", LockMode.SIREAD),
+            ("si", None),
+        ],
+    )
+    def test_read_lock_modes(self, db, level, mode):
+        txn = db.begin(level)
+        assert txn.policy.read_lock_mode(txn) is mode
+        txn.abort()
+
+    @pytest.mark.parametrize(
+        "level,snapshots", [("s2pl", False), ("si", True), ("ssi", True)]
+    )
+    def test_uses_snapshots(self, db, level, snapshots):
+        txn = db.begin(level)
+        assert txn.policy.uses_snapshots is snapshots
+        txn.abort()
+
+
+class TestEdgeDispatch:
+    def test_ssi_endpoints_record_in_the_tracker(self, db):
+        fill(db, "t", {1: "a"})
+        reader = db.begin("ssi")
+        reader.read("t", 1)
+        writer = db.begin("ssi")
+        writer.write("t", 1, "b")
+        assert db.tracker.stats["marked"] == 1
+        assert reader.out_conflict is writer
+        reader.abort()
+        writer.abort()
+
+    def test_ssi_and_ssi_ro_interoperate(self, db):
+        """A mixed ssi/ssi-ro edge lands in the shared tracker, not in
+        the mixed-edges-dropped bucket."""
+        fill(db, "t", {1: "a"})
+        reader = db.begin("ssi-ro")
+        reader.read("t", 1)
+        writer = db.begin("ssi")
+        writer.write("t", 1, "b")
+        assert db.tracker.stats["marked"] == 1
+        assert db.stats["mixed_edges_dropped"] == 0
+        reader.abort()
+        writer.abort()
+
+    def test_sgt_endpoint_wins_precedence(self, db):
+        """An ssi reader / sgt writer edge goes to the certifier (the
+        higher-precedence endpoint), not the SSI tracker."""
+        fill(db, "t", {1: "a"})
+        reader = db.begin("ssi")
+        reader.read("t", 1)
+        writer = db.begin("sgt")
+        before = db.certifier.stats["edges"]
+        writer.write("t", 1, "b")
+        assert db.certifier.stats["edges"] == before + 1
+        assert db.tracker.stats["marked"] == 0
+        reader.abort()
+        writer.abort()
+
+
+class TestBasePolicyContract:
+    def test_default_hooks_are_inert(self, db):
+        policy = CCPolicy(db)
+        txn = db.begin("si")
+        assert policy.read_lock_mode(txn) is None
+        assert policy.before_commit(txn) is None
+        assert policy.handles_rw_edge(txn, txn) is False
+        assert policy.excuses_unsafe(txn) is False
+        assert policy.retain_read_locks(txn) is False
+        assert policy.retain_record(txn, keep_siread=True) is True
+        assert policy.may_cleanup(txn)
+        txn.abort()
+
+    def test_build_policies_rejects_unregistered_levels(self):
+        # registered_levels drives build_policies; every Database build
+        # must produce the full mapping (guards against a policy module
+        # forgetting to self-register).
+        db = Database(EngineConfig())
+        assert set(build_policies(db)) == set(IsolationLevel)

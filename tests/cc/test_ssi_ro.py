@@ -1,0 +1,156 @@
+"""The read-only optimization (Ports & Grittner, VLDB 2012, Section 2.4).
+
+A dangerous structure ``T_in --rw--> pivot --rw--> T_out`` whose incoming
+transaction is read-only threatens serializability only when ``T_out``
+committed *before* ``T_in``'s snapshot.  Stock SSI aborts the pivot
+regardless; ``ssi-ro`` excuses the false-positive half of the space and
+keeps the true-positive half.
+"""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import TransactionAbortedError
+from repro.sgt.checker import check_serializable
+
+from tests.conftest import fill
+
+
+def _false_positive_structure(db, level):
+    """Build the P&G false positive at ``level`` for the pivot's peers.
+
+    R (read-only) snapshots, then T_out (T2) commits, then R commits:
+    the pivot T1 holds in=R, out=T2 with commit(T2) <= commit(R), which
+    the commit-order test calls dangerous — yet R's snapshot predates
+    T2's commit, so R serializes before T2 and no cycle can close.
+    Returns the pivot's outcome: "commit" or its abort reason.
+    """
+    fill(db, "t", {"x": 0, "y": 0})
+    reader = db.begin(level)
+    reader.read("t", "x")
+    reader.read("t", "y")
+    pivot = db.begin(level)
+    pivot.read("t", "y")
+    t_out = db.begin(level)
+    t_out.write("t", "y", 1)
+    t_out.commit()
+    reader.commit()
+    try:
+        pivot.write("t", "x", 1)
+        pivot.commit()
+        return "commit"
+    except TransactionAbortedError as error:
+        return error.reason
+
+
+class TestFalsePositiveExcused:
+    def test_stock_ssi_aborts_the_pivot(self, db):
+        assert _false_positive_structure(db, "ssi") == "unsafe"
+        assert db.tracker.stats["excused"] == 0
+
+    def test_ssi_ro_commits_the_pivot(self, db):
+        assert _false_positive_structure(db, "ssi-ro") == "commit"
+        assert db.tracker.stats["excused"] > 0
+        assert db.stats["commits"] == 3
+
+    def test_excused_history_is_serializable(self, db):
+        _false_positive_structure(db, "ssi-ro")
+        report = check_serializable(db.history)
+        assert report.serializable
+
+
+class TestTruePositiveKept:
+    def test_ssi_ro_still_aborts_a_real_cycle(self, db):
+        """When the read-only transaction snapshots *after* T_out's
+        commit, the cycle is real (R sees T_out but not the pivot) and
+        ssi-ro must abort exactly like stock SSI."""
+        fill(db, "t", {"x": 0, "y": 0})
+        pivot = db.begin("ssi-ro")
+        pivot.read("t", "y")
+        t_out = db.begin("ssi-ro")
+        t_out.write("t", "y", 1)
+        t_out.commit()
+        reader = db.begin("ssi-ro")
+        reader.read("t", "x")
+        assert reader.read("t", "y") == 1  # snapshot after T_out's commit
+        reader.commit()
+        with pytest.raises(TransactionAbortedError) as excinfo:
+            pivot.write("t", "x", 1)
+            pivot.commit()
+        assert excinfo.value.reason == "unsafe"
+        assert db.tracker.stats["excused"] == 0
+
+    def test_no_excuse_for_an_updating_t_in(self, db):
+        """A T_in that wrote anything is not read-only: no excuse."""
+        fill(db, "t", {"x": 0, "y": 0, "z": 0})
+        reader = db.begin("ssi-ro")
+        reader.read("t", "x")
+        reader.write("t", "z", 1)  # not read-only
+        pivot = db.begin("ssi-ro")
+        pivot.read("t", "y")
+        t_out = db.begin("ssi-ro")
+        t_out.write("t", "y", 1)
+        t_out.commit()
+        reader.commit()
+        outcome = "commit"
+        try:
+            pivot.write("t", "x", 1)
+            pivot.commit()
+        except TransactionAbortedError as error:
+            outcome = error.reason
+        assert outcome == "unsafe"
+        assert db.tracker.stats["excused"] == 0
+
+    def test_no_excuse_when_t_in_identity_degraded(self, db):
+        """Two distinct read-only readers degrade the pivot's inConflict
+        slot to the self-reference; with the order lost, ssi-ro must
+        assume the worst and abort.  (The first reader's edge may be
+        excused while the slot is still precise — only the final outcome
+        is pinned here.)"""
+        fill(db, "t", {"x": 0, "y": 0})
+        r1 = db.begin("ssi-ro")
+        r1.read("t", "x")
+        r2 = db.begin("ssi-ro")
+        r2.read("t", "x")
+        pivot = db.begin("ssi-ro")
+        pivot.read("t", "y")
+        t_out = db.begin("ssi-ro")
+        t_out.write("t", "y", 1)
+        t_out.commit()
+        r1.commit()
+        r2.commit()
+        outcome = "commit"
+        try:
+            pivot.write("t", "x", 1)
+            pivot.commit()
+        except TransactionAbortedError as error:
+            outcome = error.reason
+        assert outcome == "unsafe"
+
+
+class TestBasicTrackerDegradesToStockSSI:
+    def test_boolean_slots_never_excuse(self, db_basic):
+        """The basic tracker keeps no transaction references, so the
+        excuse cannot prove anything: ssi-ro behaves as stock SSI."""
+        assert _false_positive_structure(db_basic, "ssi-ro") == "unsafe"
+
+
+class TestMixedSsiAndSsiRo:
+    def test_excuse_applies_per_pivot_policy(self, db):
+        """An ssi-ro pivot among stock-ssi peers is excused; the peers'
+        level does not matter, only the pivot's."""
+        fill(db, "t", {"x": 0, "y": 0})
+        reader = db.begin("ssi")
+        reader.read("t", "x")
+        reader.read("t", "y")
+        pivot = db.begin("ssi-ro")
+        pivot.read("t", "y")
+        t_out = db.begin("ssi")
+        t_out.write("t", "y", 1)
+        t_out.commit()
+        reader.commit()
+        pivot.write("t", "x", 1)
+        pivot.commit()
+        assert db.stats["commits"] == 3
+        assert db.tracker.stats["excused"] > 0
+        assert check_serializable(db.history).serializable

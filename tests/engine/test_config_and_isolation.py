@@ -16,14 +16,58 @@ class TestIsolationLevel:
             ("sgt", IsolationLevel.SGT),
             ("SNAPSHOT", IsolationLevel.SNAPSHOT),
             (IsolationLevel.SGT, IsolationLevel.SGT),
+            ("ssi-ro", IsolationLevel.SERIALIZABLE_SSI_RO),
         ],
     )
     def test_parse(self, token, expected):
         assert IsolationLevel.parse(token) is expected
 
-    def test_parse_rejects_unknown(self):
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            # Case-insensitive, separator-tolerant spellings.
+            ("SSI", IsolationLevel.SERIALIZABLE_SSI),
+            ("Si", IsolationLevel.SNAPSHOT),
+            ("S2PL", IsolationLevel.SERIALIZABLE_2PL),
+            ("SSI_RO", IsolationLevel.SERIALIZABLE_SSI_RO),
+            ("serializable_ssi_ro", IsolationLevel.SERIALIZABLE_SSI_RO),
+            ("  sgt  ", IsolationLevel.SGT),
+            # SQL-standard aliases: SERIALIZABLE gets the paper's
+            # algorithm; the levels SI historically shipped under map to
+            # plain snapshots.
+            ("SERIALIZABLE", IsolationLevel.SERIALIZABLE_SSI),
+            ("serializable", IsolationLevel.SERIALIZABLE_SSI),
+            ("REPEATABLE READ", IsolationLevel.SNAPSHOT),
+            ("repeatable_read", IsolationLevel.SNAPSHOT),
+            ("Repeatable-Read", IsolationLevel.SNAPSHOT),
+            ("snapshot isolation", IsolationLevel.SNAPSHOT),
+            (
+                "serializable read only optimized",
+                IsolationLevel.SERIALIZABLE_SSI_RO,
+            ),
+        ],
+    )
+    def test_parse_aliases(self, token, expected):
+        assert IsolationLevel.parse(token) is expected
+
+    @pytest.mark.parametrize(
+        "token", ["read-committed", "read uncommitted", "", "serial"]
+    )
+    def test_parse_rejects_unknown(self, token):
         with pytest.raises(ValueError):
-            IsolationLevel.parse("read-committed")
+            IsolationLevel.parse(token)
+
+    def test_begin_accepts_aliases(self):
+        from repro.engine.config import EngineConfig as _Config
+        from repro.engine.database import Database as _Database
+
+        db = _Database(_Config())
+        txn = db.begin("REPEATABLE READ")
+        assert txn.isolation is IsolationLevel.SNAPSHOT
+        txn.abort()
+        txn = db.begin("Serializable")
+        assert txn.isolation is IsolationLevel.SERIALIZABLE_SSI
+        txn.abort()
 
     def test_classification_flags(self):
         assert not IsolationLevel.SERIALIZABLE_2PL.uses_snapshots

@@ -1,0 +1,115 @@
+"""Pairwise mixed-isolation conflict semantics (Sections 2.6.3 / 3.8).
+
+Every reader-level x writer-level combination over a single record: the
+reader reads, the writer writes the same key, and the rw edge must land
+in exactly one place — the SSI tracker, the SGT certifier, the
+mixed-edges-dropped counter — or nowhere (SI readers take no read lock),
+or the writer must block outright (S2PL readers hold shared locks).
+"""
+
+import pytest
+
+from repro.errors import LockWaitRequired
+from repro.obs.trace import EventType
+
+from tests.conftest import fill
+
+#: (reader_level, writer_level) -> where the rw edge lands:
+#:   "tracker"  — SSI conflict slots (both ends share the tracker)
+#:   "certifier"— SGT serialization graph (an SGT endpoint wins precedence)
+#:   "dropped"  — counted in mixed_edges_dropped (no policy can record it)
+#:   "none"     — no edge exists (SI readers take no read lock)
+#:   "blocks"   — the write waits (S2PL shared locks block writers)
+EXPECTED = {}
+for writer in ("s2pl", "si", "ssi", "ssi-ro", "sgt"):
+    EXPECTED[("si", writer)] = "none"
+    EXPECTED[("s2pl", writer)] = "blocks"
+for reader in ("ssi", "ssi-ro"):
+    EXPECTED[(reader, "ssi")] = "tracker"
+    EXPECTED[(reader, "ssi-ro")] = "tracker"
+    EXPECTED[(reader, "sgt")] = "certifier"
+    EXPECTED[(reader, "si")] = "dropped"
+    EXPECTED[(reader, "s2pl")] = "dropped"
+EXPECTED[("sgt", "ssi")] = "certifier"
+EXPECTED[("sgt", "ssi-ro")] = "certifier"
+EXPECTED[("sgt", "sgt")] = "certifier"
+EXPECTED[("sgt", "si")] = "dropped"
+EXPECTED[("sgt", "s2pl")] = "dropped"
+
+
+@pytest.mark.parametrize("reader_level,writer_level", sorted(EXPECTED))
+def test_pairwise_edge_routing(db, reader_level, writer_level):
+    expected = EXPECTED[(reader_level, writer_level)]
+    fill(db, "t", {1: "a"})
+    reader = db.begin(reader_level)
+    assert reader.read("t", 1) == "a"
+    writer = db.begin(writer_level)
+
+    marked_before = db.tracker.stats["marked"]
+    edges_before = db.certifier.stats["edges"]
+    dropped_before = db.stats["mixed_edges_dropped"]
+
+    if expected == "blocks":
+        with pytest.raises(LockWaitRequired):
+            db.write(writer, "t", 1, "b")
+        writer.abort()
+        reader.abort()
+        return
+
+    writer.write("t", 1, "b")
+
+    deltas = {
+        "tracker": db.tracker.stats["marked"] - marked_before,
+        "certifier": db.certifier.stats["edges"] - edges_before,
+        "dropped": db.stats["mixed_edges_dropped"] - dropped_before,
+    }
+    expected_deltas = {
+        bucket: (1 if bucket == expected else 0) for bucket in deltas
+    }
+    assert deltas == expected_deltas
+    reader.abort()
+    writer.abort()
+
+
+class TestMixedEdgeTelemetry:
+    def test_counter_and_trace_event(self, db):
+        """A dropped cross-level edge is counted and, with tracing on,
+        emits a mixed_edge_dropped event naming both levels."""
+        trace = db.enable_tracing()
+        fill(db, "t", {1: "a"})
+        reader = db.begin("ssi")
+        reader.read("t", 1)
+        writer = db.begin("si")
+        writer.write("t", 1, "b")
+
+        assert db.stats["mixed_edges_dropped"] == 1
+        events = trace.events(etype=EventType.MIXED_EDGE)
+        assert len(events) == 1
+        event = events[0]
+        assert event.txn_id == reader.id
+        assert event.data["peer"] == writer.id
+        assert event.data["reader_level"] == "ssi"
+        assert event.data["writer_level"] == "si"
+        reader.abort()
+        writer.abort()
+
+    def test_no_trace_no_crash(self, db):
+        """Without tracing the counter still increments (guarded emit)."""
+        fill(db, "t", {1: "a"})
+        reader = db.begin("sgt")
+        reader.read("t", 1)
+        writer = db.begin("si")
+        writer.write("t", 1, "b")
+        assert db.stats["mixed_edges_dropped"] == 1
+        reader.abort()
+        writer.abort()
+
+    def test_recorded_edges_are_not_counted_as_dropped(self, db):
+        fill(db, "t", {1: "a"})
+        reader = db.begin("ssi")
+        reader.read("t", 1)
+        writer = db.begin("ssi")
+        writer.write("t", 1, "b")
+        assert db.stats["mixed_edges_dropped"] == 0
+        reader.abort()
+        writer.abort()
