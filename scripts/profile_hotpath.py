@@ -1,0 +1,104 @@
+"""cProfile wrapper for the engine hot paths.
+
+Profiles either a figure experiment from the catalogue or one of the
+micro-benchmark loops, and prints the top functions by cumulative time —
+the view that drove the PR-4 optimization pass.
+
+Usage::
+
+    # one (level, MPL) cell of a catalogue experiment
+    PYTHONPATH=src python scripts/profile_hotpath.py fig6.1 --level ssi --mpl 10
+
+    # a micro loop: micro:point_read | point_update | scan_100 | read_modify_write
+    PYTHONPATH=src python scripts/profile_hotpath.py micro:scan_100 --level ssi
+
+    # sort by total (self) time instead, show 30 rows
+    PYTHONPATH=src python scripts/profile_hotpath.py fig6.7 --sort tottime --top 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.engine.database import Database  # noqa: E402
+from repro.sim.scheduler import SimConfig, Simulator  # noqa: E402
+
+
+def run_figure(exp_id: str, level: str, mpl: int, duration: float, warmup: float):
+    from repro.bench.experiments import FIGURES
+
+    try:
+        experiment = FIGURES[exp_id]()
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        raise SystemExit(f"unknown experiment {exp_id!r}; known: {known}")
+    sim = experiment.sim_config
+    sim.duration, sim.warmup = duration, warmup
+    db = Database(experiment.engine_config_factory())
+    workload = experiment.workload_factory()
+    workload.setup(db)
+    simulator = Simulator(db, workload, level, mpl, sim)
+
+    def job():
+        result = simulator.run()
+        print(f"{exp_id} {level} MPL={mpl}: {result.commits} commits\n")
+
+    return job
+
+
+def run_micro(name: str, level: str, reps: int):
+    from bench_baseline import MICRO_CASES  # sibling script
+
+    cases = {case[0]: case[1] for case in MICRO_CASES}
+    try:
+        fn = cases[name]
+    except KeyError:
+        raise SystemExit(f"unknown micro case {name!r}; known: {', '.join(cases)}")
+
+    def job():
+        ops = fn(level, reps)
+        print(f"micro:{name} [{level}] x{reps}: {ops:,.0f} ops/s\n")
+
+    return job
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("target", help="fig6.N experiment id, or micro:<case>")
+    parser.add_argument("--level", default="ssi", help="isolation level (default ssi)")
+    parser.add_argument("--mpl", type=int, default=10)
+    parser.add_argument("--duration", type=float, default=0.3,
+                        help="simulated seconds (figure targets)")
+    parser.add_argument("--warmup", type=float, default=0.05)
+    parser.add_argument("--reps", type=int, default=1000,
+                        help="transactions (micro targets)")
+    parser.add_argument("--top", type=int, default=20, help="rows to print")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
+    args = parser.parse_args(argv)
+
+    if args.target.startswith("micro:"):
+        job = run_micro(args.target[len("micro:"):], args.level, args.reps)
+    else:
+        job = run_figure(args.target, args.level, args.mpl,
+                         args.duration, args.warmup)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    job()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,12 +53,35 @@ class ExperimentResult:
 
     experiment: Experiment
     series: dict = field(default_factory=dict)
+    #: lazily built lookup: (level, mpl) -> SimResult.  Rebuilt whenever
+    #: the series grid grows, so callers may keep appending results.
+    _index: dict = field(default_factory=dict, repr=False, compare=False)
 
     def result(self, level: str, mpl: int) -> SimResult:
-        for candidate in self.series[level]:
-            if candidate.mpl == mpl:
-                return candidate
-        raise KeyError((level, mpl))
+        """The run at ``(level, mpl)`` — an indexed lookup, with errors
+        that name what the grid actually holds."""
+        if level not in self.series:
+            available = ", ".join(sorted(self.series)) or "<none>"
+            raise KeyError(
+                f"no series for isolation level {level!r}; "
+                f"available levels: {available}"
+            )
+        if len(self._index) != sum(len(runs) for runs in self.series.values()):
+            self._index = {
+                (lvl, run.mpl): run
+                for lvl, runs in self.series.items()
+                for run in runs
+            }
+        found = self._index.get((level, mpl))
+        if found is None:
+            mpls = ", ".join(
+                str(run.mpl) for run in self.series[level]
+            ) or "<none>"
+            raise KeyError(
+                f"no run at mpl={mpl} for level {level!r}; "
+                f"available MPLs: {mpls}"
+            )
+        return found
 
     def throughput(self, level: str, mpl: int) -> float:
         return self.result(level, mpl).throughput

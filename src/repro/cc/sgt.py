@@ -59,10 +59,12 @@ class SGTPolicy(CCPolicy):
         self, txn: "Transaction", table_name: str, key, chain, version
     ) -> None:
         # Newer ignored versions are rw edges, exactly as for SSI.
-        for newer in chain.newer_than(txn.snapshot.read_ts):
-            creator = self.db.find_transaction(newer.creator_id)
-            if creator is not None:
-                self.db.dispatch_rw_edge(reader=txn, writer=creator)
+        read_ts = txn.snapshot.read_ts
+        if chain.has_newer(read_ts):
+            for newer in chain.newer_than(read_ts):
+                creator = self.db.find_transaction(newer.creator_id)
+                if creator is not None:
+                    self.db.dispatch_rw_edge(reader=txn, writer=creator)
         # wr edge to the creator of the version actually read.
         if (
             version is not None

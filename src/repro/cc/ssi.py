@@ -60,7 +60,10 @@ class SSIPolicy(CCPolicy):
     ) -> None:
         # Fig 3.4 lines 8-9: every newer version this snapshot ignores is
         # an rw-dependency to its creator (if its record survives).
-        for newer in chain.newer_than(txn.snapshot.read_ts):
+        read_ts = txn.snapshot.read_ts
+        if not chain.has_newer(read_ts):  # O(1) common case: none ignored
+            return
+        for newer in chain.newer_than(read_ts):
             creator = self.db.find_transaction(newer.creator_id)
             if creator is not None:
                 self.db.dispatch_rw_edge(reader=txn, writer=creator)

@@ -64,6 +64,8 @@ def pivot_triple(pivot) -> tuple:
 class ConflictTracker:
     """Interface shared by the basic and enhanced trackers."""
 
+    __slots__ = ("victim_policy", "stats")
+
     #: set by subclasses: value stored in fresh transactions' conflict slots
     empty_value: object = None
 
@@ -128,6 +130,8 @@ class BasicConflictTracker(ConflictTracker):
     incoming conflict.  Otherwise both flags are set and, with abort-early
     enabled, any active transaction that just became a pivot is aborted.
     """
+
+    __slots__ = ("abort_early",)
 
     empty_value = False
 
@@ -201,6 +205,8 @@ class EnhancedConflictTracker(ConflictTracker):
       single committed reference with ``in_ts < out_ts`` (the Fig 3.8
       false positive this tracker eliminates).
     """
+
+    __slots__ = ()
 
     empty_value = None
 

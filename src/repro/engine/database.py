@@ -45,6 +45,7 @@ from repro.errors import (
 from repro.locking.deadlock import DeadlockDetector
 from repro.locking.manager import (
     AcquireResult,
+    AcquireStatus,
     LockManager,
     LockRequest,
     RequestState,
@@ -435,7 +436,9 @@ class Database:
             seen: list[Hashable] = []
             for key, chain in chains:
                 if read_mode is not None:
-                    self._acquire_read_locks(txn, table_name, key, gap=True)
+                    self._acquire_read_locks(
+                        txn, table_name, key, gap=True, mode=read_mode
+                    )
                 value, found = self._visible_value(txn, table_name, key, chain)
                 if found:
                     results.append((key, value))
@@ -766,7 +769,7 @@ class Database:
     def _acquire(self, txn: Transaction, resource: Resource, mode: LockMode) -> AcquireResult:
         """Acquire or raise LockWaitRequired; resolves denied requests."""
         result = self.locks.acquire(txn, resource, mode)
-        if result.granted:
+        if result.status is AcquireStatus.GRANTED:
             return result
         request = result.request
         if request.state is RequestState.GRANTED:
@@ -779,15 +782,33 @@ class Database:
         raise LockWaitRequired(request)
 
     def _acquire_read_locks(
-        self, txn: Transaction, table_name: str, key: Hashable, gap: bool
+        self,
+        txn: Transaction,
+        table_name: str,
+        key: Hashable,
+        gap: bool,
+        mode: LockMode | None = None,
     ) -> None:
-        """Read-side locking for one key (record, plus its gap in scans)."""
-        mode = txn.policy.read_lock_mode(txn)
+        """Read-side locking for one key (record, plus its gap in scans).
+
+        ``mode`` may be passed by callers that already asked the policy
+        (the scan loop does, once per row)."""
         if mode is None:
-            return
+            mode = txn.policy.read_lock_mode(txn)
+            if mode is None:
+                return
         if gap:
-            self._acquire_gap_read_lock(txn, table_name, key)
-        result = self._acquire(txn, self._rec_resource(table_name, key), mode)
+            self._acquire_gap_read_lock(txn, table_name, key, mode)
+        resource = self._rec_resource(table_name, key)
+        if mode is LockMode.SIREAD and resource in txn._siread_cache:
+            # Repeat SIREAD on a re-read: the sentinel is already in the
+            # table, and any writer that arrived since then saw it at its
+            # own EXCLUSIVE acquire and dispatched the rw edge from the
+            # writer side (Fig 3.5) — nothing left to do or report.
+            return
+        result = self._acquire(txn, resource, mode)
+        if mode is LockMode.SIREAD:
+            txn._siread_cache.add(resource)
         for lock in result.detection_conflicts:
             # Fig 3.4 lines 2-4: a concurrent writer holds EXCLUSIVE.
             # (SHARED requests report no detection conflicts, so this
@@ -795,13 +816,26 @@ class Database:
             self.dispatch_rw_edge(reader=txn, writer=lock.owner)
 
     def _acquire_gap_read_lock(
-        self, txn: Transaction, table_name: str, gap_key: Hashable
+        self,
+        txn: Transaction,
+        table_name: str,
+        gap_key: Hashable,
+        mode: LockMode | None = None,
     ) -> None:
-        """Fig 3.6 lines 2-4: SIREAD (or SHARED for S2PL) on a gap."""
-        mode = txn.policy.read_lock_mode(txn)
+        """Fig 3.6 lines 2-4: SIREAD (or SHARED for S2PL) on a gap.
+
+        ``mode`` may be passed by callers that already asked the policy
+        (the scan path does, once per row)."""
         if mode is None:
-            return
-        result = self._acquire(txn, self._gap_resource_for(table_name, gap_key), mode)
+            mode = txn.policy.read_lock_mode(txn)
+            if mode is None:
+                return
+        resource = self._gap_resource_for(table_name, gap_key)
+        if mode is LockMode.SIREAD and resource in txn._siread_cache:
+            return  # repeat gap SIREAD — see _acquire_read_locks
+        result = self._acquire(txn, resource, mode)
+        if mode is LockMode.SIREAD:
+            txn._siread_cache.add(resource)
         for lock in result.detection_conflicts:
             self.dispatch_rw_edge(reader=txn, writer=lock.owner)
 
@@ -956,11 +990,12 @@ class Database:
         The policy's ``on_read`` hook then runs its conflict detection
         (Fig 3.4 newer-version marking, SGT wr edges)."""
         self.stats["reads"] += 1
-        own = txn.write_set.get((table_name, key), _MISSING)
-        if own is not _MISSING:
-            if own is TOMBSTONE:
-                return None, False
-            return own, True
+        if txn.write_set:  # read-only transactions skip the tuple build
+            own = txn.write_set.get((table_name, key), _MISSING)
+            if own is not _MISSING:
+                if own is TOMBSTONE:
+                    return None, False
+                return own, True
 
         if chain is None:
             if record and self.history is not None:
@@ -1027,8 +1062,8 @@ class Database:
             conflicting = page_ts > txn.snapshot.read_ts
         if not conflicting:
             chain = table.chain(key)
-            conflicting = chain is not None and any(
-                True for _newer in chain.newer_than(txn.snapshot.read_ts)
+            conflicting = chain is not None and chain.has_newer(
+                txn.snapshot.read_ts
             )
         if conflicting:
             error = UpdateConflictError(

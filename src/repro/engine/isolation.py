@@ -73,12 +73,21 @@ class IsolationLevel(enum.Enum):
         """
         if isinstance(value, cls):
             return value
+        # Memoized on the raw string: the engine parses the level on every
+        # begin(), and the regex normalization was ~a quarter of the
+        # point-read path before caching.  Unknown spellings keep raising
+        # (and are not cached).
+        cached = _PARSE_CACHE.get(value)
+        if cached is not None:
+            return cached
         wanted = _normalize(value)
         for level in cls:
             if wanted in (_normalize(level.value), _normalize(level.name)):
+                _PARSE_CACHE[value] = level
                 return level
         alias = _ALIASES.get(wanted)
         if alias is not None:
+            _PARSE_CACHE[value] = alias
             return alias
         raise ValueError(f"unknown isolation level: {value!r}")
 
@@ -94,3 +103,6 @@ _ALIASES: dict[str, IsolationLevel] = {
     "snapshot isolation": IsolationLevel.SNAPSHOT,
     "serializable read only optimized": IsolationLevel.SERIALIZABLE_SSI_RO,
 }
+
+#: raw spelling -> resolved level, filled lazily by :meth:`IsolationLevel.parse`.
+_PARSE_CACHE: dict[str, IsolationLevel] = {}

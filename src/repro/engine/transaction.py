@@ -36,6 +36,24 @@ class TransactionStatus(enum.Enum):
 class Transaction:
     """One transaction; created via :meth:`Database.begin`."""
 
+    __slots__ = (
+        "_db",
+        "id",
+        "isolation",
+        "policy",
+        "begin_seq",
+        "status",
+        "snapshot",
+        "commit_ts",
+        "suspended",
+        "in_conflict",
+        "out_conflict",
+        "doom_error",
+        "write_set",
+        "write_kinds",
+        "_siread_cache",
+    )
+
     def __init__(
         self,
         database,
@@ -69,6 +87,10 @@ class Transaction:
         self.write_set: dict[tuple[str, Hashable], Any] = {}
         #: how each write-set entry came to be ("write"|"insert"|"delete")
         self.write_kinds: dict[tuple[str, Hashable], str] = {}
+        #: resources this transaction already holds SIREAD on — the
+        #: engine's re-read fast path checks here and skips the lock
+        #: manager entirely for repeat SIREAD acquisition.
+        self._siread_cache: set = set()
 
     # ----------------------------------------------------------- state
 

@@ -19,6 +19,22 @@ returned; engine operations translate that into a
 executors handle.  Acquisition is idempotent: re-requesting a held lock in
 the same or weaker mode is a no-op, which is what makes operation retry
 after a wait safe.
+
+Performance structure (the PR-4 hot-path pass):
+
+* every granted lock and every :class:`_LockHead` carries an integer
+  ``mask`` summarising its modes, so conflict/coverage/detection checks
+  are one AND against the pre-folded per-mode masks from
+  :mod:`repro.locking.modes` instead of set algebra over Enum members;
+* ``_LockHead.granted`` is a dict keyed by owner id — grant, upgrade and
+  removal are O(1) while iteration keeps insertion (grant) order;
+* a per-owner index of *waiting* requests makes :meth:`cancel_waits`
+  O(requests owned); the granted-lock per-owner index already made
+  :meth:`release_all`/:meth:`drop_siread_locks` O(locks owned).  Nothing
+  on the commit/abort path walks the whole table any more — essential
+  once Section 3.3 SIREAD retention inflates it;
+* granted-lock and per-owner SIREAD counters make :meth:`table_size` and
+  :meth:`holds_any_siread` O(1).
 """
 
 from __future__ import annotations
@@ -62,19 +78,31 @@ def page_resource(table: str, page_id: int) -> Resource:
     return Resource("page", table, page_id)
 
 
-@dataclass(slots=True)
 class Lock:
     """A granted lock: one owner's claim on one resource.
 
     A lock can carry several *modes* at once — e.g. a transaction that
     scanned a gap (SIREAD) and then inserts into it (INSERT_INTENTION)
     keeps both semantics; discarding the SIREAD there would blind phantom
-    detection for later inserts by others.
+    detection for later inserts by others.  The modes are stored as the
+    integer ``mask`` (OR of the modes' bits) so hot paths never hash Enum
+    members; :attr:`modes` derives the familiar set view on demand.
     """
 
-    owner: Any  # transaction-like object with a hashable .id
-    resource: Resource
-    modes: set[LockMode]
+    __slots__ = ("owner", "resource", "mask")
+
+    def __init__(
+        self,
+        owner: Any,  # transaction-like object with a hashable .id
+        resource: Resource,
+        modes: Iterable[LockMode] = (),
+        mask: int = 0,
+    ):
+        self.owner = owner
+        self.resource = resource
+        for mode in modes:
+            mask |= mode.bit
+        self.mask = mask
 
     def __repr__(self) -> str:
         names = "+".join(sorted(m.value for m in self.modes))
@@ -85,12 +113,17 @@ class Lock:
         return self.owner.id
 
     @property
+    def modes(self) -> set[LockMode]:
+        """The held modes as a set (convenience view over ``mask``)."""
+        return set(_MODES_IN[self.mask])
+
+    @property
     def mode(self) -> LockMode:
         """The strongest held mode (convenience for displays/tests)."""
         return max(self.modes, key=_STRENGTH.__getitem__)
 
     def blocks(self, requested: LockMode) -> bool:
-        return any(not compatible(mode, requested) for mode in self.modes)
+        return bool(self.mask & requested.incompat_mask)
 
 
 class RequestState(enum.Enum):
@@ -99,7 +132,7 @@ class RequestState(enum.Enum):
     DENIED = "denied"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class LockRequest:
     """A pending (or resolved) lock request.
 
@@ -162,14 +195,43 @@ class AcquireResult:
         return self.status is AcquireStatus.GRANTED
 
 
-class _LockHead:
-    """Per-resource state: granted locks plus the FIFO wait queue."""
+#: Shared empty conflict list — callers only ever iterate it.
+_NO_CONFLICTS: list[Lock] = []
 
-    __slots__ = ("granted", "queue")
+#: Preallocated result for the dominant acquire outcome (granted, nothing
+#: to report): the hot paths return it instead of building a dataclass
+#: instance per call.
+_GRANTED_CLEAN = AcquireResult(
+    AcquireStatus.GRANTED, detection_conflicts=_NO_CONFLICTS
+)
+
+
+class _LockHead:
+    """Per-resource state: granted locks plus the FIFO wait queue.
+
+    ``granted`` maps owner id -> Lock (one lock per owner per resource);
+    dict iteration preserves grant order, matching the old list layout.
+    ``counts`` is the per-mode grant count, packed as 16-bit fields of one
+    integer (field ``mode.index``), and ``mask`` keeps the OR of bits with
+    a non-zero count — so "can this request possibly conflict / is
+    anything interesting granted here" is a single AND without touching
+    the granted locks, and head construction (which scan workloads do per
+    lock, since empty heads are reclaimed) allocates no per-mode list.
+    ``queue`` stays ``None`` until the first waiter: the vast majority of
+    heads never see contention and skip the deque allocation entirely.
+    """
+
+    __slots__ = ("granted", "queue", "counts", "mask")
 
     def __init__(self):
-        self.granted: list[Lock] = []
-        self.queue: deque[LockRequest] = deque()
+        self.granted: dict[Hashable, Lock] = {}
+        self.queue: deque[LockRequest] | None = None
+        self.counts: int = 0
+        self.mask: int = 0
+
+    def mode_count(self, mode: LockMode) -> int:
+        """Granted locks carrying ``mode`` (test/introspection helper)."""
+        return (self.counts >> (mode.index << 4)) & 0xFFFF
 
     def empty(self) -> bool:
         return not self.granted and not self.queue
@@ -203,9 +265,39 @@ _COVERS = {
     LockMode.SIREAD: {LockMode.SIREAD},
 }
 
+# Fold the coverage table and the SSI detection pairs into per-mode masks
+# (attached to the enum members, next to ``bit``/``incompat_mask`` from
+# repro.locking.modes).  ``covered_by_mask``: bits of held modes that make
+# re-requesting this mode a no-op.  ``detect_mask``: bits of granted modes
+# an acquire of this mode must report as rw-dependency signals — EXCLUSIVE
+# and INSERT_INTENTION holders for a SIREAD request, SIREAD holders for an
+# EXCLUSIVE/INSERT_INTENTION request (Figs 3.4/3.5), nothing for SHARED.
+for _mode in LockMode:
+    _mode.covered_by_mask = 0
+    for _held, _covered in _COVERS.items():
+        if _mode in _covered:
+            _mode.covered_by_mask |= _held.bit
 
-def _is_covered(held_modes: set[LockMode], requested: LockMode) -> bool:
-    return any(requested in _COVERS[held] for held in held_modes)
+LockMode.SIREAD.detect_mask = LockMode.EXCLUSIVE.bit | LockMode.INSERT_INTENTION.bit
+LockMode.EXCLUSIVE.detect_mask = LockMode.SIREAD.bit
+LockMode.INSERT_INTENTION.detect_mask = LockMode.SIREAD.bit
+LockMode.SHARED.detect_mask = 0
+
+_SIREAD_BIT = LockMode.SIREAD.bit
+_SIREAD_SHIFT = LockMode.SIREAD.index << 4
+
+#: mask -> the modes whose bits it contains (decode table for the rare
+#: paths that need to enumerate a lock's modes).
+_MODES_IN = [
+    tuple(m for m in LockMode if _mask & m.bit) for _mask in range(1 << len(LockMode))
+]
+
+#: mask -> bit of the strongest mode in it (waits-for edges key off the
+#: strongest mode a lock holds, preserving the pre-optimization policy).
+_STRONGEST_BIT = [0] * (1 << len(LockMode))
+for _mask in range(1, 1 << len(LockMode)):
+    _members = [m for m in LockMode if _mask & m.bit]
+    _STRONGEST_BIT[_mask] = max(_members, key=_STRENGTH.__getitem__).bit
 
 
 class LockManager:
@@ -232,6 +324,12 @@ class LockManager:
     ):
         self._heads: dict[Resource, _LockHead] = {}
         self._by_owner: dict[Hashable, dict[Resource, Lock]] = defaultdict(dict)
+        #: per-owner index of WAITING requests — the cancel_waits path.
+        self._waiting: dict[Hashable, set[LockRequest]] = {}
+        #: per-owner count of granted locks carrying SIREAD (O(1)
+        #: holds_any_siread, consulted on every SSI commit).
+        self._siread_counts: dict[Hashable, int] = {}
+        self._granted_count = 0
         self.waits_for = WaitsForGraph()
         self.deadlock_handler = deadlock_handler
         self.siread_upgrade = siread_upgrade
@@ -257,19 +355,41 @@ class LockManager:
         if head is None:
             head = self._heads[resource] = _LockHead()
 
-        held = self._by_owner[owner.id].get(resource)
-        if held is not None and _is_covered(held.modes, mode):
+        owner_id = owner.id
+        owner_locks = self._by_owner.get(owner_id)
+        held = owner_locks.get(resource) if owner_locks else None
+        if held is not None and held.mask & mode.covered_by_mask:
             # Idempotent re-acquire (or covered request): nothing to do,
             # but still report detection conflicts for retry correctness.
+            conflicts = self._detection_conflicts(head, owner, mode)
+            if not conflicts:
+                return _GRANTED_CLEAN
             return AcquireResult(
-                AcquireStatus.GRANTED,
-                detection_conflicts=self._detection_conflicts(head, owner, mode),
+                AcquireStatus.GRANTED, detection_conflicts=conflicts
             )
 
         if mode is LockMode.SIREAD:
-            # SIREAD never blocks and never waits (Section 3.2).
+            # SIREAD never blocks and never waits (Section 3.2).  This is
+            # the single hottest call in SSI scan workloads (one per row
+            # plus one per gap), so the grant is inlined: no _blockers, no
+            # _grant/_add_mode call chain.
             conflicts = self._detection_conflicts(head, owner, mode)
-            self._grant(head, owner, resource, mode)
+            if held is not None:
+                self._add_mode(head, held, mode)
+            else:
+                lock = Lock(owner, resource, mask=_SIREAD_BIT)
+                head.granted[owner_id] = lock
+                if owner_locks is None:
+                    owner_locks = self._by_owner[owner_id]
+                owner_locks[resource] = lock
+                self._granted_count += 1
+                if not (head.counts >> _SIREAD_SHIFT) & 0xFFFF:
+                    head.mask |= _SIREAD_BIT
+                head.counts += 1 << _SIREAD_SHIFT
+                counts_by_owner = self._siread_counts
+                counts_by_owner[owner_id] = counts_by_owner.get(owner_id, 0) + 1
+            if not conflicts:
+                return _GRANTED_CLEAN
             return AcquireResult(AcquireStatus.GRANTED, detection_conflicts=conflicts)
 
         blockers = self._blockers(head, owner, mode, upgrading=held is not None)
@@ -278,16 +398,24 @@ class LockManager:
             if held is not None:
                 self.stats["upgrades"] += 1
             self._grant(head, owner, resource, mode)
+            if not conflicts:
+                return _GRANTED_CLEAN
             return AcquireResult(AcquireStatus.GRANTED, detection_conflicts=conflicts)
 
         # Must wait.  Upgrades queue at the front (standard treatment) so
         # an upgrader is not starved behind later plain requests.
         request = LockRequest(owner=owner, resource=resource, mode=mode)
+        if head.queue is None:
+            head.queue = deque()
         if held is not None:
             head.queue.appendleft(request)
             self.stats["upgrades"] += 1
         else:
             head.queue.append(request)
+        pending = self._waiting.get(owner.id)
+        if pending is None:
+            pending = self._waiting[owner.id] = set()
+        pending.add(request)
         self.stats["waits"] += 1
         if self.trace is not None:
             self.trace.emit(
@@ -319,10 +447,12 @@ class LockManager:
             return
         touched: list[Resource] = []
         for resource, lock in list(locks.items()):
-            if keep_siread and LockMode.SIREAD in lock.modes:
-                if lock.modes != {LockMode.SIREAD}:
+            if keep_siread and lock.mask & _SIREAD_BIT:
+                if lock.mask != _SIREAD_BIT:
                     # Shed the blocking modes, retain only the sentinel.
-                    lock.modes = {LockMode.SIREAD}
+                    head = self._heads[resource]
+                    for mode in _MODES_IN[lock.mask & ~_SIREAD_BIT]:
+                        self._discard_mode(head, lock, mode)
                     touched.append(resource)
                 continue
             self._remove_lock(lock)  # drops the owner's entry when empty
@@ -332,17 +462,40 @@ class LockManager:
             self._promote(resource)
 
     def drop_siread_locks(self, owner: Any) -> int:
-        """Remove retained SIREAD locks of a cleaned-up suspended txn."""
-        locks = self._by_owner.get(owner.id)
+        """Remove retained SIREAD locks of a cleaned-up suspended txn.
+
+        Bulk form of :meth:`_discard_mode`/:meth:`_remove_lock`: the
+        per-owner SIREAD count is cleared once at the end instead of
+        decremented per lock, and pure-sentinel locks (the overwhelmingly
+        common case for a suspended reader) are unlinked inline.
+        """
+        owner_id = owner.id
+        locks = self._by_owner.get(owner_id)
         if not locks:
             return 0
         dropped = 0
-        for lock in list(locks.values()):
-            if LockMode.SIREAD in lock.modes:
-                lock.modes.discard(LockMode.SIREAD)
-                dropped += 1
-                if not lock.modes:
-                    self._remove_lock(lock)  # drops owner's entry when empty
+        heads = self._heads
+        for resource, lock in list(locks.items()):
+            mask = lock.mask
+            if not mask & _SIREAD_BIT:
+                continue
+            head = heads[resource]
+            head.counts -= 1 << _SIREAD_SHIFT
+            if not (head.counts >> _SIREAD_SHIFT) & 0xFFFF:
+                head.mask &= ~_SIREAD_BIT
+            dropped += 1
+            if mask == _SIREAD_BIT:
+                del head.granted[owner_id]
+                self._granted_count -= 1
+                del locks[resource]
+                if head.empty():
+                    del heads[resource]
+            else:
+                lock.mask = mask & ~_SIREAD_BIT
+        if dropped:
+            self._siread_counts.pop(owner_id, None)
+            if not locks:
+                del self._by_owner[owner_id]
         self.stats["siread_dropped"] += dropped
         return dropped
 
@@ -358,16 +511,16 @@ class LockManager:
         gap-lock inheritance.  Returns the number of locks inherited.
         """
         head = self._heads.get(from_resource)
-        if head is None:
+        if head is None or not head.mask & _SIREAD_BIT:
             return 0
         inherited = 0
-        for lock in list(head.granted):
-            if LockMode.SIREAD not in lock.modes:
+        for lock in list(head.granted.values()):
+            if not lock.mask & _SIREAD_BIT:
                 continue
             if lock.owner.id == exclude_owner.id:
                 continue
             existing = self._by_owner.get(lock.owner.id, {}).get(to_resource)
-            if existing is not None and LockMode.SIREAD in existing.modes:
+            if existing is not None and existing.mask & _SIREAD_BIT:
                 continue
             to_head = self._heads.get(to_resource)
             if to_head is None:
@@ -385,9 +538,10 @@ class LockManager:
         if request.state is not RequestState.WAITING:
             return False
         head = self._heads.get(request.resource)
-        if head is None or request not in head.queue:
+        if head is None or not head.queue or request not in head.queue:
             return False
         head.queue.remove(request)
+        self._waiting_discard(request)
         request._resolve(RequestState.DENIED, error)
         if self.trace is not None:
             self.trace.emit(
@@ -403,48 +557,64 @@ class LockManager:
         """Remove any waiting requests of ``owner`` (abort/doom path).
 
         A non-None ``error`` is delivered to waiters so a blocked executor
-        learns the transaction died.
+        learns the transaction died.  O(requests owned) via the per-owner
+        waiting index — this runs on *every* commit and abort, so it must
+        not walk the table.
         """
-        for resource, head in list(self._heads.items()):
-            pending = [r for r in head.queue if r.owner.id == owner.id]
-            if not pending:
-                continue
+        pending = self._waiting.pop(owner.id, None)
+        if pending:
+            by_resource: dict[Resource, list[LockRequest]] = {}
             for request in pending:
-                head.queue.remove(request)
-                request._resolve(RequestState.DENIED, error)
-                if self.trace is not None:
-                    self.trace.emit(
-                        EventType.LOCK_DENY, request.owner.id,
-                        resource=repr(request.resource), mode=request.mode.value,
-                        error=type(error).__name__ if error else None,
-                    )
-            self._refresh_wait_edges(head)
-            self._promote(resource)
+                by_resource.setdefault(request.resource, []).append(request)
+            for resource, requests in by_resource.items():
+                head = self._heads.get(resource)
+                if head is None or not head.queue:
+                    continue
+                removed = False
+                for request in requests:
+                    try:
+                        head.queue.remove(request)
+                    except ValueError:
+                        continue
+                    removed = True
+                    request._resolve(RequestState.DENIED, error)
+                    if self.trace is not None:
+                        self.trace.emit(
+                            EventType.LOCK_DENY, request.owner.id,
+                            resource=repr(request.resource), mode=request.mode.value,
+                            error=type(error).__name__ if error else None,
+                        )
+                if removed:
+                    self._refresh_wait_edges(head)
+                    self._promote(resource)
         self.waits_for.remove_node(owner.id)
 
     # --------------------------------------------------------------- queries
 
     def locks_on(self, resource: Resource) -> list[Lock]:
         head = self._heads.get(resource)
-        return list(head.granted) if head else []
+        return list(head.granted.values()) if head else []
 
     def locks_held_by(self, owner: Any) -> list[Lock]:
         return list(self._by_owner.get(owner.id, {}).values())
 
     def holds(self, owner: Any, resource: Resource, mode: LockMode | None = None) -> bool:
-        lock = self._by_owner.get(owner.id, {}).get(resource)
+        owner_locks = self._by_owner.get(owner.id)
+        lock = owner_locks.get(resource) if owner_locks else None
         if lock is None:
             return False
-        return mode is None or mode in lock.modes
+        return mode is None or bool(lock.mask & mode.bit)
 
     def holds_any_siread(self, owner: Any) -> bool:
-        return any(
-            LockMode.SIREAD in lock.modes
-            for lock in self._by_owner.get(owner.id, {}).values()
-        )
+        return self._siread_counts.get(owner.id, 0) > 0
 
     def waiting_requests(self) -> list[LockRequest]:
-        return [request for head in self._heads.values() for request in head.queue]
+        return [
+            request
+            for head in self._heads.values()
+            if head.queue
+            for request in head.queue
+        ]
 
     def find_deadlock_victims(self, choose: Callable[[list[Any]], Any]) -> list[Any]:
         """Periodic deadlock sweep: find every cycle and pick victims.
@@ -467,7 +637,7 @@ class LockManager:
 
     def table_size(self) -> int:
         """Number of granted locks — tracks the Section 3.3 growth concern."""
-        return sum(len(head.granted) for head in self._heads.values())
+        return self._granted_count
 
     # -------------------------------------------------------------- internals
 
@@ -475,24 +645,62 @@ class LockManager:
         locks = self._by_owner.get(owner_id)
         if locks:
             return next(iter(locks.values())).owner
-        for head in self._heads.values():
-            for request in head.queue:
-                if request.owner.id == owner_id:
-                    return request.owner
+        pending = self._waiting.get(owner_id)
+        if pending:
+            return next(iter(pending)).owner
         return None
+
+    def _waiting_discard(self, request: LockRequest) -> None:
+        pending = self._waiting.get(request.owner.id)
+        if pending is not None:
+            pending.discard(request)
+            if not pending:
+                del self._waiting[request.owner.id]
+
+    def _add_mode(self, head: _LockHead, lock: Lock, mode: LockMode) -> None:
+        """Add ``mode`` to a granted lock, keeping all summaries in sync.
+
+        Caller guarantees the lock does not already carry the mode."""
+        bit = mode.bit
+        lock.mask |= bit
+        shift = mode.index << 4
+        if not (head.counts >> shift) & 0xFFFF:
+            head.mask |= bit
+        head.counts += 1 << shift
+        if mode is LockMode.SIREAD:
+            counts_by_owner = self._siread_counts
+            owner_id = lock.owner.id
+            counts_by_owner[owner_id] = counts_by_owner.get(owner_id, 0) + 1
+
+    def _discard_mode(self, head: _LockHead, lock: Lock, mode: LockMode) -> None:
+        """Remove ``mode`` from a granted lock, keeping summaries in sync.
+
+        Caller guarantees the lock carries the mode."""
+        bit = mode.bit
+        lock.mask &= ~bit
+        shift = mode.index << 4
+        head.counts -= 1 << shift
+        if not (head.counts >> shift) & 0xFFFF:
+            head.mask &= ~bit
+        if mode is LockMode.SIREAD:
+            counts_by_owner = self._siread_counts
+            owner_id = lock.owner.id
+            remaining = counts_by_owner[owner_id] - 1
+            if remaining:
+                counts_by_owner[owner_id] = remaining
+            else:
+                del counts_by_owner[owner_id]
 
     def _detection_conflicts(self, head: _LockHead, owner: Any, mode: LockMode) -> list[Lock]:
         """Granted locks of other owners that signal rw-dependencies."""
-        if mode is LockMode.SIREAD:
-            interesting = {LockMode.EXCLUSIVE, LockMode.INSERT_INTENTION}
-        elif mode in (LockMode.EXCLUSIVE, LockMode.INSERT_INTENTION):
-            interesting = {LockMode.SIREAD}
-        else:
-            return []
+        interesting = mode.detect_mask
+        if not head.mask & interesting:
+            return _NO_CONFLICTS
+        owner_id = owner.id
         return [
             lock
-            for lock in head.granted
-            if lock.owner.id != owner.id and lock.modes & interesting
+            for oid, lock in head.granted.items()
+            if oid != owner_id and lock.mask & interesting
         ]
 
     def _blockers(
@@ -506,70 +714,91 @@ class LockManager:
         """Owners whose granted locks (or requests queued *ahead*) block
         ``mode``.  ``ahead`` defaults to the whole queue (the right view
         for a brand-new request); _promote passes only the true prefix."""
-        blockers = [
-            lock.owner
-            for lock in head.granted
-            if lock.owner.id != owner.id and lock.blocks(mode)
-        ]
+        incompat = mode.incompat_mask
+        if head.mask & incompat:
+            owner_id = owner.id
+            blockers = [
+                lock.owner
+                for oid, lock in head.granted.items()
+                if oid != owner_id and lock.mask & incompat
+            ]
+        else:
+            blockers = []
         if blockers or upgrading:
             # Upgraders only wait for granted incompatible locks; they jump
             # ahead of the queue (appendleft in acquire()).
             return blockers
         # FIFO fairness: an incompatible request already queued ahead (by
         # another owner) blocks too.
-        for queued in head.queue if ahead is None else ahead:
-            if queued.owner.id != owner.id and not compatible(queued.mode, mode):
+        queued_ahead = (head.queue or ()) if ahead is None else ahead
+        for queued in queued_ahead:
+            if queued.owner.id != owner.id and queued.mode.bit & incompat:
                 blockers.append(queued.owner)
         return blockers
 
     def _grant(self, head: _LockHead, owner: Any, resource: Resource, mode: LockMode) -> None:
-        held = self._by_owner[owner.id].get(resource)
+        owner_locks = self._by_owner[owner.id]
+        held = owner_locks.get(resource)
         if held is not None:
-            held.modes.add(mode)
+            if not held.mask & mode.bit:
+                self._add_mode(head, held, mode)
             # SIREAD->EXCLUSIVE upgrade discards the SIREAD so it is not
             # retained after commit (Section 3.7.3); the new version's
             # first-committer conflicts subsume its detection role.
             if (
                 mode is LockMode.EXCLUSIVE
                 and self.siread_upgrade
-                and LockMode.SIREAD in held.modes
+                and held.mask & _SIREAD_BIT
             ):
-                held.modes.discard(LockMode.SIREAD)
+                self._discard_mode(head, held, LockMode.SIREAD)
                 self.stats["siread_dropped"] += 1
         else:
-            lock = Lock(owner=owner, resource=resource, modes={mode})
-            head.granted.append(lock)
-            self._by_owner[owner.id][resource] = lock
+            lock = Lock(owner=owner, resource=resource)
+            head.granted[owner.id] = lock
+            owner_locks[resource] = lock
+            self._granted_count += 1
+            self._add_mode(head, lock, mode)
 
     def _remove_lock(self, lock: Lock) -> None:
+        owner_id = lock.owner.id
         head = self._heads.get(lock.resource)
         if head is not None:
-            try:
-                head.granted.remove(lock)
-            except ValueError:
-                pass
+            if head.granted.pop(owner_id, None) is not None:
+                self._granted_count -= 1
+                for mode in _MODES_IN[lock.mask]:
+                    shift = mode.index << 4
+                    head.counts -= 1 << shift
+                    if not (head.counts >> shift) & 0xFFFF:
+                        head.mask &= ~mode.bit
+                if lock.mask & _SIREAD_BIT:
+                    remaining = self._siread_counts[owner_id] - 1
+                    if remaining:
+                        self._siread_counts[owner_id] = remaining
+                    else:
+                        del self._siread_counts[owner_id]
             if head.empty():
                 del self._heads[lock.resource]
-        owner_locks = self._by_owner.get(lock.owner_id)
+        owner_locks = self._by_owner.get(owner_id)
         if owner_locks is not None:
             owner_locks.pop(lock.resource, None)
             if not owner_locks:
-                self._by_owner.pop(lock.owner_id, None)
+                self._by_owner.pop(owner_id, None)
 
     def _promote(self, resource: Resource) -> None:
         """Grant queued requests now compatible, front-first (FIFO)."""
         head = self._heads.get(resource)
         if head is None:
             return
-        granted_any = False
         while head.queue:
             request = head.queue[0]
-            upgrading = request.resource in self._by_owner.get(request.owner.id, {})
+            owner_locks = self._by_owner.get(request.owner.id)
+            upgrading = owner_locks is not None and request.resource in owner_locks
             if self._blockers(
                 head, request.owner, request.mode, upgrading=upgrading, ahead=()
             ):
                 break
             head.queue.popleft()
+            self._waiting_discard(request)
             self._grant(head, request.owner, resource, request.mode)
             request._resolve(RequestState.GRANTED)
             if self.trace is not None:
@@ -577,30 +806,33 @@ class LockManager:
                     EventType.LOCK_GRANT, request.owner.id,
                     resource=repr(resource), mode=request.mode.value,
                 )
-            granted_any = True
-        if granted_any or True:
+        if head.queue:
             self._refresh_wait_edges(head)
         if head.empty():
             self._heads.pop(resource, None)
 
     def _refresh_wait_edges(self, head: _LockHead) -> None:
         """Recompute waits-for edges contributed by this resource's queue."""
+        if not head.queue:
+            return
         # Remove then re-add: simple and correct; queues are short.
         for request in head.queue:
             self.waits_for.clear_edges_from(request.owner.id)
         # Re-add edges for every waiter of every resource the owner waits on
         # (an owner can wait on at most one resource at a time in this
         # engine, so recomputing from this head alone is sufficient).
+        # Waiters key off the *strongest* granted mode, the historical
+        # policy — _STRONGEST_BIT keeps that exact behaviour mask-cheap.
         ahead: list[LockRequest] = []
         for request in head.queue:
-            for lock in head.granted:
-                if lock.owner.id != request.owner.id and not compatible(lock.mode, request.mode):
-                    self.waits_for.add_edge(request.owner.id, lock.owner_id)
+            incompat = request.mode.incompat_mask
+            request_owner_id = request.owner.id
+            for lock in head.granted.values():
+                if lock.owner_id != request_owner_id and _STRONGEST_BIT[lock.mask] & incompat:
+                    self.waits_for.add_edge(request_owner_id, lock.owner_id)
             for earlier in ahead:
-                if earlier.owner.id != request.owner.id and not compatible(
-                    earlier.mode, request.mode
-                ):
-                    self.waits_for.add_edge(request.owner.id, earlier.owner.id)
+                if earlier.owner.id != request_owner_id and earlier.mode.bit & incompat:
+                    self.waits_for.add_edge(request_owner_id, earlier.owner.id)
             ahead.append(request)
 
     def _resolve_deadlocks(self, request: LockRequest) -> None:

@@ -53,6 +53,29 @@ _COMPATIBLE: frozenset[tuple[LockMode, LockMode]] = frozenset(
 )
 
 
+# ------------------------------------------------------------------ bitmasks
+#
+# The lock-table hot paths test mode sets against each other millions of
+# times per run, and Enum hashing dominates when those tests go through
+# set operations.  Each mode therefore carries a bit, and the compatibility
+# matrix is pre-folded into a per-mode ``incompat_mask`` so "does any held
+# mode block this request" is a single integer AND against a summary mask.
+# The matrix above stays the source of truth; the masks are derived.
+
+for _index, _mode in enumerate(LockMode):
+    _mode.index = _index
+    _mode.bit = 1 << _index
+
+for _mode in LockMode:
+    _mode.incompat_mask = 0
+    for _other in LockMode:
+        if (_other, _mode) not in _COMPATIBLE:
+            _mode.incompat_mask |= _other.bit
+
+#: Bits of every mode (the "something is granted here" summary value).
+ALL_MODES_MASK = sum(_mode.bit for _mode in LockMode)
+
+
 def compatible(held: LockMode, requested: LockMode) -> bool:
     """True if ``requested`` can be granted while ``held`` is granted
     to a different transaction."""

@@ -17,16 +17,40 @@ from repro.mvcc.version import Version, VersionChain
 
 
 class Snapshot:
-    """An immutable read view anchored at a logical timestamp."""
+    """An immutable read view anchored at a logical timestamp.
 
-    __slots__ = ("read_ts",)
+    :meth:`visible` keeps a one-slot last-visible memo: a snapshot's view
+    of a chain can never change, because commit timestamps are handed out
+    by the same monotonic clock that anchored ``read_ts`` — every version
+    installed after this snapshot was taken carries ``commit_ts >
+    read_ts`` and is invisible by definition.  Consecutive re-reads of the
+    same item (read-modify-write, and operation retry after a lock wait)
+    therefore skip the chain lookup.  A single slot beats a per-chain dict
+    here: chain lookups are already O(1) on the newest version, so a dict
+    memo costs more on scans than it saves on re-reads.
+    """
+
+    __slots__ = ("read_ts", "_memo_chain", "_memo_version")
 
     def __init__(self, read_ts: int):
         self.read_ts = read_ts
+        self._memo_chain: VersionChain | None = None
+        self._memo_version: Version | None = None
 
     def visible(self, chain: VersionChain) -> Version | None:
         """The version of ``chain`` this snapshot sees (may be a tombstone)."""
-        return chain.visible(self.read_ts)
+        if chain is self._memo_chain:
+            return self._memo_version
+        # Inlined tail fast path of VersionChain.visible: on the dominant
+        # "snapshot sees the newest version" case this saves a call per row.
+        ts = chain._ts
+        if ts and ts[-1] <= self.read_ts:
+            version = chain._versions[-1]
+        else:
+            version = chain.visible(self.read_ts)
+        self._memo_chain = chain
+        self._memo_version = version
+        return version
 
     def ignored_versions(self, chain: VersionChain) -> list[Version]:
         """Committed versions newer than this snapshot (rw-conflict evidence)."""

@@ -1,21 +1,29 @@
 """Versioned data items.
 
-Each data item is a :class:`VersionChain`: a list of committed
-:class:`Version` objects ordered by commit timestamp (newest first).
-Deletes install *tombstone* versions (paper Section 3.5) so that a
-predicate read interleaved after a delete still observes a "newer version"
-and triggers rw-conflict detection.
+Each data item is a :class:`VersionChain` of committed :class:`Version`
+objects ordered by commit timestamp.  Deletes install *tombstone* versions
+(paper Section 3.5) so that a predicate read interleaved after a delete
+still observes a "newer version" and triggers rw-conflict detection.
 
 Version order under snapshot isolation is simply commit-timestamp order:
 the first-committer-wins rule guarantees that among two transactions that
 produce versions of the same item, one commits before the other starts
 (paper Section 2.5.1).
+
+Storage layout (PR-4 hot-path pass): versions are kept oldest->newest with
+a parallel ``commit_ts`` array, so ``install`` is an O(1) append instead
+of an O(n) front-insert, visibility is a tail check (the common "snapshot
+sees the newest version" case) falling back to one ``bisect``, and "does a
+newer version exist" — the first-committer-wins probe — is O(1).  The
+public view is unchanged: iteration and :meth:`newer_than` still yield
+newest-first.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterator
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
 
 
 class _Tombstone:
@@ -45,17 +53,20 @@ class Version:
     value: Any
     commit_ts: int
     creator_id: int
+    # Precomputed at construction: every read checks it, versions are
+    # immutable, and a plain slot load beats a property call on the scan
+    # hot path.
+    is_tombstone: bool = field(init=False, repr=False, compare=False)
 
-    @property
-    def is_tombstone(self) -> bool:
-        return self.value is TOMBSTONE
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_tombstone", self.value is TOMBSTONE)
 
     def __repr__(self) -> str:
         return f"Version(ts={self.commit_ts}, txn={self.creator_id}, value={self.value!r})"
 
 
 class VersionChain:
-    """All committed versions of one data item, newest first.
+    """All committed versions of one data item.
 
     The chain only ever contains *committed* versions: in-flight writes
     live in each transaction's private write set and are installed at
@@ -64,10 +75,14 @@ class VersionChain:
     paper Section 2.5).
     """
 
-    __slots__ = ("_versions",)
+    __slots__ = ("_versions", "_ts")
 
-    def __init__(self, versions: list[Version] | None = None):
-        self._versions: list[Version] = versions or []
+    def __init__(self, versions: Iterable[Version] | None = None):
+        # Legacy constructor argument is newest-first; storage is ascending.
+        ordered = list(versions or [])
+        ordered.reverse()
+        self._versions: list[Version] = ordered
+        self._ts: list[int] = [version.commit_ts for version in ordered]
 
     def install(self, version: Version) -> int:
         """Append a newly committed version; returns the new chain length
@@ -77,13 +92,15 @@ class VersionChain:
         Commit timestamps are handed out under the engine's commit mutex,
         so installs always arrive in increasing commit_ts order.
         """
-        if self._versions and version.commit_ts <= self._versions[0].commit_ts:
+        ts = self._ts
+        if ts and version.commit_ts <= ts[-1]:
             raise ValueError(
                 f"version install out of order: {version.commit_ts} "
-                f"<= {self._versions[0].commit_ts}"
+                f"<= {ts[-1]}"
             )
-        self._versions.insert(0, version)
-        return len(self._versions)
+        self._versions.append(version)
+        ts.append(version.commit_ts)
+        return len(ts)
 
     def visible(self, read_ts: int) -> Version | None:
         """Return the version a snapshot taken at ``read_ts`` sees.
@@ -92,27 +109,38 @@ class VersionChain:
         if the item did not exist at that time.  The caller is responsible
         for treating a visible tombstone as "not present".
         """
-        for version in self._versions:
-            if version.commit_ts <= read_ts:
-                return version
-        return None
+        ts = self._ts
+        if not ts:
+            return None
+        if ts[-1] <= read_ts:  # common case: snapshot sees the newest
+            return self._versions[-1]
+        index = bisect_right(ts, read_ts)
+        return self._versions[index - 1] if index else None
 
     def newer_than(self, read_ts: int) -> Iterator[Version]:
-        """Yield every committed version ignored by a snapshot at ``read_ts``.
+        """Yield every committed version ignored by a snapshot at ``read_ts``,
+        newest first.
 
         These are exactly the versions whose existence signals a
         rw-dependency from the reader to the version creator (Fig 3.4,
         lines 8-9).
         """
-        for version in self._versions:
-            if version.commit_ts > read_ts:
-                yield version
-            else:
-                break
+        ts = self._ts
+        if not ts or ts[-1] <= read_ts:
+            return
+        versions = self._versions
+        for index in range(len(ts) - 1, bisect_right(ts, read_ts) - 1, -1):
+            yield versions[index]
+
+    def has_newer(self, read_ts: int) -> bool:
+        """O(1): does any committed version postdate a snapshot at
+        ``read_ts``?  (The first-committer-wins probe, Section 2.5.1.)"""
+        ts = self._ts
+        return bool(ts) and ts[-1] > read_ts
 
     def latest(self) -> Version | None:
         """Return the most recent committed version, if any."""
-        return self._versions[0] if self._versions else None
+        return self._versions[-1] if self._versions else None
 
     def prune(self, horizon_ts: int) -> int:
         """Garbage-collect versions no active snapshot can read.
@@ -126,19 +154,19 @@ class VersionChain:
 
         Returns the number of versions removed.
         """
-        keep = 0
-        while keep < len(self._versions) and self._versions[keep].commit_ts > horizon_ts:
-            keep += 1
-        if keep == len(self._versions):
+        ts = self._ts
+        visible_at_horizon = bisect_right(ts, horizon_ts)
+        if visible_at_horizon == 0:
             return 0  # every version is newer than the horizon
-        # self._versions[keep] is the version visible at horizon_ts; drop
-        # everything older.
-        removed = len(self._versions) - (keep + 1)
-        del self._versions[keep + 1:]
-        # Reclaim a trailing tombstone: nothing older remains for it to
+        removed = visible_at_horizon - 1
+        if removed:
+            del self._versions[:removed]
+            del ts[:removed]
+        # Reclaim a leading tombstone: nothing older remains for it to
         # shadow, and every surviving snapshot sees "absent" either way.
-        if self._versions[-1].is_tombstone and self._versions[-1].commit_ts <= horizon_ts:
-            del self._versions[-1]
+        if self._versions[0].is_tombstone and ts[0] <= horizon_ts:
+            del self._versions[0]
+            del ts[0]
             removed += 1
         return removed
 
@@ -146,7 +174,7 @@ class VersionChain:
         return len(self._versions)
 
     def __iter__(self) -> Iterator[Version]:
-        return iter(self._versions)
+        return reversed(self._versions)
 
     def __repr__(self) -> str:
-        return f"VersionChain({self._versions!r})"
+        return f"VersionChain({list(reversed(self._versions))!r})"

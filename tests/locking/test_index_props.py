@@ -1,0 +1,155 @@
+"""Property tests for the lock manager's derived indexes (PR-4).
+
+The optimized :class:`LockManager` answers its hot-path queries from
+derived state — the per-owner lock index (``_by_owner``), the packed
+per-head mode summary (``_LockHead.counts``/``mask``), the per-owner
+waiting-request index (``_waiting``), the per-owner SIREAD counters
+(``_siread_counts``) and the global granted counter — instead of walking
+the lock table.  These tests drive random sequences of acquires,
+releases, SIREAD drops, wait cancellations and gap-lock inheritance, then
+rebuild every index from the ground-truth table (the per-resource heads)
+and require exact agreement.
+"""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings, strategies as st
+
+from repro.locking.manager import (
+    LockManager,
+    RequestState,
+    gap_resource,
+    record_resource,
+)
+from repro.locking.modes import LockMode
+
+N_OWNERS = 5
+
+RESOURCES = [record_resource("t", k) for k in range(4)] + [
+    gap_resource("t", k) for k in range(2)
+]
+
+MODES = list(LockMode)
+
+
+@dataclass
+class Owner:
+    id: int
+    begin_ts: int = 0
+
+
+def rebuild_ground_truth(lm: LockManager):
+    """Recompute every derived index by walking the per-resource heads."""
+    by_owner: dict = {}
+    siread_counts: dict = {}
+    granted_total = 0
+    for resource, head in lm._heads.items():
+        assert not head.empty(), f"empty head for {resource!r} not reclaimed"
+        mode_counts = {mode: 0 for mode in MODES}
+        for owner_id, lock in head.granted.items():
+            assert lock.resource == resource
+            assert lock.owner.id == owner_id
+            assert lock.mask, "granted lock carrying no modes"
+            granted_total += 1
+            by_owner.setdefault(owner_id, {})[resource] = lock
+            for mode in MODES:
+                if lock.mask & mode.bit:
+                    mode_counts[mode] += 1
+            if lock.mask & LockMode.SIREAD.bit:
+                siread_counts[owner_id] = siread_counts.get(owner_id, 0) + 1
+        # the packed summary must agree with the recount, mode by mode
+        expected_mask = 0
+        for mode, count in mode_counts.items():
+            assert head.mode_count(mode) == count
+            if count:
+                expected_mask |= mode.bit
+        assert head.mask == expected_mask
+    waiting: dict = {}
+    for head in lm._heads.values():
+        for request in head.queue or ():
+            if request.state is RequestState.WAITING:
+                waiting.setdefault(request.owner.id, set()).add(request)
+    return by_owner, siread_counts, granted_total, waiting
+
+
+def check_agreement(lm: LockManager, owners):
+    by_owner, siread_counts, granted_total, waiting = rebuild_ground_truth(lm)
+    assert {o: d for o, d in lm._by_owner.items() if d} == by_owner
+    assert dict(lm._siread_counts) == siread_counts
+    assert lm.table_size() == granted_total
+    assert {o: s for o, s in lm._waiting.items() if s} == waiting
+    # public queries answered from the indexes agree with the table
+    for owner in owners:
+        held = by_owner.get(owner.id, {})
+        assert {
+            lock.resource for lock in lm.locks_held_by(owner)
+        } == set(held)
+        assert lm.holds_any_siread(owner) == (
+            siread_counts.get(owner.id, 0) > 0
+        )
+        for resource in RESOURCES:
+            lock = held.get(resource)
+            assert lm.holds(owner, resource) == (lock is not None)
+            for mode in MODES:
+                expected = lock is not None and bool(lock.mask & mode.bit)
+                assert lm.holds(owner, resource, mode) == expected
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("acquire"),
+            st.integers(0, N_OWNERS - 1),
+            st.integers(0, len(RESOURCES) - 1),
+            st.sampled_from(MODES),
+        ),
+        st.tuples(
+            st.just("release_all"),
+            st.integers(0, N_OWNERS - 1),
+            st.booleans(),  # keep_siread
+        ),
+        st.tuples(st.just("drop_siread"), st.integers(0, N_OWNERS - 1)),
+        st.tuples(st.just("cancel_waits"), st.integers(0, N_OWNERS - 1)),
+        st.tuples(
+            st.just("inherit"),
+            st.integers(len(RESOURCES) - 2, len(RESOURCES) - 1),  # from gap
+            st.integers(len(RESOURCES) - 2, len(RESOURCES) - 1),  # to gap
+            st.integers(0, N_OWNERS - 1),  # excluded owner
+        ),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops)
+def test_indexes_agree_with_lock_table(sequence):
+    lm = LockManager()  # no deadlock handler: waiters just queue
+    owners = [Owner(i, begin_ts=i) for i in range(N_OWNERS)]
+    for op in sequence:
+        kind = op[0]
+        if kind == "acquire":
+            _, owner, resource, mode = op
+            lm.acquire(owners[owner], RESOURCES[resource], mode)
+        elif kind == "release_all":
+            _, owner, keep_siread = op
+            lm.release_all(owners[owner], keep_siread=keep_siread)
+        elif kind == "drop_siread":
+            lm.drop_siread_locks(owners[op[1]])
+        elif kind == "cancel_waits":
+            lm.cancel_waits(owners[op[1]])
+        else:
+            _, src, dst, excluded = op
+            lm.inherit_siread_locks(
+                RESOURCES[src], RESOURCES[dst], owners[excluded]
+            )
+        check_agreement(lm, owners)
+    # drain everything: the indexes must end empty along with the table
+    for owner in owners:
+        lm.release_all(owner)
+        lm.drop_siread_locks(owner)
+    check_agreement(lm, owners)
+    assert lm.table_size() == 0
+    assert not lm._heads
+    assert not any(lm._by_owner.values())
+    assert not lm._siread_counts
