@@ -213,6 +213,94 @@ def run_experiments(quick: bool) -> dict:
     return out
 
 
+# ------------------------------------------------------------- concurrency
+#
+# PR-5 cases: real-thread smallbank clients (wall-clock at 1/4/8 threads)
+# and the experiment grid run sequentially vs process-parallel.  Captures
+# record the machine's CPU count alongside, because the parallel-grid
+# speedup is bounded by it — on a single-core runner the honest expectation
+# is ~1.0x, and the comparison gate treats it accordingly.
+
+THREAD_COUNTS = (1, 4, 8)
+FULL_STRESS_TXNS = 480
+QUICK_STRESS_TXNS = 120
+
+
+def _threaded_smallbank_wall(threads: int, total_txns: int) -> dict:
+    """Wall-clock for ``total_txns`` smallbank transactions split across
+    ``threads`` real threads at SSI (via the stress executor)."""
+    from repro.exec import run_threaded_stress
+    from repro.workloads.smallbank import make_smallbank
+
+    result = run_threaded_stress(
+        make_smallbank(customers=200),
+        level="ssi",
+        threads=threads,
+        txns_per_thread=total_txns // threads,
+        seed=SEED,
+    )
+    if not result.lock_table_clean:
+        raise RuntimeError(f"stress left a dirty lock table: {result.describe()}")
+    return {
+        "wall_clock_s": result.wall_clock_s,
+        "txns": result.txns,
+        "commits": result.commits,
+        "aborts": result.aborts,
+    }
+
+
+def _grid_experiment(quick: bool):
+    from repro.bench.harness import Experiment
+    from repro.workloads.smallbank import make_smallbank
+
+    duration, warmup = (0.12, 0.02) if quick else (0.4, 0.05)
+    return Experiment(
+        exp_id="bench-grid",
+        title="baseline level x MPL grid (parallel-runner benchmark)",
+        workload_factory=lambda: make_smallbank(customers=200),
+        engine_config_factory=lambda: EngineConfig(),
+        sim_config=SimConfig(duration=duration, warmup=warmup, seed=SEED),
+        levels=("si", "ssi", "s2pl"),
+        mpls=(2, 5, 10, 20),
+    )
+
+
+def _run_grid(experiment, parallel: int) -> tuple[float, dict]:
+    """Run the grid, falling back to the sequential runner on an engine
+    that predates the ``parallel`` parameter (the 'before' capture)."""
+    from repro.bench.harness import run_experiment
+
+    start = time.perf_counter()
+    try:
+        result = run_experiment(experiment, parallel=parallel)
+    except TypeError:  # pre-PR5 engine: no parallel parameter
+        result = run_experiment(experiment)
+    return time.perf_counter() - start, result.to_dict()
+
+
+def run_concurrency(quick: bool) -> dict:
+    stress_txns = QUICK_STRESS_TXNS if quick else FULL_STRESS_TXNS
+    threaded = {
+        str(threads): _threaded_smallbank_wall(threads, stress_txns)
+        for threads in THREAD_COUNTS
+    }
+    experiment = _grid_experiment(quick)
+    wall_seq, grid_seq = _run_grid(experiment, parallel=1)
+    wall_par, grid_par = _run_grid(experiment, parallel=4)
+    return {
+        "cpus": os.cpu_count() or 1,
+        "threaded_smallbank": threaded,
+        "grid": {
+            "cells": len(experiment.levels) * len(experiment.mpls),
+            "sim_duration": experiment.sim_config.duration,
+            "parallel_1_wall_s": wall_seq,
+            "parallel_4_wall_s": wall_par,
+            "speedup": wall_seq / wall_par if wall_par else 1.0,
+            "identical": grid_seq == grid_par,
+        },
+    }
+
+
 # ----------------------------------------------------------------- capture
 
 
@@ -231,15 +319,26 @@ def capture(quick: bool, label: str) -> dict:
     for name, entry in run_experiments(quick).items():
         entry["normalized_wall"] = entry["wall_clock_s"] * calibration
         experiments[name] = entry
+    concurrency = run_concurrency(quick)
+    for entry in concurrency["threaded_smallbank"].values():
+        entry["normalized_wall"] = entry["wall_clock_s"] * calibration
+    concurrency["grid"]["normalized_parallel_1"] = (
+        concurrency["grid"]["parallel_1_wall_s"] * calibration
+    )
+    concurrency["grid"]["normalized_parallel_4"] = (
+        concurrency["grid"]["parallel_4_wall_s"] * calibration
+    )
     return {
         "label": label,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
         "profile": "quick" if quick else "full",
         "calibration_ops_per_sec": calibration,
         "micro": micro,
         "experiments": experiments,
+        "concurrency": concurrency,
     }
 
 
@@ -297,6 +396,66 @@ def compare_captures(base: dict, current: dict, tolerance: float) -> list[dict]:
             "ratio": ratio,
             "regressed": ratio > 1.0 + tolerance,
         })
+    base_conc = base.get("concurrency")
+    cur_conc = current.get("concurrency")
+    if base_conc and cur_conc:
+        # Threaded wall-clock is intrinsically noisier than the seeded
+        # simulator runs, so these rows use a widened (1.5x) tolerance.
+        wide = 1.5 * tolerance
+        for threads, entry in base_conc.get("threaded_smallbank", {}).items():
+            cur = cur_conc.get("threaded_smallbank", {}).get(threads)
+            if cur is None:
+                continue
+            # Scale by transaction count: a --quick gate run executes a
+            # quarter of the full baseline's transactions, and comparing
+            # absolute walls would let a 4x regression hide in the gap.
+            base_per_txn = (
+                entry["normalized_wall"] / entry["txns"]
+                if entry.get("txns") else entry["normalized_wall"]
+            )
+            cur_per_txn = (
+                cur["normalized_wall"] / cur["txns"]
+                if cur.get("txns") else cur["normalized_wall"]
+            )
+            ratio = cur_per_txn / base_per_txn if base_per_txn else 1.0
+            rows.append({
+                "metric": f"concurrency:threaded_smallbank[{threads}]",
+                "kind": "wall-clock per transaction (normalized)",
+                "base": base_per_txn,
+                "current": cur_per_txn,
+                "ratio": ratio,
+                "regressed": ratio > 1.0 + wide,
+            })
+        base_grid = base_conc.get("grid")
+        cur_grid = cur_conc.get("grid")
+        if base_grid and cur_grid:
+            # Scale by total simulated traffic (cells x sim duration): the
+            # --quick grid simulates less per cell than the full baseline.
+            def _per_sim_second(grid: dict) -> float:
+                total = grid.get("cells", 1) * grid.get("sim_duration", 1.0)
+                wall = grid.get("normalized_parallel_4", 0.0)
+                return wall / total if total else wall
+
+            base_scaled = _per_sim_second(base_grid)
+            cur_scaled = _per_sim_second(cur_grid)
+            ratio = cur_scaled / base_scaled if base_scaled else 1.0
+            rows.append({
+                "metric": "concurrency:grid[parallel=4]",
+                "kind": "wall-clock per simulated second (normalized)",
+                "base": base_scaled,
+                "current": cur_scaled,
+                "ratio": ratio,
+                "regressed": ratio > 1.0 + wide,
+            })
+            if not cur_grid.get("identical", True):
+                rows.append({
+                    "metric": "concurrency:grid[identical]",
+                    "kind": "parallel grid == sequential grid",
+                    "base": 1.0,
+                    "current": 0.0,
+                    "ratio": float("inf"),
+                    "regressed": True,
+                })
     return rows
 
 
@@ -317,7 +476,32 @@ def speedups(before: dict, after: dict) -> dict:
                     1.0 - entry["normalized_wall"] / base["normalized_wall"]
                 ),
             }
-    return {"micro": micro, "experiments": experiments}
+    concurrency = {}
+    before_conc = before.get("concurrency")
+    after_conc = after.get("concurrency")
+    if before_conc and after_conc:
+        for threads, entry in after_conc.get("threaded_smallbank", {}).items():
+            base = before_conc.get("threaded_smallbank", {}).get(threads)
+            if base and base.get("normalized_wall"):
+                concurrency[f"threaded_smallbank[{threads}]"] = (
+                    base["normalized_wall"] / entry["normalized_wall"]
+                )
+        after_grid = after_conc.get("grid", {})
+        before_grid = before_conc.get("grid", {})
+        if after_grid.get("normalized_parallel_4") and before_grid.get(
+            "normalized_parallel_1"
+        ):
+            concurrency["grid_parallel_4_vs_before_sequential"] = (
+                before_grid["normalized_parallel_1"]
+                / after_grid["normalized_parallel_4"]
+            )
+        if after_grid.get("speedup"):
+            concurrency["grid_parallel_4_vs_parallel_1"] = after_grid["speedup"]
+    return {
+        "micro": micro,
+        "experiments": experiments,
+        "concurrency": concurrency,
+    }
 
 
 # -------------------------------------------------------------------- JSON
@@ -354,6 +538,22 @@ def _print_capture(cap: dict) -> None:
                 f"{stats['throughput']:>10.0f} commits/s  "
                 f"err/commit {stats['error_rate']:.4f}"
             )
+    conc = cap.get("concurrency")
+    if conc:
+        print(f"concurrency (cpus={conc['cpus']}):")
+        for threads, entry in conc["threaded_smallbank"].items():
+            print(
+                f"    threaded smallbank x{threads:<3} "
+                f"{entry['wall_clock_s']:>8.2f}s  "
+                f"({entry['commits']} commits / {entry['aborts']} aborts)"
+            )
+        grid = conc["grid"]
+        print(
+            f"    grid ({grid['cells']} cells)  parallel=1 "
+            f"{grid['parallel_1_wall_s']:.2f}s  parallel=4 "
+            f"{grid['parallel_4_wall_s']:.2f}s  speedup "
+            f"{grid['speedup']:.2f}x  identical={grid['identical']}"
+        )
 
 
 def main(argv=None) -> int:

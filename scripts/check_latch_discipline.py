@@ -1,0 +1,316 @@
+#!/usr/bin/env python
+"""Static latch-discipline lint (PR 5).
+
+Two AST checks over the engine's concurrency-critical modules, run in CI
+next to ruff/mypy:
+
+1. **Protected-state mutations.**  Each checked module registers the
+   shared attributes a latch protects (the registry below mirrors the
+   latch-hierarchy docs in ``repro.engine.latches``).  Any statement that
+   *mutates* one of them — subscript/attribute assignment, augmented
+   assignment, or a mutating method call (``append``, ``pop``, ...) —
+   must sit lexically inside a ``with`` block holding the required latch.
+   Reads are deliberately not checked: the engine's documented fast paths
+   rely on GIL-atomic latch-free probes, and the hierarchy only requires
+   *mutations* to be latched.  A genuinely-safe latch-free mutation can
+   be waived with a ``# latch-free`` comment on the offending line, which
+   this lint treats as a reviewed exception.
+
+2. **Acquisition order.**  Within a function, nested ``with`` blocks
+   over recognised latch expressions must acquire in non-decreasing rank
+   order (``txn < tracker < commit < table < lock-queue < lock-stripe <
+   lock-owner < obs < wal``).  Same-rank re-acquisition is legal only
+   for lock-manager stripes under the queue latch (the documented
+   multi-stripe licence) — mirroring the runtime ``CheckedLatch``
+   enforcement, but at review time and on every path, not just the paths
+   a test happens to drive.
+
+The lint is intentionally syntactic: it sees lexical nesting, not
+call-graph latch state, so it cannot prove the absence of cross-function
+violations (that is what ``REPRO_LATCH_DEBUG=1`` test runs are for).  It
+exists to catch the common regression — a new mutation of a registered
+attribute outside its latch — before a racy test run has to.
+
+Usage::
+
+    python scripts/check_latch_discipline.py            # lint default set
+    python scripts/check_latch_discipline.py FILE...    # lint given files
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: rank table (must mirror repro.engine.latches.RANKS)
+RANKS = {
+    "txn": 10,
+    "tracker": 20,
+    "commit": 30,
+    "table": 40,
+    "lock-queue": 50,
+    "lock-stripe": 60,
+    "lock-owner": 70,
+    "obs": 80,
+    "wal": 90,
+}
+
+#: latch attribute name -> rank name, for ``self.<attr>`` / ``obj.<attr>``
+LATCH_ATTRS = {
+    "_txn_latch": "txn",
+    "_tracker_latch": "tracker",
+    "_commit_latch": "commit",
+    "latch": "table",  # Table.latch
+    "_queue_latch": "lock-queue",
+    "_owner_latch": "lock-owner",
+    "_latch": "wal",  # WriteAheadLog._latch
+}
+
+#: bare names recognised as latches (module-level singletons)
+LATCH_NAMES = {"OBS_LATCH": "obs"}
+
+#: subscripted collections of latches: ``self._stripe_latches[i]``
+LATCH_COLLECTIONS = {"_stripe_latches": "lock-stripe"}
+
+#: method calls that mutate their receiver
+MUTATORS = {
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update", "appendleft", "popleft",
+}
+
+#: files checked by default, with the shared attributes each latch
+#: protects: attr -> rank-name of the required latch.
+DEFAULT_RULES = {
+    "src/repro/engine/database.py": {
+        "_active": "txn",
+        "_registry": "txn",
+        "_suspended": "txn",
+    },
+    "src/repro/locking/manager.py": {
+        "_by_owner": "lock-owner",
+        "_waiting": "lock-owner",
+        "_siread_counts": "lock-owner",
+        "_granted_count": "lock-owner",
+    },
+}
+
+
+def latch_rank_of(node: ast.expr, aliases: dict) -> str | None:
+    """The rank name of a recognised latch expression, else None."""
+    if isinstance(node, ast.Attribute) and node.attr in LATCH_ATTRS:
+        return LATCH_ATTRS[node.attr]
+    if isinstance(node, ast.Name):
+        if node.id in LATCH_NAMES:
+            return LATCH_NAMES[node.id]
+        return aliases.get(node.id)
+    if isinstance(node, ast.Subscript):
+        target = node.value
+        if isinstance(target, ast.Attribute) and target.attr in LATCH_COLLECTIONS:
+            return LATCH_COLLECTIONS[target.attr]
+        if isinstance(target, ast.Name) and target.id in LATCH_COLLECTIONS:
+            return LATCH_COLLECTIONS[target.id]
+    return None
+
+
+def self_attr_name(node: ast.expr) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class FunctionChecker(ast.NodeVisitor):
+    """Walks one function body tracking the lexical latch stack."""
+
+    def __init__(self, rules: dict, path: str, source_lines: list[str]):
+        self.rules = rules
+        self.path = path
+        self.lines = source_lines
+        self.problems: list[str] = []
+        self.held: list[str] = []  # rank names, acquisition order
+        self.aliases: dict = {}  # local name -> rank name
+
+    # ------------------------------------------------------------ plumbing
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = self.lines[node.lineno - 1] if node.lineno <= len(self.lines) else ""
+        if "latch-free" in line or "latch-ok" in line:
+            return  # reviewed waiver
+        self.problems.append(f"{self.path}:{node.lineno}: {message}")
+
+    def holds(self, rank_name: str) -> bool:
+        return rank_name in self.held
+
+    # --------------------------------------------------------- latch stack
+
+    def visit_With(self, node: ast.With) -> None:
+        entered = []
+        for item in node.items:
+            rank_name = latch_rank_of(item.context_expr, self.aliases)
+            if rank_name is None:
+                continue
+            rank = RANKS[rank_name]
+            held_ranks = [RANKS[name] for name in self.held]
+            if held_ranks and rank < max(held_ranks) and rank_name not in self.held:
+                self.report(
+                    node,
+                    f"acquires {rank_name}({rank}) while holding "
+                    f"{self.held[-1]}({held_ranks[-1]}) — latch order violation",
+                )
+            if (
+                held_ranks
+                and rank == max(held_ranks)
+                and rank_name in self.held
+                and rank_name == "lock-stripe"
+                and "lock-queue" not in self.held
+            ):
+                self.report(
+                    node,
+                    "acquires a second lock-stripe latch without holding "
+                    "the lock-queue licence",
+                )
+            self.held.append(rank_name)
+            entered.append(rank_name)
+        for statement in node.body:
+            self.visit(statement)
+        for _ in entered:
+            self.held.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track local aliases of latch expressions (stripe = self._stripe_latches[i])
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            rank_name = latch_rank_of(node.value, self.aliases)
+            if rank_name is None and isinstance(node.value, ast.Subscript):
+                rank_name = latch_rank_of(node.value, self.aliases)
+            if rank_name is not None:
+                self.aliases[node.targets[0].id] = rank_name
+        for target in node.targets:
+            self.check_mutation_target(target)
+        self.visit(node.value)
+
+    # ---------------------------------------------------------- mutations
+
+    def protected_attr(self, node: ast.expr) -> str | None:
+        """The registered attribute a mutation of ``node`` touches."""
+        attr = self_attr_name(node)
+        if attr is not None and attr in self.rules:
+            return attr
+        if isinstance(node, ast.Subscript):
+            return self.protected_attr(node.value)
+        return None
+
+    def check_mutation_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.check_mutation_target(element)
+            return
+        attr = None
+        if isinstance(target, ast.Subscript):
+            attr = self.protected_attr(target.value)
+        elif isinstance(target, ast.Attribute):
+            name = self_attr_name(target)
+            if name in self.rules:
+                attr = name
+        if attr is not None:
+            self.require_latch(target, attr)
+
+    def require_latch(self, node: ast.AST, attr: str) -> None:
+        needed = self.rules[attr]
+        if not self.holds(needed):
+            self.report(
+                node,
+                f"mutates self.{attr} without holding the {needed} latch",
+            )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.check_mutation_target(node.target)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self.check_mutation_target(target)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
+            attr = self.protected_attr(func.value)
+            if attr is not None:
+                self.require_latch(node, attr)
+        self.generic_visit(node)
+
+    # Nested defs get their own checker: a closure does not inherit the
+    # enclosing function's lexical latch context at call time.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        check_function(node, self.rules, self.path, self.lines, self.problems)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def check_function(
+    node: ast.AST,
+    rules: dict,
+    path: str,
+    lines: list[str],
+    problems: list[str],
+) -> None:
+    checker = FunctionChecker(rules, path, lines)
+    for statement in node.body:  # type: ignore[attr-defined]
+        checker.visit(statement)
+    problems.extend(checker.problems)
+
+
+def check_file(path: str, rules: dict) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    problems: list[str] = []
+    relative = os.path.relpath(path, REPO_ROOT)
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Constructors mutate freely: the object is not published
+                # to other threads until __init__ returns.
+                if child.name != "__init__":
+                    check_function(child, rules, relative, lines, problems)
+            else:
+                walk(child)
+
+    walk(tree)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        targets = {os.path.relpath(os.path.abspath(p), REPO_ROOT): p for p in argv}
+        selected = {
+            rel: (path, DEFAULT_RULES.get(rel, {}))
+            for rel, path in targets.items()
+        }
+    else:
+        selected = {
+            rel: (os.path.join(REPO_ROOT, rel), rules)
+            for rel, rules in DEFAULT_RULES.items()
+        }
+    all_problems: list[str] = []
+    for rel, (path, rules) in sorted(selected.items()):
+        all_problems.extend(check_file(path, rules))
+    if all_problems:
+        print(f"latch discipline: {len(all_problems)} problem(s)")
+        for problem in all_problems:
+            print(f"  {problem}")
+        return 1
+    print(f"latch discipline: {len(selected)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

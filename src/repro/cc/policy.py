@@ -56,6 +56,27 @@ class CCPolicy:
 
     def __init__(self, db: "Database"):
         self.db = db
+        # Precomputed hook-override flags: the kernel serialises every
+        # policy hook under its tracker latch, and these let the hot
+        # read/write/begin paths skip both the latch and a no-op call
+        # when the policy does not override the hook (plain SI reads,
+        # for instance, pay nothing).
+        cls = type(self)
+        self.tracks_begin = cls.on_begin is not CCPolicy.on_begin
+        self.tracks_reads = cls.on_read is not CCPolicy.on_read
+        self.tracks_writes = cls.on_write is not CCPolicy.on_write
+        # Commit-side analogues: a policy with no certification hooks
+        # commits without the tracker latch, and one with no retention
+        # hooks finalizes without it (plain SI and S2PL hit both fast
+        # paths — their commits touch only the commit latch, if that).
+        self.certifies = (
+            cls.before_commit is not CCPolicy.before_commit
+            or cls.after_commit is not CCPolicy.after_commit
+        )
+        self.retains = (
+            cls.retain_read_locks is not CCPolicy.retain_read_locks
+            or cls.retain_record is not CCPolicy.retain_record
+        )
 
     def install(self, db: "Database") -> None:
         """Attach policy-owned subsystems to the database (called once,

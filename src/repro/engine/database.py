@@ -12,23 +12,39 @@ SI conflict tracker into the transactional API of the paper's prototypes:
   their cleanup (Chapter 3);
 * an SGT-certifier level as the precise baseline (2.7).
 
-Every public engine method is atomic under a single re-entrant "kernel
-mutex" (the same simplification InnoDB makes, Section 4.4).  Lock *waits*
-never happen while holding the mutex: an operation that must wait raises
-:class:`~repro.errors.LockWaitRequired` and is re-invoked after the grant;
-lock acquisition is idempotent, and operations perform no side effects
-before their lock acquisitions, so re-invocation is safe.
+Threading model (PR-5): the engine is internally latched rather than
+serialised by one kernel mutex.  Shared state is partitioned along the
+latch hierarchy of :mod:`repro.engine.latches` —
+
+* ``txn`` latch: transaction-id allocation, the registry/active/suspended
+  maps, and schema changes;
+* ``tracker`` latch: every CC-policy hook (conflict slots, the SGT
+  certifier graph, rw-edge dispatch) and the commit/abort decision;
+* ``commit`` latch: commit-timestamp allocation + version installation,
+  and snapshot assignment — so a read view can never observe a commit's
+  versions torn (every in-flight install carries a ``commit_ts`` newer
+  than any snapshot handed out before it finished);
+* per-table latches (B+-tree structure), lock-manager stripes, the obs
+  latch and the WAL latch live further down the hierarchy.
+
+Lock *waits* never happen while holding any latch: an operation that must
+wait raises :class:`~repro.errors.LockWaitRequired` after fully unwinding
+and is re-invoked after the grant; lock acquisition is idempotent, and
+operations perform no side effects before their lock acquisitions, so
+re-invocation is safe.  WAL appends/flushes and trace/history reporting
+run outside every engine latch.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Hashable, Iterable, Optional
 
 from repro.cc import build_policies
+from repro.cc.policy import CCPolicy
 from repro.engine.config import DeadlockMode, EngineConfig, LockGranularity
 from repro.engine.indexes import IndexDef, KeyFunc
 from repro.engine.isolation import IsolationLevel
+from repro.engine.latches import make_latch
 from repro.engine.transaction import Transaction, TransactionStatus
 from repro.errors import (
     ABORT_REASONS,
@@ -85,7 +101,11 @@ class Database:
         #: locks are released.
         self.wal = wal
         self.clock = LogicalClock()
-        self._mutex = threading.RLock()
+        # The latch hierarchy replaces the old single kernel mutex (see
+        # the module docstring and repro.engine.latches for ranks).
+        self._txn_latch = make_latch("txn")
+        self._tracker_latch = make_latch("tracker")
+        self._commit_latch = make_latch("commit")
         self._tables: dict[str, Table] = {}
         self._next_txn_id = 1
 
@@ -106,6 +126,8 @@ class Database:
         #: PAGE granularity: last commit timestamp per (table, page) —
         #: Berkeley DB versions whole pages, so first-committer-wins
         #: fires on page conflicts between unrelated rows (Section 4.2).
+        #: Written under the commit latch; read optimistically (point
+        #: ``dict.get``).
         self._page_commit_ts: dict[tuple[str, int], int] = {}
         #: secondary indexes, by name and by base table
         self._indexes: dict[str, IndexDef] = {}
@@ -120,7 +142,10 @@ class Database:
         #: snapshot API (``db.metrics.snapshot()``).
         self.metrics = MetricsRegistry()
         #: engine counters — a CounterGroup (dict subclass), so hot-path
-        #: increments keep native dict speed.
+        #: increments keep native dict speed.  Each key has one
+        #: consistent guard: begins/suspended_peak/cleaned under the txn
+        #: latch, aborts/mixed_edges_dropped under the tracker latch,
+        #: commits/reads/writes/scans via ``CounterGroup.inc`` (obs latch).
         self.stats = self.metrics.group("engine", {
             "begins": 0,
             "commits": 0,
@@ -141,6 +166,16 @@ class Database:
         #: ``self.tracker``, SGTPolicy sets ``self.certifier``) and adopt
         #: their metrics groups into the registry.
         self._policies = build_policies(self)
+        #: the subset of policies that actually override
+        #: ``on_transaction_retired`` — _retire runs on every retired
+        #: transaction, and calling three no-op hooks per retirement is
+        #: measurable under eager cleanup.
+        self._retiring_policies = [
+            policy
+            for policy in self._policies.values()
+            if type(policy).on_transaction_retired
+            is not CCPolicy.on_transaction_retired
+        ]
         self._h_lock_wait = self.metrics.histogram("lock_wait_time")
         self._h_chain_length = self.metrics.histogram(
             "version_chain_length", edges=(1, 2, 4, 8, 16, 32, 64)
@@ -165,7 +200,7 @@ class Database:
         bounded in-memory ring buffer of ``capacity`` events is attached.
         Returns the :class:`~repro.obs.trace.EventTrace` for querying.
         """
-        with self._mutex:
+        with self._txn_latch:
             trace = EventTrace(*sinks, clock=self.clock.now, capacity=capacity)
             self.trace = trace
             self.locks.trace = trace
@@ -173,7 +208,7 @@ class Database:
 
     def disable_tracing(self) -> None:
         """Detach and close the trace layer (no-op when already off)."""
-        with self._mutex:
+        with self._txn_latch:
             trace, self.trace = self.trace, None
             self.locks.trace = None
             if trace is not None:
@@ -194,7 +229,7 @@ class Database:
 
     def create_table(self, name: str, page_size: int | None = None) -> Table:
         """Create a table; ``page_size`` overrides the engine default."""
-        with self._mutex:
+        with self._txn_latch:
             if name in self._tables:
                 raise TableError(f"table {name!r} already exists")
             table = Table(name, page_size=page_size or self.config.page_size)
@@ -222,7 +257,7 @@ class Database:
         unique constraints.  Existing committed rows are indexed
         immediately.
         """
-        with self._mutex:
+        with self._txn_latch:
             base = self.table(table)  # validates
             self.create_table(name)
             definition = IndexDef(name=name, table=table, key_func=key_func,
@@ -251,7 +286,7 @@ class Database:
         Registered secondary indexes are populated alongside."""
         table = self.table(name)
         definitions = self._indexes_by_table.get(name, ())
-        with self._mutex:
+        with self._txn_latch:
             for key, value in rows:
                 table.load(key, value)
                 for definition in definitions:
@@ -266,10 +301,10 @@ class Database:
     ) -> Transaction:
         """Start a transaction at the given isolation level (Fig 3.1)."""
         isolation = IsolationLevel.parse(isolation)
-        with self._mutex:
-            # The single level -> behavior lookup: everything downstream
-            # dispatches through txn.policy.
-            policy = self._policies[isolation]
+        # The single level -> behavior lookup: everything downstream
+        # dispatches through txn.policy.
+        policy = self._policies[isolation]
+        with self._txn_latch:
             txn = Transaction(
                 self, self._next_txn_id, isolation, self.clock.next(),
                 policy=policy,
@@ -278,14 +313,16 @@ class Database:
             self._registry[txn.id] = txn
             self._active[txn.id] = txn
             self.stats["begins"] += 1
-            policy.on_begin(txn)
-            if self.trace is not None:
-                self.trace.emit(EventType.BEGIN, txn.id, isolation=isolation.value)
-            if policy.uses_snapshots and not self.config.deferred_snapshot:
-                self._assign_snapshot(txn)
-            if self.history is not None:
-                self.history.on_begin(txn.id)
-            return txn
+        if policy.tracks_begin:
+            with self._tracker_latch:
+                policy.on_begin(txn)
+        if self.trace is not None:
+            self.trace.emit(EventType.BEGIN, txn.id, isolation=isolation.value)
+        if policy.uses_snapshots and not self.config.deferred_snapshot:
+            self._assign_snapshot(txn)
+        if self.history is not None:
+            self.history.on_begin(txn.id)
+        return txn
 
     def commit(self, txn: Transaction) -> None:
         """Commit: unsafe check, version install, lock release, suspension
@@ -303,110 +340,199 @@ class Database:
         InnoDB (Section 4.4, "locks are not released until after the log
         has been flushed").
         """
-        with self._mutex:
-            self._check_doom(txn)
-            if not txn.is_active:
-                raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
-            error = txn.policy.before_commit(txn)
-            if error is not None:
-                self._abort_internal(txn, error.reason)
-                raise error
+        self._check_doom(txn)
+        if not txn.is_active:
+            raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
+        page_mode = self.config.granularity is LockGranularity.PAGE
+        if txn.policy.certifies:
+            # The commit decision — certification through status flip — is
+            # one tracker-latch critical section, so no rw edge can land
+            # between a clean unsafe check and the transaction turning
+            # COMMITTED without being serialised before the check.
+            with self._tracker_latch:
+                error = txn.policy.before_commit(txn)
+                if error is None:
+                    self._logical_commit(txn, page_mode)
+                    txn.policy.after_commit(txn)
+        else:
+            # No certification hooks (plain SI, S2PL): nothing for the
+            # tracker latch to order against.
+            error = None
+            self._logical_commit(txn, page_mode)
+        if error is not None:
+            self._abort_internal(txn, error.reason)
+            raise error
+        self.stats.inc("commits")
+        # Log I/O and reporting run outside every latch.  Locks are still
+        # held (finalize_commit releases them), so the flush-then-release
+        # ordering above is preserved.
+        if self.wal is not None and txn.write_set:
+            for (table_name, key), value in txn.write_set.items():
+                self.wal.log_write(
+                    txn.id, table_name, key,
+                    None if value is TOMBSTONE else value,
+                    tombstone=value is TOMBSTONE,
+                    kind=txn.write_kinds.get((table_name, key), "write"),
+                )
+            self.wal.log_commit(txn.id, txn.commit_ts)
+            if self.config.wal_flush_on_commit:
+                self.wal.flush()
+        if self.history is not None:
+            self.history.on_commit(txn.id, txn.commit_ts)
+        if self.trace is not None:
+            self.trace.emit(EventType.COMMIT, txn.id, commit_ts=txn.commit_ts)
+
+    def _logical_commit(self, txn: Transaction, page_mode: bool) -> None:
+        """Allocate the commit timestamp, flip the status, install the
+        write set.  A read-only transaction installs nothing, so it skips
+        the commit latch entirely — the latch exists to keep snapshot
+        assignment atomic against version installation, and there is
+        nothing to install (the clock is internally synchronised)."""
+        if not txn.write_set:
             txn.commit_ts = self.clock.next()
             txn.status = TransactionStatus.COMMITTED
-            page_mode = self.config.granularity is LockGranularity.PAGE
+            return
+        with self._commit_latch:
+            txn.commit_ts = self.clock.next()
+            txn.status = TransactionStatus.COMMITTED
             for (table_name, key), value in txn.write_set.items():
                 table = self.table(table_name)
-                chain, _pages = table.ensure_chain(key)
-                chain_length = chain.install(
-                    Version(value=value, commit_ts=txn.commit_ts, creator_id=txn.id)
-                )
-                self._h_chain_length.observe(chain_length)
-                if page_mode:
-                    page_key = (table_name, table.leaf_page_of(key))
-                    self._page_commit_ts[page_key] = txn.commit_ts
-            txn.policy.after_commit(txn)
-            if self.wal is not None and txn.write_set:
-                for (table_name, key), value in txn.write_set.items():
-                    self.wal.log_write(
-                        txn.id, table_name, key,
-                        None if value is TOMBSTONE else value,
-                        tombstone=value is TOMBSTONE,
-                        kind=txn.write_kinds.get((table_name, key), "write"),
+                with table.latch:
+                    chain, _pages = table.ensure_chain(key)
+                    chain_length = chain.install(
+                        Version(value=value, commit_ts=txn.commit_ts,
+                                creator_id=txn.id)
                     )
-                self.wal.log_commit(txn.id, txn.commit_ts)
-                if self.config.wal_flush_on_commit:
-                    # Flush-then-release: locks are still held here.
-                    self.wal.flush()
-            if self.history is not None:
-                self.history.on_commit(txn.id, txn.commit_ts)
-            if self.trace is not None:
-                self.trace.emit(EventType.COMMIT, txn.id, commit_ts=txn.commit_ts)
-            self.stats["commits"] += 1
+                    if page_mode:
+                        page_key = (table_name, table.leaf_page_of(key))
+                        self._page_commit_ts[page_key] = txn.commit_ts
+                self._h_chain_length.observe(chain_length)
 
     def finalize_commit(self, txn: Transaction) -> None:
         """Release locks, suspend the record if needed, run cleanup."""
-        with self._mutex:
-            if not txn.is_committed:
-                raise TransactionStateError("finalize_commit before prepare_commit")
-            keep_siread = txn.policy.retain_read_locks(txn)
-            retain = txn.policy.retain_record(txn, keep_siread)
-            self.locks.release_all(txn, keep_siread=keep_siread)
-            self._active.pop(txn.id, None)
-            if retain:
-                txn.suspended = True
-                self._suspended.append(txn)
-                self.stats["suspended_peak"] = max(
-                    self.stats["suspended_peak"], len(self._suspended)
-                )
-                self._h_suspended.observe(len(self._suspended))
-                if self.trace is not None:
-                    self.trace.emit(
-                        EventType.SUSPEND, txn.id, keep_siread=keep_siread
-                    )
-            else:
+        if not txn.is_committed:
+            raise TransactionStateError("finalize_commit before prepare_commit")
+        lm = self.locks
+        if not txn.policy.retains:
+            # SI/S2PL: nothing survives the commit — release, unregister.
+            lm.release_all(txn)
+            with self._txn_latch:
+                self._active.pop(txn.id, None)
                 self._registry.pop(txn.id, None)
             self._maybe_cleanup()
+            return
+        suspended_depth = 0
+        immediate_retention = None
+        with self._txn_latch, self._tracker_latch:
+            keep_siread = txn.policy.retain_read_locks(txn)
+            retain = txn.policy.retain_record(txn, keep_siread)
+            self._active.pop(txn.id, None)
+            if (
+                retain
+                and self.config.eager_cleanup
+                and txn.commit_ts <= self._oldest_active_read_ts()
+                and txn.policy.may_cleanup(txn)
+            ):
+                # Immediate cleanup — the serial-commit fast path (eager
+                # mode only; lazy mode accrues records to its threshold).
+                # No live snapshot overlaps this commit, so the suspended
+                # record would be swept by the eager sweep this very
+                # commit (same removability predicate).  Retire it here,
+                # with the locks dropped under the same latches the sweep
+                # would hold, and skip the whole suspend/sweep round
+                # trip; counters, histograms and trace events mirror
+                # suspend-then-clean so the fast path is observably
+                # identical.
+                lm.release_all(txn)
+                self._retire(txn)
+                self._registry.pop(txn.id, None)
+                suspended_depth = len(self._suspended) + 1
+                if suspended_depth > self.stats["suspended_peak"]:
+                    self.stats["suspended_peak"] = suspended_depth
+                self.stats["cleaned"] += 1
+                immediate_retention = self.clock.now() - txn.commit_ts
+                retain = False
+            elif retain:
+                txn.suspended = True
+                self._suspended.append(txn)
+                suspended_depth = len(self._suspended)
+                if suspended_depth > self.stats["suspended_peak"]:
+                    self.stats["suspended_peak"] = suspended_depth
+            else:
+                self._registry.pop(txn.id, None)
+        if immediate_retention is not None:
+            self._h_suspended.observe(suspended_depth)
+            self._h_siread_retention.observe(immediate_retention)
+            if self.trace is not None:
+                self.trace.emit(
+                    EventType.SUSPEND, txn.id, keep_siread=keep_siread
+                )
+                self.trace.emit(
+                    EventType.CLEANUP, txn.id, retention=immediate_retention
+                )
+            self._maybe_cleanup()
+            return
+        if keep_siread and not txn.locked_writes:
+            # Read-only commit retaining its sentinels.  The transaction
+            # never ran a write-side lock path, so a lock it holds can
+            # only be a read sentinel — and when every sentinel is pure
+            # SIREAD (per-owner counts agree, read latch-free; inherits
+            # bump both sides so the race is benign), all of them are
+            # being kept and release_all would walk the set to shed
+            # nothing.  A SHARED-read retaining policy fails the count
+            # check and takes the full path.
+            held = lm._by_owner.get(txn.id)
+            if held is None or lm._siread_counts.get(txn.id, 0) >= len(held):
+                if lm._waiting.get(txn.id) or txn.id in lm.waits_for._edges:
+                    lm.cancel_waits(txn)
+            else:
+                lm.release_all(txn, keep_siread=True)
+        else:
+            lm.release_all(txn, keep_siread=keep_siread)
+        if suspended_depth:
+            self._h_suspended.observe(suspended_depth)
+            if self.trace is not None:
+                self.trace.emit(
+                    EventType.SUSPEND, txn.id, keep_siread=keep_siread
+                )
+        self._maybe_cleanup()
 
     def abort(self, txn: Transaction, reason: str | None = None) -> None:
         """Roll back: discard writes, release every lock (including
         SIREADs — only committed transactions retain them)."""
-        with self._mutex:
-            if not txn.is_active:
-                return
-            self._abort_internal(txn, reason or (txn.doom_error.reason if txn.doom_error else "aborted"))
+        if not txn.is_active:
+            return
+        self._abort_internal(txn, reason or (txn.doom_error.reason if txn.doom_error else "aborted"))
 
     # ------------------------------------------------------------- reading
 
     def read(self, txn: Transaction, table_name: str, key: Hashable) -> Any:
         """Fig 3.4's modified read (plus the S2PL/SI/SGT variants)."""
-        with self._mutex:
-            self._check_op(txn)
-            value, found = self._read_internal(txn, table_name, key, locking=False)
-            if not found:
-                raise KeyNotFoundError(table_name, key)
-            return value
+        self._check_op(txn)
+        value, found = self._read_internal(txn, table_name, key, locking=False)
+        if not found:
+            raise KeyNotFoundError(table_name, key)
+        return value
 
     def get(
         self, txn: Transaction, table_name: str, key: Hashable, default: Any = None
     ) -> Any:
-        with self._mutex:
-            self._check_op(txn)
-            value, found = self._read_internal(txn, table_name, key, locking=False)
-            return value if found else default
+        self._check_op(txn)
+        value, found = self._read_internal(txn, table_name, key, locking=False)
+        return value if found else default
 
     def read_for_update(self, txn: Transaction, table_name: str, key: Hashable) -> Any:
         """SELECT ... FOR UPDATE: acquires the EXCLUSIVE lock before the
         snapshot is chosen (Section 4.5), providing Oracle-style promotion
         semantics (Section 2.6.2)."""
-        with self._mutex:
-            self._check_op(txn)
-            self._acquire_write_locks(txn, table_name, key, gap=False)
-            value, found = self._read_internal(
-                txn, table_name, key, locking=True
-            )
-            if not found:
-                raise KeyNotFoundError(table_name, key)
-            return value
+        self._check_op(txn)
+        self._acquire_write_locks(txn, table_name, key, gap=False)
+        value, found = self._read_internal(
+            txn, table_name, key, locking=True
+        )
+        if not found:
+            raise KeyNotFoundError(table_name, key)
+        return value
 
     def scan(
         self,
@@ -423,118 +549,213 @@ class Database:
         ``reverse`` returns rows in descending key order; ``limit`` caps
         the result *after* ordering.  The whole range is still locked —
         the predicate the transaction logically evaluated covers it.
-        """
-        with self._mutex:
-            self._check_op(txn)
-            table = self.table(table_name)
-            self._ensure_snapshot(txn)
-            self.stats["scans"] += 1
 
-            read_mode = txn.policy.read_lock_mode(txn)
-            chains = table.scan_chains(lo, hi)
-            results: list[tuple[Hashable, Any]] = []
-            seen: list[Hashable] = []
-            for key, chain in chains:
-                if read_mode is not None:
-                    self._acquire_read_locks(
-                        txn, table_name, key, gap=True, mode=read_mode
-                    )
-                value, found = self._visible_value(txn, table_name, key, chain)
-                if found:
-                    results.append((key, value))
-                    seen.append(key)
-            # Guard the gap beyond the last examined key so inserts just
-            # past the range (or into an empty range) are detected.
-            if read_mode is not None:
-                boundary = table.successor(hi) if hi is not None else SUPREMUM
-                self._acquire_gap_read_lock(txn, table_name, boundary)
-            # Own uncommitted writes overlay the scan result.
-            results = self._overlay_write_set(txn, table_name, lo, hi, results)
-            if self.history is not None and txn.read_ts is not None:
-                self.history.on_scan(
-                    txn.id, table_name, (lo, hi), tuple(seen), txn.read_ts
+        Concurrency: the key set is materialised under the table latch,
+        then each row is locked and resolved without it.  Per-resource
+        lock acquisition is atomic under the lock-manager stripes, so for
+        every row either the scan's SIREAD lands first (a later writer
+        detects it, Fig 3.5) or the writer's lock is already there (the
+        SIREAD acquire reports it, Fig 3.4) — the same pairwise guarantee
+        the old kernel mutex provided, without serialising whole scans.
+        """
+        self._check_op(txn)
+        table = self.table(table_name)
+        self._ensure_snapshot(txn)
+        self.stats.inc("scans")
+
+        read_mode = txn.policy.read_lock_mode(txn)
+        chains = table.scan_chains(lo, hi)
+        if read_mode is not None:
+            # The whole predicate's read locks — each row's gap + record,
+            # plus the boundary gap beyond the range so inserts just past
+            # it (or into an empty range) are detected — are acquired in
+            # one lock-manager batch: one stripe latch per stripe touched
+            # instead of two latch pairs per row.  Locks land *before*
+            # any row is resolved, which only strengthens the pairwise
+            # guarantee: a writer arriving after this point sees them
+            # and reports the edge itself.  Contended SHARED resources
+            # come back deferred and go through the normal blocking path.
+            cache = (
+                txn._siread_cache
+                if read_mode is LockMode.SIREAD
+                else None
+            )
+            wanted: list = []
+            for key, _chain in chains:
+                for resource in (
+                    self._gap_resource_for(table_name, key),
+                    self._rec_resource(table_name, key),
+                ):
+                    if cache is not None:
+                        if resource in cache:
+                            continue
+                        cache.add(resource)
+                    wanted.append(resource)
+            boundary = table.successor(hi) if hi is not None else SUPREMUM
+            resource = self._gap_resource_for(table_name, boundary)
+            if cache is None or resource not in cache:
+                if cache is not None:
+                    cache.add(resource)
+                wanted.append(resource)
+            if wanted:
+                conflicts, deferred = self.locks.acquire_read_batch(
+                    txn, wanted, read_mode
                 )
-            if reverse:
-                results = list(reversed(results))
-            if limit is not None:
-                results = results[:limit]
-            return results
+                for lock in conflicts:
+                    self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+                for resource in deferred:
+                    result = self._acquire(txn, resource, read_mode)
+                    for lock in result.detection_conflicts:
+                        self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+        results: list[tuple[Hashable, Any]] = []
+        seen: list[Hashable] = []
+        deferred_reads: list | None = [] if txn.policy.tracks_reads else None
+        for key, chain in chains:
+            value, found = self._visible_value(
+                txn, table_name, key, chain, count=False,
+                deferred=deferred_reads,
+            )
+            if found:
+                results.append((key, value))
+                seen.append(key)
+        if chains:
+            self.stats.inc("reads", len(chains))
+        if deferred_reads:
+            # Replay the per-row conflict detection under one tracker
+            # section (the SIREAD sentinels are already in the table, so
+            # any writer arriving since row resolution reported its edge
+            # from the write side).
+            with self._tracker_latch:
+                on_read = txn.policy.on_read
+                for key, chain, version in deferred_reads:
+                    on_read(txn, table_name, key, chain, version)
+        # Own uncommitted writes overlay the scan result.
+        results = self._overlay_write_set(txn, table_name, lo, hi, results)
+        if self.history is not None and txn.read_ts is not None:
+            self.history.on_scan(
+                txn.id, table_name, (lo, hi), tuple(seen), txn.read_ts
+            )
+        if reverse:
+            results = list(reversed(results))
+        if limit is not None:
+            results = results[:limit]
+        return results
 
     # ------------------------------------------------------------- writing
 
     def write(self, txn: Transaction, table_name: str, key: Hashable, value: Any) -> None:
         """Fig 3.5's modified write: blind upsert of a single item."""
-        with self._mutex:
-            self._check_op(txn)
-            self.table(table_name)  # validate early
-            self._acquire_write_locks(txn, table_name, key, gap=False)
-            self._ensure_snapshot(txn)
-            self._first_committer_check(txn, table_name, key)
-            txn.policy.on_write(txn, table_name, key)
-            self._maintain_indexes(txn, table_name, key, value)
-            txn.write_set[(table_name, key)] = value
-            txn.write_kinds.setdefault((table_name, key), "write")
-            self.stats["writes"] += 1
-            if self.history is not None:
-                self.history.on_write(txn.id, table_name, key, kind="write")
+        self._check_op(txn)
+        self.table(table_name)  # validate early
+        self._acquire_write_locks(txn, table_name, key, gap=False)
+        self._ensure_snapshot(txn)
+        self._first_committer_check(txn, table_name, key)
+        if txn.policy.tracks_writes:
+            with self._tracker_latch:
+                txn.policy.on_write(txn, table_name, key)
+        self._maintain_indexes(txn, table_name, key, value)
+        txn.write_set[(table_name, key)] = value
+        txn.write_kinds.setdefault((table_name, key), "write")
+        self.stats.inc("writes")
+        if self.history is not None:
+            self.history.on_write(txn.id, table_name, key, kind="write")
 
     def insert(self, txn: Transaction, table_name: str, key: Hashable, value: Any) -> None:
         """Fig 3.7's insert: gap-locks next(key) against concurrent scans."""
-        with self._mutex:
-            self._check_op(txn)
-            table = self.table(table_name)
-            self._acquire_write_locks(txn, table_name, key, gap=True)
-            self._ensure_snapshot(txn)
-            self._first_committer_check(txn, table_name, key)
-            value_now, exists = self._visible_value(
-                txn, table_name, key, table.chain(key), record=False
+        self._check_op(txn)
+        table = self.table(table_name)
+        locked_succ = self._acquire_write_locks(txn, table_name, key, gap=True)
+        self._ensure_snapshot(txn)
+        self._first_committer_check(txn, table_name, key)
+        value_now, exists = self._visible_value(
+            txn, table_name, key, table.chain(key), record=False
+        )
+        del value_now
+        if exists:
+            raise DuplicateKeyError(table_name, key)
+        if txn.policy.tracks_writes:
+            with self._tracker_latch:
+                txn.policy.on_write(txn, table_name, key)
+        self._maintain_indexes(txn, table_name, key, value)
+        page_mode = self.config.granularity is LockGranularity.PAGE
+        touched_pages = self._install_key(
+            txn, table, table_name, key, page_mode, locked_succ
+        )
+        if page_mode and touched_pages:
+            self._lock_touched_pages(txn, table_name, touched_pages)
+        txn.write_set[(table_name, key)] = value
+        txn.write_kinds[(table_name, key)] = "insert"
+        self.stats.inc("writes")
+        if self.history is not None:
+            self.history.on_write(txn.id, table_name, key, kind="insert")
+
+    def _install_key(
+        self,
+        txn: Transaction,
+        table: Table,
+        table_name: str,
+        key: Hashable,
+        page_mode: bool,
+        locked_succ: Hashable,
+    ) -> list[int]:
+        """Register ``key`` in the tree (with an empty, invisible chain)
+        so gap structure and page layout reflect the insert.
+
+        Next-key locking must target the key's *actual* successor at the
+        moment the tree changes: a concurrent insert may have split our
+        gap after :meth:`_acquire_write_locks` probed it, in which case
+        the gap lock we hold covers the wrong (wider) interval and a
+        scanner's SIREAD on the new sub-gap would go undetected.  The
+        successor probe, tree insert and SIREAD inheritance are therefore
+        one table-latched section, re-verified after any extra gap lock
+        (which is acquired latch-free and may raise LockWaitRequired —
+        the whole operation is idempotent and retried).
+        """
+        while True:
+            with table.latch:
+                succ = table.successor(key)
+                if page_mode or succ == locked_succ:
+                    _chain, touched_pages = table.ensure_chain(key)
+                    if not page_mode and touched_pages:
+                        # The insert split gap (prev, succ): scans covering
+                        # the old gap must also cover the new sub-gap
+                        # (prev, key).
+                        self.locks.inherit_siread_locks(
+                            gap_resource(table_name, succ),
+                            gap_resource(table_name, key),
+                            exclude_owner=txn,
+                        )
+                    return touched_pages
+            result = self._acquire(
+                txn, gap_resource(table_name, succ), LockMode.INSERT_INTENTION
             )
-            del value_now
-            if exists:
-                raise DuplicateKeyError(table_name, key)
-            txn.policy.on_write(txn, table_name, key)
-            self._maintain_indexes(txn, table_name, key, value)
-            # Register the key in the tree now (with an empty, invisible
-            # chain) so gap structure and page layout reflect the insert.
-            succ = table.successor(key)
-            _chain, touched_pages = table.ensure_chain(key)
-            if self.config.granularity is LockGranularity.PAGE:
-                if touched_pages:
-                    self._lock_touched_pages(txn, table_name, touched_pages)
-            elif touched_pages:
-                # The insert split gap (prev, succ): scans covering the old
-                # gap must also cover the new sub-gap (prev, key).
-                self.locks.inherit_siread_locks(
-                    gap_resource(table_name, succ),
-                    gap_resource(table_name, key),
-                    exclude_owner=txn,
-                )
-            txn.write_set[(table_name, key)] = value
-            txn.write_kinds[(table_name, key)] = "insert"
-            self.stats["writes"] += 1
-            if self.history is not None:
-                self.history.on_write(txn.id, table_name, key, kind="insert")
+            if result.detection_conflicts:
+                with self._tracker_latch:
+                    for lock in result.detection_conflicts:
+                        txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
+            locked_succ = succ
 
     def delete(self, txn: Transaction, table_name: str, key: Hashable) -> None:
         """Fig 3.7's delete: installs a tombstone version at commit."""
-        with self._mutex:
-            self._check_op(txn)
-            table = self.table(table_name)
-            self._acquire_write_locks(txn, table_name, key, gap=True)
-            self._ensure_snapshot(txn)
-            self._first_committer_check(txn, table_name, key)
-            _value, exists = self._visible_value(
-                txn, table_name, key, table.chain(key), record=False
-            )
-            if not exists:
-                raise KeyNotFoundError(table_name, key)
-            txn.policy.on_write(txn, table_name, key)
-            self._maintain_indexes(txn, table_name, key, None, deleting=True)
-            txn.write_set[(table_name, key)] = TOMBSTONE
-            txn.write_kinds[(table_name, key)] = "delete"
-            self.stats["writes"] += 1
-            if self.history is not None:
-                self.history.on_write(txn.id, table_name, key, kind="delete")
+        self._check_op(txn)
+        table = self.table(table_name)
+        self._acquire_write_locks(txn, table_name, key, gap=True)
+        self._ensure_snapshot(txn)
+        self._first_committer_check(txn, table_name, key)
+        _value, exists = self._visible_value(
+            txn, table_name, key, table.chain(key), record=False
+        )
+        if not exists:
+            raise KeyNotFoundError(table_name, key)
+        if txn.policy.tracks_writes:
+            with self._tracker_latch:
+                txn.policy.on_write(txn, table_name, key)
+        self._maintain_indexes(txn, table_name, key, None, deleting=True)
+        txn.write_set[(table_name, key)] = TOMBSTONE
+        txn.write_kinds[(table_name, key)] = "delete"
+        self.stats.inc("writes")
+        if self.history is not None:
+            self.history.on_write(txn.id, table_name, key, kind="delete")
 
     # ------------------------------------------------------------ indexes
 
@@ -551,7 +772,8 @@ class Database:
         Runs *before* the base write enters the transaction's write set,
         so the old row value is still observable.  Idempotent: an
         operation retried after a lock wait recomputes the same entries
-        and skips work its first attempt already recorded.
+        and skips work its first attempt already recorded.  Called with
+        no latch held — the recursive delete/insert calls take their own.
         """
         definitions = self._indexes_by_table.get(table_name)
         if not definitions:
@@ -595,15 +817,14 @@ class Database:
     ) -> list[tuple[Hashable, Hashable]]:
         """Phantom-safe range scan over an index: (index_key, primary_key)
         pairs for index keys in [lo, hi], in index order."""
-        with self._mutex:
-            definition = self.index(index_name)
-            if definition.unique:
-                rows = self.scan(txn, index_name, lo, hi)
-                return [(entry, pk) for entry, pk in rows]
-            lo_bound = (lo,) if lo is not None else None
-            hi_bound = (hi, SUPREMUM) if hi is not None else None
-            rows = self.scan(txn, index_name, lo_bound, hi_bound)
-            return [(entry[0], pk) for entry, pk in rows]
+        definition = self.index(index_name)
+        if definition.unique:
+            rows = self.scan(txn, index_name, lo, hi)
+            return [(entry, pk) for entry, pk in rows]
+        lo_bound = (lo,) if lo is not None else None
+        hi_bound = (hi, SUPREMUM) if hi is not None else None
+        rows = self.scan(txn, index_name, lo_bound, hi_bound)
+        return [(entry[0], pk) for entry, pk in rows]
 
     def index_lookup(
         self, txn: Transaction, index_name: str, index_key: Hashable
@@ -623,37 +844,41 @@ class Database:
         """Time out one waiting lock request (Section 4.4's InnoDB-style
         lock wait timeout).  The waiting transaction is doomed and will
         abort when its executor observes the denial."""
-        with self._mutex:
-            error = LockTimeoutError("lock wait timeout", txn_id=request.owner.id)
-            cancelled = self.locks.cancel_request(request, error)
-            if cancelled and request.owner.is_active:
-                request.owner.doom_error = request.owner.doom_error or error
-            return cancelled
+        error = LockTimeoutError("lock wait timeout", txn_id=request.owner.id)
+        cancelled = self.locks.cancel_request(request, error)
+        if cancelled and request.owner.is_active:
+            request.owner.doom_error = request.owner.doom_error or error
+        return cancelled
 
     def sweep_deadlocks(self) -> list[Transaction]:
         """One periodic deadlock-detection pass; aborts one victim per
         cycle by dooming it (the victim aborts at its next step)."""
-        with self._mutex:
-            victims = self.locks.find_deadlock_victims(
-                self.deadlock_detector.victim_policy
-            )
-            for victim in victims:
-                if self.trace is not None:
-                    self.trace.emit(EventType.VICTIM, victim.id, cause="deadlock")
-                self.doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
-            return victims
+        victims = self.locks.find_deadlock_victims(
+            self.deadlock_detector.victim_policy
+        )
+        for victim in victims:
+            if self.trace is not None:
+                self.trace.emit(EventType.VICTIM, victim.id, cause="deadlock")
+            self.doom(victim, DeadlockError("deadlock victim", txn_id=victim.id))
+        return victims
 
     def cleanup_suspended(self) -> int:
         """Drop suspended committed transactions no active transaction
         overlaps (Sections 4.3.1/4.6.1).  Returns how many were cleaned."""
-        with self._mutex:
+        # One txn+tracker section for the whole sweep (ranks 10 then 20;
+        # drop_siread_locks nests lock-manager latches below them) — the
+        # per-entry latch churn of acquiring the tracker twice per
+        # suspended transaction dominated eager-cleanup commits.
+        with self._txn_latch, self._tracker_latch:
             horizon = self._oldest_active_read_ts()
             kept: list[Transaction] = []
             cleaned = 0
             for txn in self._suspended:
-                removable = txn.commit_ts is not None and txn.commit_ts <= horizon
-                if removable:
-                    removable = txn.policy.may_cleanup(txn)
+                removable = (
+                    txn.commit_ts is not None
+                    and txn.commit_ts <= horizon
+                    and txn.policy.may_cleanup(txn)
+                )
                 if removable:
                     self.locks.drop_siread_locks(txn)
                     self._retire(txn)
@@ -674,11 +899,15 @@ class Database:
 
     def vacuum(self) -> int:
         """Garbage-collect versions below every active snapshot."""
-        with self._mutex:
+        with self._txn_latch:
             horizon = self._oldest_active_read_ts()
-            if horizon == float("inf"):
-                horizon = self.clock.now()
-            return sum(table.vacuum(int(horizon)) for table in self._tables.values())
+            tables = list(self._tables.values())
+        if horizon == float("inf"):
+            horizon = self.clock.now()
+        # Safe outside the txn latch: the horizon only needs to be a lower
+        # bound — any snapshot assigned after it is anchored at a clock
+        # value >= every timestamp the prune may reclaim.
+        return sum(table.vacuum(int(horizon)) for table in tables)
 
     def suspended_count(self) -> int:
         return len(self._suspended)
@@ -690,7 +919,7 @@ class Database:
         """Introspection snapshot: schema, version counts and the
         concurrency-control state the paper's Section 3.3 worries about
         (suspended transactions, retained locks)."""
-        with self._mutex:
+        with self._txn_latch:
             return {
                 "tables": {
                     name: {
@@ -731,7 +960,12 @@ class Database:
             raise error
 
     def _assign_snapshot(self, txn: Transaction) -> None:
-        txn.snapshot = Snapshot(self.clock.now())
+        # Under the commit latch: prepare_commit installs versions while
+        # holding it, so a snapshot is anchored either before a commit's
+        # timestamp was drawn (and never sees its versions) or after all
+        # its versions are in place — never halfway.
+        with self._commit_latch:
+            txn.snapshot = Snapshot(self.clock.now())
         if self.trace is not None:
             self.trace.emit(EventType.SNAPSHOT, txn.id, read_ts=txn.snapshot.read_ts)
         if self.history is not None:
@@ -742,6 +976,7 @@ class Database:
             self._assign_snapshot(txn)
 
     def _oldest_active_read_ts(self) -> float:
+        """Caller holds the txn latch (iterates the active map)."""
         oldest = float("inf")
         for txn in self._active.values():
             if txn.read_ts is not None:
@@ -749,6 +984,10 @@ class Database:
         return oldest
 
     def _maybe_cleanup(self) -> None:
+        # Optimistic emptiness probe (atomic list read): SI/S2PL commits
+        # retain nothing, so their hot path pays no latch here.
+        if not self._suspended:
+            return
         if self.config.eager_cleanup:
             self.cleanup_suspended()
         elif len(self._suspended) > self.config.cleanup_threshold:
@@ -841,8 +1080,9 @@ class Database:
 
     def _acquire_write_locks(
         self, txn: Transaction, table_name: str, key: Hashable, gap: bool
-    ) -> None:
+    ) -> Hashable | None:
         """Write-side locking: EXCLUSIVE record (+ gap for insert/delete).
+        Returns the successor whose gap was locked (None without ``gap``).
 
         SSI detection (Fig 3.5/3.7): every SIREAD holder that has not
         committed, or committed after this transaction's snapshot, marks a
@@ -854,7 +1094,9 @@ class Database:
         # 4.2; InnoDB behaves likewise once the read view exists).
         if txn.snapshot is not None:
             self._first_committer_check(txn, table_name, key)
+        txn.locked_writes = True
         requests: list[tuple[Resource, LockMode]] = []
+        succ = None
         if gap:
             succ = self.table(table_name).successor(key)
             # Record granularity uses insert-intention gap locks (two
@@ -870,21 +1112,27 @@ class Database:
         requests.append((self._rec_resource(table_name, key), LockMode.EXCLUSIVE))
         for resource, mode in requests:
             result = self._acquire(txn, resource, mode)
-            for lock in result.detection_conflicts:
+            if result.detection_conflicts:
                 # Fig 3.5/3.7: a SIREAD holder signals a potential rw
                 # edge holder -> txn; the writer's policy applies its
                 # concurrency filter (or drops the edge).
-                txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
+                with self._tracker_latch:
+                    for lock in result.detection_conflicts:
+                        txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
+        return succ
 
     def _lock_touched_pages(
         self, txn: Transaction, table_name: str, pages: list[int]
     ) -> None:
         """PAGE granularity: a split updates parent pages too — lock them,
         reproducing the root-page contention of Section 6.1.5."""
+        txn.locked_writes = True
         for page_id in pages:
             result = self._acquire(txn, page_resource(table_name, page_id), LockMode.EXCLUSIVE)
-            for lock in result.detection_conflicts:
-                txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
+            if result.detection_conflicts:
+                with self._tracker_latch:
+                    for lock in result.detection_conflicts:
+                        txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
 
     # ---------------------------------------------------------- conflicts
 
@@ -902,18 +1150,19 @@ class Database:
         """
         if reader.id == writer.id:
             return
-        if reader.is_aborted or writer.is_aborted:
-            return
-        if reader.doom_error is not None or writer.doom_error is not None:
-            return
-        first, second = reader.policy, writer.policy
-        if second.edge_precedence > first.edge_precedence:
-            first, second = second, first
-        for policy in (first, second):
-            if policy.handles_rw_edge(reader, writer):
-                policy.on_rw_edge(reader, writer)
+        with self._tracker_latch:
+            if reader.is_aborted or writer.is_aborted:
                 return
-        self.count_dropped_mixed_edge(reader=reader, writer=writer)
+            if reader.doom_error is not None or writer.doom_error is not None:
+                return
+            first, second = reader.policy, writer.policy
+            if second.edge_precedence > first.edge_precedence:
+                first, second = second, first
+            for policy in (first, second):
+                if policy.handles_rw_edge(reader, writer):
+                    policy.on_rw_edge(reader, writer)
+                    return
+            self.count_dropped_mixed_edge(reader=reader, writer=writer)
 
     def count_dropped_mixed_edge(
         self, reader: Transaction, writer: Transaction
@@ -923,7 +1172,8 @@ class Database:
         dependencies and cannot be audited."""
         if reader.id == writer.id:
             return
-        self.stats["mixed_edges_dropped"] += 1
+        with self._tracker_latch:
+            self.stats["mixed_edges_dropped"] += 1
         if self.trace is not None:
             self.trace.emit(
                 EventType.MIXED_EDGE, reader.id, peer=writer.id,
@@ -934,12 +1184,17 @@ class Database:
     def _retire(self, txn: Transaction) -> None:
         """Tell every policy ``txn`` is leaving the system (cross-level
         edges mean one policy's bookkeeping can reference another level's
-        transactions)."""
-        for policy in self._policies.values():
+        transactions).  Caller holds the tracker latch."""
+        for policy in self._retiring_policies:
             policy.on_transaction_retired(txn)
 
     def doom(self, victim: Transaction, error: TransactionAbortedError) -> None:
-        """Mark a transaction for abort and wake it if it is blocked."""
+        """Mark a transaction for abort and wake it if it is blocked.
+
+        Takes no engine latch: it is called from the immediate deadlock
+        handler while lock-manager latches are held, and ``doom_error``
+        is a single reference store the victim's own thread observes at
+        its next operation."""
         if not victim.is_active or victim.doom_error is not None:
             return
         victim.doom_error = error
@@ -984,12 +1239,21 @@ class Database:
         key: Hashable,
         chain,
         record: bool = True,
+        count: bool = True,
+        deferred: list | None = None,
     ) -> tuple[Any, bool]:
         """Resolve what ``txn`` sees for key: own write set, then the
         snapshot (SI family) or the latest committed version (S2PL).
         The policy's ``on_read`` hook then runs its conflict detection
-        (Fig 3.4 newer-version marking, SGT wr edges)."""
-        self.stats["reads"] += 1
+        (Fig 3.4 newer-version marking, SGT wr edges).  Chain reads are
+        latch-free (see repro.mvcc.version).
+
+        ``count=False`` and ``deferred`` are the scan loop's batching
+        hooks: the scan counts its reads once and replays the collected
+        ``(key, chain, version)`` triples through ``on_read`` under a
+        single tracker-latch section instead of one per row."""
+        if count:
+            self.stats.inc("reads")
         if txn.write_set:  # read-only transactions skip the tuple build
             own = txn.write_set.get((table_name, key), _MISSING)
             if own is not _MISSING:
@@ -1006,7 +1270,12 @@ class Database:
             version = txn.snapshot.visible(chain)
         else:
             version = chain.latest()
-        txn.policy.on_read(txn, table_name, key, chain, version)
+        if txn.policy.tracks_reads:
+            if deferred is not None:
+                deferred.append((key, chain, version))
+            else:
+                with self._tracker_latch:
+                    txn.policy.on_read(txn, table_name, key, chain, version)
 
         if record and self.history is not None:
             self.history.on_read(
@@ -1075,25 +1344,31 @@ class Database:
     # -------------------------------------------------------------- aborts
 
     def _abort_internal(self, txn: Transaction, reason: str) -> None:
-        if not txn.is_active:
-            return
-        txn.status = TransactionStatus.ABORTED
-        if self.wal is not None and txn.write_set:
+        """Roll back.  Three phases: the abort decision and policy/tracker
+        cleanup under the tracker latch; lock release and WAL I/O with no
+        latch held; registry removal under the txn latch."""
+        with self._tracker_latch:
+            if not txn.is_active:
+                return
+            txn.status = TransactionStatus.ABORTED
+            txn.policy.on_abort(txn)
+            self._retire(txn)
+            bucket = reason if reason in self.stats["aborts"] else "aborted"
+            self.stats["aborts"][bucket] += 1
+        had_writes = bool(txn.write_set)
+        if self.wal is not None and had_writes:
             self.wal.log_abort(txn.id)
         txn.write_set.clear()
         txn.write_kinds.clear()
         self.locks.release_all(txn, keep_siread=False)
         self.locks.cancel_waits(txn)
-        self._active.pop(txn.id, None)
-        self._registry.pop(txn.id, None)
-        txn.policy.on_abort(txn)
-        self._retire(txn)
+        with self._txn_latch:
+            self._active.pop(txn.id, None)
+            self._registry.pop(txn.id, None)
         if self.history is not None:
             self.history.on_abort(txn.id)
-        bucket = reason if reason in self.stats["aborts"] else "aborted"
         if self.trace is not None:
             self.trace.emit(EventType.ABORT, txn.id, reason=bucket)
-        self.stats["aborts"][bucket] += 1
 
 
 _MISSING = object()

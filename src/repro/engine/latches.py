@@ -1,0 +1,220 @@
+"""The engine's latch hierarchy.
+
+PR 5 replaces the single global "kernel mutex" (the InnoDB Section 4.4
+simplification) with fine-grained latches, the direction Ports & Grittner
+(VLDB 2012) took when the coarse SSI manager lock became PostgreSQL's
+dominant scalability bottleneck.  Every latch has a *rank*; a thread may
+only acquire a latch whose rank is greater than (or equal to, for the
+same latch — all latches are re-entrant) every latch it already holds.
+Any execution respecting the rank order is deadlock-free.
+
+The documented order (low rank acquired first)::
+
+    txn(10) < tracker(20) < commit(30) < table(40)
+            < lock-queue(50) < lock-stripe(60) < lock-owner(70)
+            < obs(80) < wal(90)
+
+What each level protects:
+
+``txn``
+    Transaction registry/active/suspended sets, schema dicts, id counter.
+``tracker``
+    Conflict-tracker / certifier state and every policy hook that mutates
+    it; the commit decision (``before_commit`` .. status flip) runs under
+    it so a concurrent ``mark_conflict`` can never slip between the
+    unsafe check and the commit.
+``commit``
+    Commit-timestamp allocation + version installation + the status flip,
+    so a snapshot taken under the same latch never observes a commit
+    timestamp whose versions are still being installed.
+``table``
+    One latch per :class:`~repro.storage.table.Table`: B+-tree structure,
+    version-chain install/prune, and the scan-vs-insert gap-locking
+    critical sections.  Two *different* table latches may not be held at
+    once (they share a rank), which the engine never needs.
+``lock-queue`` / ``lock-stripe`` / ``lock-owner``
+    The striped lock manager (see :mod:`repro.locking.manager`): stripes
+    partition the resource->head map; the queue latch serialises every
+    wait-queue/waits-for mutation and is the licence to hold *multiple*
+    stripe latches; the owner latch guards the per-owner indexes and the
+    manager counters.
+``obs``
+    The leaf latch of :mod:`repro.obs`: metric increments via
+    ``CounterGroup.inc``, histogram observation, trace emission,
+    registry snapshots.  Nothing may be acquired under it.
+``wal``
+    Internal to :class:`~repro.wal.log.WriteAheadLog` consumers: commit
+    record append + flush are serialised by it *after* every engine latch
+    has been released, so log file I/O never happens under a latch.
+
+Production latches are plain ``threading.RLock`` objects — zero wrapper
+overhead on the hot paths.  Setting the environment variable
+``REPRO_LATCH_DEBUG=1`` (read per :func:`make_latch` call, so tests can
+flip it with ``monkeypatch``) swaps in :class:`CheckedLatch`, which
+tracks a per-thread stack of held latches and raises
+:class:`LatchOrderError` on any rank-order violation.  The engine's
+blocking executor additionally asserts via :func:`held_latches` that no
+checked latch is held across a lock wait.
+
+A note on the GIL: under stock CPython the striped latches do not buy
+parallel *speed* — they buy correctness under preemptive thread switches
+(the GIL is released every few bytecodes, so unprotected multi-step
+mutations do tear) and they are the groundwork for free-threaded
+(PEP 703) builds, where each stripe becomes a genuine parallelism unit.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterable
+
+#: Canonical rank table (the documented latch order).
+RANKS = {
+    "txn": 10,
+    "tracker": 20,
+    "commit": 30,
+    "table": 40,
+    "lock-queue": 50,
+    "lock-stripe": 60,
+    "lock-owner": 70,
+    "obs": 80,
+    "wal": 90,
+}
+
+#: Rank whose possession licences holding several same-rank latches at
+#: once (multiple lock-manager stripes under the queue latch).
+MULTI_ACQUIRE_LICENCE = {RANKS["lock-stripe"]: RANKS["lock-queue"]}
+
+
+class LatchOrderError(RuntimeError):
+    """A latch was acquired against the documented rank order."""
+
+
+_held = threading.local()
+
+
+def _held_stack() -> list:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def held_latches() -> list["CheckedLatch"]:
+    """Checked latches held by the calling thread, acquisition order.
+
+    Production (unchecked) latches are invisible here: the function
+    exists for assertions in debug-latch test runs, where it must be
+    empty at every blocking point."""
+    return [latch for latch, _count in _held_stack()]
+
+
+class CheckedLatch:
+    """An RLock that enforces the rank order (debug builds only)."""
+
+    __slots__ = ("name", "rank", "_lock")
+
+    def __init__(self, name: str, rank: int):
+        self.name = name
+        self.rank = rank
+        self._lock = threading.RLock()
+
+    def __enter__(self) -> "CheckedLatch":
+        stack = _held_stack()
+        if stack:
+            top, _count = stack[-1]
+            held_ranks = [latch.rank for latch, _n in stack]
+            maximum = max(held_ranks)
+            if self.rank < maximum and not any(
+                latch is self for latch, _n in stack
+            ):
+                raise LatchOrderError(
+                    f"acquiring {self.name}(rank {self.rank}) while holding "
+                    f"{top.name}(rank {top.rank}) violates the latch order"
+                )
+            if self.rank == maximum and not any(
+                latch is self for latch, _n in stack
+            ):
+                licence = MULTI_ACQUIRE_LICENCE.get(self.rank)
+                if licence is None or licence not in held_ranks:
+                    raise LatchOrderError(
+                        f"acquiring {self.name}(rank {self.rank}) while "
+                        f"already holding a rank-{self.rank} latch requires "
+                        f"the licensing latch (rank {licence})"
+                    )
+        self._lock.acquire()
+        for index, (latch, count) in enumerate(stack):
+            if latch is self:
+                stack[index] = (latch, count + 1)
+                break
+        else:
+            stack.append((self, 1))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        stack = _held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            latch, count = stack[index]
+            if latch is self:
+                if count == 1:
+                    del stack[index]
+                else:
+                    stack[index] = (latch, count - 1)
+                break
+        self._lock.release()
+
+    # RLock-compatible aliases for code that acquires imperatively.
+    def acquire(self) -> bool:
+        self.__enter__()
+        return True
+
+    def release(self) -> None:
+        self.__exit__()
+
+    def __repr__(self) -> str:
+        return f"CheckedLatch({self.name!r}, rank={self.rank})"
+
+
+def debug_enabled() -> bool:
+    return os.environ.get("REPRO_LATCH_DEBUG", "") not in ("", "0")
+
+
+def make_latch(name: str, rank: int | None = None):
+    """A latch named after a rank-table entry (or an explicit rank).
+
+    Returns a raw ``threading.RLock`` in production; a
+    :class:`CheckedLatch` when ``REPRO_LATCH_DEBUG`` is set."""
+    if rank is None:
+        base = name.split("[", 1)[0]
+        rank = RANKS[base]
+    if debug_enabled():
+        return CheckedLatch(name, rank)
+    return threading.RLock()
+
+
+def make_stripe_latches(count: int) -> list:
+    """The lock manager's stripe latches (all share the stripe rank)."""
+    return [make_latch(f"lock-stripe[{i}]", RANKS["lock-stripe"]) for i in range(count)]
+
+
+def assert_no_latches_held(context: str) -> None:
+    """Debug assertion: the calling thread holds no checked latch.
+
+    Used at blocking points (``threading.Event.wait`` in the transaction
+    executor): sleeping while holding a latch would stall every other
+    client on it.  Free in production (no checked latches exist, the
+    stack is empty)."""
+    stack = getattr(_held, "stack", None)
+    if stack:
+        names = ", ".join(latch.name for latch, _count in stack)
+        raise LatchOrderError(
+            f"{context} would block while holding latch(es): {names}"
+        )
+
+
+def latch_names(latches: Iterable) -> list[str]:
+    """Names of checked latches (debug introspection helper)."""
+    return [
+        getattr(latch, "name", "<unchecked>") for latch in latches
+    ]

@@ -51,6 +51,7 @@ class Transaction:
         "doom_error",
         "write_set",
         "write_kinds",
+        "locked_writes",
         "_siread_cache",
     )
 
@@ -87,6 +88,11 @@ class Transaction:
         self.write_set: dict[tuple[str, Hashable], Any] = {}
         #: how each write-set entry came to be ("write"|"insert"|"delete")
         self.write_kinds: dict[tuple[str, Hashable], str] = {}
+        #: True once any write-side lock path ran (EXCLUSIVE, insert
+        #: intention, page locks) — a False lets a retaining read-only
+        #: commit skip lock release entirely (its locks are all kept
+        #: SIREAD sentinels).
+        self.locked_writes = False
         #: resources this transaction already holds SIREAD on — the
         #: engine's re-read fast path checks here and skips the lock
         #: manager entirely for repeat SIREAD acquisition.
@@ -213,6 +219,11 @@ class Transaction:
     def _block_on(self, request: LockRequest) -> None:
         import time
 
+        from repro.engine.latches import assert_no_latches_held
+
+        # Sleeping while holding any engine latch would stall every other
+        # thread needing it; LockWaitRequired must fully unwind first.
+        assert_no_latches_held("lock wait")
         wait_started = time.monotonic()
         deadline = None
         if self._db.config.lock_timeout is not None:

@@ -1,0 +1,15 @@
+"""Threaded stress execution.
+
+Drives real OS threads through the blocking transaction API — the
+concurrency regime the fine-grained latch hierarchy exists for.  The
+discrete-event simulator (:mod:`repro.sim`) measures the paper's
+*algorithms* under controlled interleavings; this package instead
+stresses the *implementation*: N threads hammer one database through
+:func:`repro.sim.direct.run_program` and the result is checked against
+workload invariants, the MVSG serializability oracle, and lock-table
+cleanliness.
+"""
+
+from repro.exec.stress import StressResult, final_rows, run_threaded_stress
+
+__all__ = ["StressResult", "final_rows", "run_threaded_stress"]

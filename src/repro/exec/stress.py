@@ -1,0 +1,219 @@
+"""The threaded stress executor.
+
+:func:`run_threaded_stress` is the harness behind the race-condition
+tests and the threaded benchmark cases: it splits a transaction budget
+across real threads, runs every program through the blocking client API
+(:func:`repro.sim.direct.run_program`), then quiesces the engine and
+audits what is left behind.
+
+The audit is the point.  A latching bug rarely crashes — it loses a
+SIREAD lock, leaks a granted row in the lock table, or commits a
+non-serializable interleaving.  The returned :class:`StressResult`
+therefore carries, besides throughput numbers:
+
+- the MVSG serializability verdict over the recorded history (when
+  ``check_serializability`` is set — the commit-order oracle of
+  :mod:`repro.sgt.checker`),
+- residual lock-table state after suspended-transaction cleanup
+  (``lock_table_clean`` — a lost ``release_all`` or an orphaned SIREAD
+  sentinel shows up here),
+- per-program commit/abort tallies, so workload-level invariants (e.g.
+  sibench's "sum of rows == committed updates") can be checked by the
+  caller against the final table contents.
+
+Determinism: thread ``i`` draws from ``random.Random(seed * 1000 + i)``,
+so a stress run's *program sequence* is reproducible per thread even
+though the OS interleaving is not.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Hashable, Optional
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import TransactionAbortedError
+from repro.sgt.checker import check_serializable
+from repro.sim.direct import run_program
+from repro.sim.workload import Workload
+
+
+@dataclass(slots=True)
+class StressResult:
+    """Outcome of one threaded stress run, including the post-quiesce
+    engine audit."""
+
+    workload: str
+    level: str
+    threads: int
+    #: transactions attempted (``txns_per_thread * threads``)
+    txns: int
+    commits: int
+    aborts: int
+    wall_clock_s: float
+    #: per-program-name tallies (the workload mix names)
+    commits_by_name: dict
+    aborts_by_name: dict
+    #: MVSG verdict over the recorded history; None when not requested
+    serializable: Optional[bool]
+    serialization_detail: str
+    #: lock-table rows still granted after cleanup (should be 0)
+    residual_granted: int
+    #: owners still registered in the lock table after cleanup
+    residual_owners: int
+    #: owners still queued on a lock after cleanup
+    residual_waiters: int
+    #: committed-suspended records cleanup could not retire
+    residual_suspended: int
+
+    @property
+    def lock_table_clean(self) -> bool:
+        """No locks, owners or waiters survived the quiesce — every
+        commit/abort path released what it acquired."""
+        return (
+            self.residual_granted == 0
+            and self.residual_owners == 0
+            and self.residual_waiters == 0
+        )
+
+    @property
+    def throughput(self) -> float:
+        """Commits per wall-clock second."""
+        return self.commits / self.wall_clock_s if self.wall_clock_s > 0 else 0.0
+
+    def describe(self) -> str:
+        verdict = (
+            "unchecked" if self.serializable is None
+            else ("serializable" if self.serializable else "NON-SERIALIZABLE")
+        )
+        return (
+            f"{self.workload} @{self.level} x{self.threads}thr: "
+            f"{self.commits} commits / {self.aborts} aborts in "
+            f"{self.wall_clock_s:.2f}s ({verdict}, "
+            f"{'clean' if self.lock_table_clean else 'DIRTY'} lock table)"
+        )
+
+
+def run_threaded_stress(
+    workload: Workload,
+    level: str = "ssi",
+    threads: int = 4,
+    txns_per_thread: int = 125,
+    seed: int = 20080501,
+    config: EngineConfig | None = None,
+    check_serializability: bool = False,
+    invariant: Callable[[Database], None] | None = None,
+) -> StressResult:
+    """Run ``threads`` real threads, each executing ``txns_per_thread``
+    workload transactions at ``level`` against one shared database.
+
+    Aborts raised by the engine (SSI unsafe, deadlock victim,
+    first-committer-wins...) are expected outcomes and tallied; any other
+    exception in a client thread fails the run.  After all threads join,
+    the engine is quiesced (suspended-transaction cleanup runs with no
+    one active) and the lock table audited; ``invariant`` — if given —
+    then inspects the final database state and raises on violation.
+    """
+    if config is None:
+        config = EngineConfig(record_history=check_serializability)
+    elif check_serializability and not config.record_history:
+        config = replace(config, record_history=True)
+    db = Database(config)
+    workload.setup(db)
+
+    barrier = threading.Barrier(threads)
+    tally = threading.Lock()
+    commits_by_name: dict = {}
+    aborts_by_name: dict = {}
+    totals = {"commits": 0, "aborts": 0}
+    failures: list[BaseException] = []
+
+    def client(index: int) -> None:
+        rng = random.Random(seed * 1000 + index)
+        local_commits: dict = {}
+        local_aborts: dict = {}
+        commits = aborts = 0
+        barrier.wait()
+        try:
+            for _ in range(txns_per_thread):
+                name, program = workload.next_transaction(rng)
+                try:
+                    run_program(db, program, level)
+                    commits += 1
+                    local_commits[name] = local_commits.get(name, 0) + 1
+                except TransactionAbortedError:
+                    aborts += 1
+                    local_aborts[name] = local_aborts.get(name, 0) + 1
+        except BaseException as exc:  # engine bug, not a CC outcome
+            with tally:
+                failures.append(exc)
+        finally:
+            with tally:
+                totals["commits"] += commits
+                totals["aborts"] += aborts
+                for name, count in local_commits.items():
+                    commits_by_name[name] = commits_by_name.get(name, 0) + count
+                for name, count in local_aborts.items():
+                    aborts_by_name[name] = aborts_by_name.get(name, 0) + count
+
+    workers = [
+        threading.Thread(target=client, args=(index,), name=f"stress-{index}")
+        for index in range(threads)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+
+    # Quiesce: with no transaction active the cleanup horizon is
+    # unbounded, so one sweep retires every suspended record a policy
+    # allows.  Whatever survives is a leak and lands in the result.
+    db.cleanup_suspended()
+    lm = db.locks
+    residual_granted = lm.table_size()
+    residual_owners = len(lm._by_owner)
+    residual_waiters = len(lm._waiting)
+    residual_suspended = len(db._suspended)
+
+    serializable: Optional[bool] = None
+    detail = ""
+    if check_serializability:
+        report = check_serializable(db.history)
+        serializable = report.serializable
+        detail = report.describe()
+
+    if invariant is not None:
+        invariant(db)
+
+    return StressResult(
+        workload=workload.name,
+        level=level,
+        threads=threads,
+        txns=txns_per_thread * threads,
+        commits=totals["commits"],
+        aborts=totals["aborts"],
+        wall_clock_s=wall,
+        commits_by_name=commits_by_name,
+        aborts_by_name=aborts_by_name,
+        serializable=serializable,
+        serialization_detail=detail,
+        residual_granted=residual_granted,
+        residual_owners=residual_owners,
+        residual_waiters=residual_waiters,
+        residual_suspended=residual_suspended,
+    )
+
+
+def final_rows(db: Database, table: str) -> dict[Hashable, object]:
+    """The committed contents of ``table`` as seen by a fresh snapshot —
+    the state workload invariants are checked against."""
+    with db.begin("si") as txn:
+        return dict(txn.scan(table))

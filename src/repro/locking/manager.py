@@ -44,10 +44,18 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, NamedTuple
 
+from repro.engine.latches import make_latch, make_stripe_latches
 from repro.locking.deadlock import WaitsForGraph
 from repro.locking.modes import LockMode, compatible
 from repro.obs.registry import CounterGroup
 from repro.obs.trace import EventType
+
+#: Number of lock-table stripes (power of two: stripe choice is a mask).
+#: Ports & Grittner partitioned PostgreSQL's SSI lock table into 16
+#: LWLock tranches for the same reason: one latch over the whole table
+#: was their dominant scalability bottleneck.
+STRIPE_COUNT = 16
+_STRIPE_MASK = STRIPE_COUNT - 1
 
 
 class Resource(NamedTuple):
@@ -303,9 +311,26 @@ for _mask in range(1, 1 << len(LockMode)):
 class LockManager:
     """Lock table with FIFO queuing, upgrades and waits-for maintenance.
 
-    The manager is single-threaded by design: the engine serialises calls
-    under its kernel mutex, mirroring InnoDB's design (Section 4.4 notes
-    InnoDB's lock table is protected by a global kernel mutex).
+    Thread-safe via a striped latch protocol (PR 5; previously the engine
+    serialised every call under its global kernel mutex, the InnoDB
+    Section 4.4 simplification):
+
+    * Resources hash into :data:`STRIPE_COUNT` stripes; each stripe latch
+      (rank ``lock-stripe``) guards that stripe's resource->head map and
+      every field of its heads, including the wait queues.  The
+      uncontended acquire/release fast path touches only one stripe.
+    * The queue latch (rank ``lock-queue``, acquired *before* stripes)
+      serialises everything involving wait queues across resources — the
+      enqueue slow path, promotion, cancellation, and all waits-for-graph
+      mutation — and is the licence for holding several stripe latches at
+      once.  A request that cannot be granted under the stripe alone is
+      retried from scratch under queue+stripe before being enqueued.
+    * The owner latch (rank ``lock-owner``, acquired *inside* stripes)
+      guards the per-owner indexes (``_by_owner``, ``_waiting``,
+      ``_siread_counts``), the granted-lock counter and the stats group.
+      Pure point lookups of these dicts read optimistically (a CPython
+      dict ``get`` is atomic under the GIL); every mutation and every
+      iteration takes the latch.
 
     Args:
         deadlock_handler: called with (cycle, requesting LockRequest) when
@@ -322,7 +347,12 @@ class LockManager:
         deadlock_handler: Callable[[list[Any], LockRequest], Any] | None = None,
         siread_upgrade: bool = True,
     ):
-        self._heads: dict[Resource, _LockHead] = {}
+        self._stripe_heads: list[dict[Resource, _LockHead]] = [
+            {} for _ in range(STRIPE_COUNT)
+        ]
+        self._stripe_latches = make_stripe_latches(STRIPE_COUNT)
+        self._queue_latch = make_latch("lock-queue")
+        self._owner_latch = make_latch("lock-owner")
         self._by_owner: dict[Hashable, dict[Resource, Lock]] = defaultdict(dict)
         #: per-owner index of WAITING requests — the cancel_waits path.
         self._waiting: dict[Hashable, set[LockRequest]] = {}
@@ -342,6 +372,21 @@ class LockManager:
 
     # ------------------------------------------------------------------ API
 
+    def _stripe_of(self, resource: Resource) -> int:
+        return hash(resource) & _STRIPE_MASK
+
+    @property
+    def _heads(self) -> dict[Resource, _LockHead]:
+        """Merged view over every stripe's head map.
+
+        Introspection/testing only — a read-only snapshot, not the live
+        table (internals address ``_stripe_heads[stripe]`` directly,
+        under that stripe's latch)."""
+        merged: dict[Resource, _LockHead] = {}
+        for heads in self._stripe_heads:
+            merged.update(heads)
+        return merged
+
     def acquire(self, owner: Any, resource: Resource, mode: LockMode) -> AcquireResult:
         """Request ``mode`` on ``resource`` for ``owner``.
 
@@ -349,11 +394,181 @@ class LockManager:
         or WAIT with the enqueued request.  Raises nothing: deadlock
         resolution happens through the injected handler which may doom a
         transaction via its own side effects.
+
+        Fast path: one stripe latch.  Only when the request cannot be
+        granted does it restart under the queue latch (still rank-ordered:
+        queue before stripe), re-verify — the blocker may have vanished in
+        the unlatched window — and enqueue.  The ``acquires`` counter is
+        bumped inside whichever owner-latch section the outcome already
+        pays for, never in a dedicated one.
         """
-        self.stats["acquires"] += 1
-        head = self._heads.get(resource)
+        stripe_index = hash(resource) & _STRIPE_MASK
+        stripe = self._stripe_latches[stripe_index]
+        with stripe:
+            result = self._try_acquire(owner, resource, mode, stripe_index)
+        if result is not None:
+            return result
+        with self._queue_latch:
+            with stripe:
+                result = self._try_acquire(owner, resource, mode, stripe_index)
+                if result is not None:
+                    return result
+                return self._enqueue_wait(owner, resource, mode, stripe_index)
+
+    def acquire_read_batch(
+        self, owner: Any, resources: list[Resource], mode: LockMode
+    ) -> tuple[list[Lock], list[Resource]]:
+        """Grant a read mode (SIREAD or SHARED) on many resources in one
+        batch — the scan hot path.
+
+        Resources already covered by a held lock are settled with atomic
+        per-owner dict reads and no latch at all; the rest are grouped by
+        stripe (one stripe latch per group instead of one per resource),
+        and every per-owner index update lands in a single owner-latch
+        section at the end.
+
+        Returns ``(conflicts, deferred)``: the combined detection
+        conflicts (granted write-mode locks of other owners, for the
+        caller to dispatch as rw edges), and the resources that need the
+        normal one-at-a-time path — a SHARED request against an
+        incompatible holder or a non-empty queue (FIFO fairness), or any
+        resource where this owner already holds a non-covering lock.
+        Deferred resources are *not* counted as acquires here; the
+        caller's normal acquire counts them.
+
+        Publication order matches :meth:`acquire`: each granted lock is
+        in the table — visible to writers — before its stripe latch
+        drops, so a writer arriving any later reports the rw edge from
+        its own side.  Only the owner-private bookkeeping (``_by_owner``,
+        counters) lands in the batch tail; no other thread's correctness
+        reads it for locks it did not grant.
+        """
+        owner_id = owner.id
+        owner_locks = self._by_owner.get(owner_id)
+        cover = mode.covered_by_mask
+        bit = mode.bit
+        shift = mode.index << 4
+        incompat = mode.incompat_mask
+        conflicts: list[Lock] = []
+        fresh: list[Lock] = []
+        covered = 0
+        deferred: list[Resource] = []
+        if mode is LockMode.SIREAD:
+            is_siread = True
+            todo: list[Resource] = []
+            for resource in resources:
+                held = owner_locks.get(resource) if owner_locks else None
+                if held is not None:
+                    if held.mask & cover:
+                        covered += 1  # idempotent re-acquire: count, done
+                    else:
+                        deferred.append(resource)  # uncovered upgrade
+                    continue
+                todo.append(resource)
+            if len(todo) == 1:
+                by_stripe = {hash(todo[0]) & _STRIPE_MASK: todo}
+            else:
+                by_stripe = {}
+                for resource in todo:
+                    by_stripe.setdefault(
+                        hash(resource) & _STRIPE_MASK, []
+                    ).append(resource)
+            for stripe_index, group in by_stripe.items():
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    for resource in group:
+                        head = heads.get(resource)
+                        if head is not None:
+                            if head.granted.get(owner_id) is not None:
+                                # Raced with inheritance replicating onto
+                                # a gap this batch also wants: normal path.
+                                deferred.append(resource)
+                                continue
+                        else:
+                            head = heads[resource] = _LockHead()
+                        detect = self._detection_conflicts(head, owner, mode)
+                        if detect:
+                            conflicts.extend(detect)
+                        lock = Lock(owner, resource, mask=bit)
+                        head.granted[owner_id] = lock
+                        fresh.append(lock)
+                        if not (head.counts >> shift) & 0xFFFF:
+                            head.mask |= bit
+                        head.counts += 1 << shift
+        else:
+            # Blocking read modes (SHARED) go strictly in submission
+            # order and STOP at the first resource that cannot be
+            # granted: granting later resources while an earlier one
+            # must wait would invert the scan's lock order against
+            # concurrent writers and manufacture deadlocks.  Everything
+            # from the stopping point on is deferred, in order, to the
+            # caller's normal blocking path; covered prefixes (repeat
+            # scans) settle latch-free.
+            is_siread = False
+            idx = 0
+            total = len(resources)
+            while idx < total:
+                resource = resources[idx]
+                held = owner_locks.get(resource) if owner_locks else None
+                if held is not None:
+                    if held.mask & cover:
+                        covered += 1
+                        idx += 1
+                        continue
+                    break  # uncovered upgrade: normal path from here
+                stripe_index = hash(resource) & _STRIPE_MASK
+                stop = False
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    head = heads.get(resource)
+                    if head is not None and (
+                        head.granted.get(owner_id) is not None
+                        or head.mask & incompat
+                        or head.queue
+                    ):
+                        stop = True
+                    else:
+                        if head is None:
+                            head = heads[resource] = _LockHead()
+                        detect = self._detection_conflicts(head, owner, mode)
+                        if detect:
+                            conflicts.extend(detect)
+                        lock = Lock(owner, resource, mask=bit)
+                        head.granted[owner_id] = lock
+                        fresh.append(lock)
+                        if not (head.counts >> shift) & 0xFFFF:
+                            head.mask |= bit
+                        head.counts += 1 << shift
+                if stop:
+                    break
+                idx += 1
+            if idx < total:
+                deferred = list(resources[idx:])
+        if covered or fresh:
+            with self._owner_latch:
+                self.stats["acquires"] += covered + len(fresh)
+                if fresh:
+                    mine = self._by_owner[owner_id]
+                    for lock in fresh:
+                        mine[lock.resource] = lock
+                    self._granted_count += len(fresh)
+                    if is_siread:
+                        counts_by_owner = self._siread_counts
+                        counts_by_owner[owner_id] = (
+                            counts_by_owner.get(owner_id, 0) + len(fresh)
+                        )
+        return conflicts, deferred
+
+    def _try_acquire(
+        self, owner: Any, resource: Resource, mode: LockMode, stripe_index: int
+    ) -> AcquireResult | None:
+        """Grant without queuing, or return None if the request must wait.
+
+        Caller holds the resource's stripe latch."""
+        heads = self._stripe_heads[stripe_index]
+        head = heads.get(resource)
         if head is None:
-            head = self._heads[resource] = _LockHead()
+            head = heads[resource] = _LockHead()
 
         owner_id = owner.id
         owner_locks = self._by_owner.get(owner_id)
@@ -361,6 +576,8 @@ class LockManager:
         if held is not None and held.mask & mode.covered_by_mask:
             # Idempotent re-acquire (or covered request): nothing to do,
             # but still report detection conflicts for retry correctness.
+            with self._owner_latch:
+                self.stats["acquires"] += 1
             conflicts = self._detection_conflicts(head, owner, mode)
             if not conflicts:
                 return _GRANTED_CLEAN
@@ -375,51 +592,80 @@ class LockManager:
             # _grant/_add_mode call chain.
             conflicts = self._detection_conflicts(head, owner, mode)
             if held is not None:
-                self._add_mode(head, held, mode)
-            else:
-                lock = Lock(owner, resource, mask=_SIREAD_BIT)
-                head.granted[owner_id] = lock
-                if owner_locks is None:
-                    owner_locks = self._by_owner[owner_id]
-                owner_locks[resource] = lock
-                self._granted_count += 1
+                held.mask |= _SIREAD_BIT
                 if not (head.counts >> _SIREAD_SHIFT) & 0xFFFF:
                     head.mask |= _SIREAD_BIT
                 head.counts += 1 << _SIREAD_SHIFT
-                counts_by_owner = self._siread_counts
-                counts_by_owner[owner_id] = counts_by_owner.get(owner_id, 0) + 1
+                with self._owner_latch:
+                    self.stats["acquires"] += 1
+                    counts_by_owner = self._siread_counts
+                    counts_by_owner[owner_id] = (
+                        counts_by_owner.get(owner_id, 0) + 1
+                    )
+            else:
+                lock = Lock(owner, resource, mask=_SIREAD_BIT)
+                head.granted[owner_id] = lock
+                if not (head.counts >> _SIREAD_SHIFT) & 0xFFFF:
+                    head.mask |= _SIREAD_BIT
+                head.counts += 1 << _SIREAD_SHIFT
+                with self._owner_latch:
+                    self.stats["acquires"] += 1
+                    self._by_owner[owner_id][resource] = lock
+                    self._granted_count += 1
+                    counts_by_owner = self._siread_counts
+                    counts_by_owner[owner_id] = (
+                        counts_by_owner.get(owner_id, 0) + 1
+                    )
             if not conflicts:
                 return _GRANTED_CLEAN
             return AcquireResult(AcquireStatus.GRANTED, detection_conflicts=conflicts)
 
         blockers = self._blockers(head, owner, mode, upgrading=held is not None)
-        if not blockers:
-            conflicts = self._detection_conflicts(head, owner, mode)
-            if held is not None:
+        if blockers:
+            return None
+        conflicts = self._detection_conflicts(head, owner, mode)
+        if held is not None:
+            with self._owner_latch:
+                self.stats["acquires"] += 1
                 self.stats["upgrades"] += 1
             self._grant(head, owner, resource, mode)
-            if not conflicts:
-                return _GRANTED_CLEAN
-            return AcquireResult(AcquireStatus.GRANTED, detection_conflicts=conflicts)
+        else:
+            self._grant(head, owner, resource, mode, count_acquire=True)
+        if not conflicts:
+            return _GRANTED_CLEAN
+        return AcquireResult(AcquireStatus.GRANTED, detection_conflicts=conflicts)
 
-        # Must wait.  Upgrades queue at the front (standard treatment) so
-        # an upgrader is not starved behind later plain requests.
+    def _enqueue_wait(
+        self, owner: Any, resource: Resource, mode: LockMode, stripe_index: int
+    ) -> AcquireResult:
+        """Queue a blocked request.  Caller holds queue + stripe latches.
+
+        Upgrades queue at the front (standard treatment) so an upgrader
+        is not starved behind later plain requests."""
+        heads = self._stripe_heads[stripe_index]
+        head = heads[resource]  # _try_acquire just ensured it exists
+        owner_id = owner.id
+        owner_locks = self._by_owner.get(owner_id)
+        held = owner_locks.get(resource) if owner_locks else None
         request = LockRequest(owner=owner, resource=resource, mode=mode)
         if head.queue is None:
             head.queue = deque()
         if held is not None:
             head.queue.appendleft(request)
-            self.stats["upgrades"] += 1
         else:
             head.queue.append(request)
-        pending = self._waiting.get(owner.id)
-        if pending is None:
-            pending = self._waiting[owner.id] = set()
-        pending.add(request)
-        self.stats["waits"] += 1
+        with self._owner_latch:
+            self.stats["acquires"] += 1
+            if held is not None:
+                self.stats["upgrades"] += 1
+            pending = self._waiting.get(owner_id)
+            if pending is None:
+                pending = self._waiting[owner_id] = set()
+            pending.add(request)
+            self.stats["waits"] += 1
         if self.trace is not None:
             self.trace.emit(
-                EventType.LOCK_WAIT, owner.id,
+                EventType.LOCK_WAIT, owner_id,
                 resource=repr(resource), mode=mode.value,
             )
         self._refresh_wait_edges(head)
@@ -440,64 +686,264 @@ class LockManager:
         With ``keep_siread=True`` (Serializable SI commit, Fig 3.2 line 9)
         the SIREAD locks stay in the table; they are dropped later by
         :meth:`drop_siread_locks` once no concurrent transaction remains.
+
+        Latching: an owner with no granted locks and no waiting requests
+        exits immediately with no latch at all (atomic dict probes; an
+        owner absent from ``_by_owner`` cannot be granted locks
+        concurrently — inheritance only replicates onto existing SIREAD
+        holders).  Otherwise the owner's lock set is snapshotted and
+        removed stripe by stripe (one stripe latch per group, one
+        owner-latch section for all the per-owner bookkeeping); only
+        resources with waiters take the queue latch for promotion.  A
+        second pass catches locks that :meth:`inherit_siread_locks`
+        granted to this owner concurrently (a gap split replicating a
+        scan's sentinel while its owner aborts).
         """
-        locks = self._by_owner.get(owner.id)
-        if not locks:
-            self.cancel_waits(owner)
+        owner_id = owner.id
+        if owner_id not in self._by_owner and owner_id not in self._waiting:
             return
-        touched: list[Resource] = []
-        for resource, lock in list(locks.items()):
-            if keep_siread and lock.mask & _SIREAD_BIT:
-                if lock.mask != _SIREAD_BIT:
-                    # Shed the blocking modes, retain only the sentinel.
-                    head = self._heads[resource]
-                    for mode in _MODES_IN[lock.mask & ~_SIREAD_BIT]:
-                        self._discard_mode(head, lock, mode)
-                    touched.append(resource)
-                continue
-            self._remove_lock(lock)  # drops the owner's entry when empty
-            touched.append(resource)
-        self.cancel_waits(owner)
-        for resource in touched:
-            self._promote(resource)
+        # Single-lock fast path — the dominant release shape in OLTP
+        # runs (a point read/update holds exactly one lock).  The pair is
+        # read with atomic dict ops: only this owner's thread and SIREAD
+        # inheritance mutate the per-owner dict, a concurrent insert
+        # makes the probe below fall through to the general loop, and a
+        # mid-read mutation surfaces as RuntimeError (handled likewise).
+        locks = self._by_owner.get(owner_id)
+        if locks is not None and len(locks) == 1:
+            try:
+                resource, lock = next(iter(locks.items()))
+            except (RuntimeError, StopIteration):
+                lock = None
+            if lock is not None:
+                if keep_siread and lock.mask == _SIREAD_BIT:
+                    # Lone retained sentinel: nothing to shed or promote.
+                    if (
+                        self._waiting.get(owner_id)
+                        or owner_id in self.waits_for._edges
+                    ):
+                        self.cancel_waits(owner)
+                    return
+                if not keep_siread or not lock.mask & _SIREAD_BIT:
+                    stripe_index = hash(resource) & _STRIPE_MASK
+                    removed = False
+                    promote = False
+                    with self._stripe_latches[stripe_index]:
+                        heads = self._stripe_heads[stripe_index]
+                        head = heads.get(resource)
+                        if (
+                            head is not None
+                            and head.granted.get(owner_id) is lock
+                        ):
+                            self._detach_lock(heads, head, lock)
+                            removed = True
+                            promote = bool(head.queue)
+                    if removed:
+                        self._forget_locks(owner_id, [lock])
+                        if promote:
+                            with self._queue_latch:
+                                with self._stripe_latches[stripe_index]:
+                                    self._promote(resource, stripe_index)
+                    if not self._by_owner.get(owner_id):
+                        if (
+                            self._waiting.get(owner_id)
+                            or owner_id in self.waits_for._edges
+                        ):
+                            self.cancel_waits(owner)
+                        return
+                # mixed keep_siread single lock, a raced detach, or a
+                # concurrently inherited sentinel: general loop below.
+        for _pass in range(2):
+            # Repeat passes only re-snapshot when the atomic probe says
+            # locks remain (the common case is that pass one drained them).
+            if _pass and not self._by_owner.get(owner_id):
+                break
+            with self._owner_latch:
+                locks = self._by_owner.get(owner_id)
+                items = list(locks.items()) if locks else []
+            if not items:
+                break
+            if len(items) == 1:
+                by_stripe = {hash(items[0][0]) & _STRIPE_MASK: items}
+            else:
+                by_stripe = {}
+                for resource, lock in items:
+                    by_stripe.setdefault(
+                        hash(resource) & _STRIPE_MASK, []
+                    ).append((resource, lock))
+            removed: list[Lock] = []
+            promote: list[Resource] = []
+            for stripe_index, group in by_stripe.items():
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    for resource, lock in group:
+                        head = heads.get(resource)
+                        if head is None or head.granted.get(owner_id) is not lock:
+                            continue  # raced with a concurrent cleanup
+                        if keep_siread and lock.mask & _SIREAD_BIT:
+                            if lock.mask != _SIREAD_BIT:
+                                # Shed the blocking modes, retain the sentinel.
+                                for mode in _MODES_IN[lock.mask & ~_SIREAD_BIT]:
+                                    self._discard_mode(head, lock, mode)
+                                if head.queue:
+                                    promote.append(resource)
+                            continue
+                        self._detach_lock(heads, head, lock)
+                        removed.append(lock)
+                        if head.queue:
+                            promote.append(resource)
+            if removed:
+                self._forget_locks(owner_id, removed)
+            for resource in promote:
+                stripe_index = hash(resource) & _STRIPE_MASK
+                with self._queue_latch:
+                    with self._stripe_latches[stripe_index]:
+                        self._promote(resource, stripe_index)
+            if keep_siread or not removed:
+                break
+        # Waits-for maintenance is only owed when the owner has waiting
+        # requests or stale outgoing edges (a promoted-then-granted waiter
+        # keeps its edges until here); stale *incoming* edges cannot
+        # survive the promotions above, which refresh every queue the
+        # owner's locks were blocking.
+        if self._waiting.get(owner_id) or owner_id in self.waits_for._edges:
+            self.cancel_waits(owner)
 
     def drop_siread_locks(self, owner: Any) -> int:
         """Remove retained SIREAD locks of a cleaned-up suspended txn.
 
-        Bulk form of :meth:`_discard_mode`/:meth:`_remove_lock`: the
-        per-owner SIREAD count is cleared once at the end instead of
-        decremented per lock, and pure-sentinel locks (the overwhelmingly
-        common case for a suspended reader) are unlinked inline.
+        Locks are dropped stripe group by stripe group (scan-heavy
+        suspended transactions hold hundreds of sentinels — one latch per
+        lock would dominate cleanup); a repeat pass catches sentinels
+        that :meth:`inherit_siread_locks` replicated onto new gaps for
+        this owner while the sweep ran.
         """
         owner_id = owner.id
-        locks = self._by_owner.get(owner_id)
-        if not locks:
-            return 0
         dropped = 0
-        heads = self._heads
-        for resource, lock in list(locks.items()):
-            mask = lock.mask
-            if not mask & _SIREAD_BIT:
-                continue
-            head = heads[resource]
-            head.counts -= 1 << _SIREAD_SHIFT
-            if not (head.counts >> _SIREAD_SHIFT) & 0xFFFF:
-                head.mask &= ~_SIREAD_BIT
-            dropped += 1
-            if mask == _SIREAD_BIT:
-                del head.granted[owner_id]
-                self._granted_count -= 1
-                del locks[resource]
-                if head.empty():
-                    del heads[resource]
+        # Single-sentinel fast path (point readers retain exactly one
+        # SIREAD); atomic reads as in release_all's fast path.
+        locks = self._by_owner.get(owner_id)
+        if locks is not None and len(locks) == 1:
+            try:
+                resource, lock = next(iter(locks.items()))
+            except (RuntimeError, StopIteration):
+                lock = None
+            if lock is not None and lock.mask == _SIREAD_BIT:
+                stripe_index = hash(resource) & _STRIPE_MASK
+                removed = False
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    head = heads.get(resource)
+                    if head is not None and head.granted.get(owner_id) is lock:
+                        self._detach_lock(heads, head, lock)
+                        removed = True
+                if removed:
+                    self._forget_locks(owner_id, [lock], dropped_stat=1)
+                    dropped = 1
+                if owner_id not in self._by_owner:
+                    return dropped
+        for _pass in range(3):
+            if owner_id not in self._by_owner:
+                break  # atomic probe: nothing (left) to drop
+            with self._owner_latch:
+                locks = self._by_owner.get(owner_id)
+                items = (
+                    [
+                        (resource, lock)
+                        for resource, lock in locks.items()
+                        if lock.mask & _SIREAD_BIT
+                    ]
+                    if locks
+                    else []
+                )
+            if not items:
+                break
+            if len(items) == 1:
+                by_stripe = {hash(items[0][0]) & _STRIPE_MASK: items}
             else:
-                lock.mask = mask & ~_SIREAD_BIT
-        if dropped:
-            self._siread_counts.pop(owner_id, None)
-            if not locks:
-                del self._by_owner[owner_id]
-        self.stats["siread_dropped"] += dropped
+                by_stripe = {}
+                for resource, lock in items:
+                    by_stripe.setdefault(
+                        hash(resource) & _STRIPE_MASK, []
+                    ).append((resource, lock))
+            removed: list[Lock] = []
+            shed = 0
+            for stripe_index, group in by_stripe.items():
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    for resource, lock in group:
+                        head = heads.get(resource)
+                        if head is None or head.granted.get(owner_id) is not lock:
+                            continue
+                        mask = lock.mask
+                        if not mask & _SIREAD_BIT:
+                            continue
+                        if mask == _SIREAD_BIT:
+                            self._detach_lock(heads, head, lock)
+                            removed.append(lock)
+                        else:
+                            # Shed just the sentinel mode; the per-owner
+                            # SIREAD count is settled below in one batch.
+                            lock.mask = mask & ~_SIREAD_BIT
+                            head.counts -= 1 << _SIREAD_SHIFT
+                            if not (head.counts >> _SIREAD_SHIFT) & 0xFFFF:
+                                head.mask &= ~_SIREAD_BIT
+                            shed += 1
+                        dropped += 1
+            if removed or shed:
+                # ``siread_dropped`` accounting rides in the same
+                # owner-latch section that settles the per-owner indexes.
+                self._forget_locks(
+                    owner_id, removed, extra_siread=shed,
+                    dropped_stat=len(removed) + shed,
+                )
         return dropped
+
+    def _detach_lock(
+        self, heads: dict[Resource, _LockHead], head: _LockHead, lock: Lock
+    ) -> None:
+        """Head-side removal of a granted lock (caller holds the stripe
+        latch and has verified the lock is current).  The per-owner
+        bookkeeping is settled separately via :meth:`_forget_locks`."""
+        del head.granted[lock.owner.id]
+        for mode in _MODES_IN[lock.mask]:
+            shift = mode.index << 4
+            head.counts -= 1 << shift
+            if not (head.counts >> shift) & 0xFFFF:
+                head.mask &= ~mode.bit
+        if head.empty():
+            heads.pop(lock.resource, None)
+
+    def _forget_locks(
+        self,
+        owner_id: Hashable,
+        removed: list[Lock],
+        extra_siread: int = 0,
+        dropped_stat: int = 0,
+    ) -> None:
+        """One owner-latch section settling the per-owner indexes for a
+        batch of detached locks (plus ``extra_siread`` shed sentinel
+        modes on locks that remain granted); ``dropped_stat`` folds the
+        ``siread_dropped`` counter bump into the same section."""
+        with self._owner_latch:
+            if dropped_stat:
+                self.stats["siread_dropped"] += dropped_stat
+            siread_gone = extra_siread
+            if removed:
+                self._granted_count -= len(removed)
+                owner_locks = self._by_owner.get(owner_id)
+                for lock in removed:
+                    if lock.mask & _SIREAD_BIT:
+                        siread_gone += 1
+                    if owner_locks is not None:
+                        owner_locks.pop(lock.resource, None)
+                if owner_locks is not None and not owner_locks:
+                    del self._by_owner[owner_id]
+            if siread_gone:
+                remaining = self._siread_counts.get(owner_id, 0) - siread_gone
+                if remaining > 0:
+                    self._siread_counts[owner_id] = remaining
+                else:
+                    self._siread_counts.pop(owner_id, None)
 
     def inherit_siread_locks(
         self, from_resource: Resource, to_resource: Resource, exclude_owner: Any
@@ -509,24 +955,41 @@ class LockManager:
         must also cover the new sub-gap, or later inserts between the new
         key and its predecessor would escape phantom detection — InnoDB's
         gap-lock inheritance.  Returns the number of locks inherited.
+
+        Latching: holders are collected under the source stripe, grants
+        happen under the destination stripe; the queue latch is held
+        across both so the two stripes form one atomic step against
+        concurrent release/cleanup of the same owners.
         """
-        head = self._heads.get(from_resource)
-        if head is None or not head.mask & _SIREAD_BIT:
-            return 0
+        from_index = self._stripe_of(from_resource)
+        to_index = self._stripe_of(to_resource)
         inherited = 0
-        for lock in list(head.granted.values()):
-            if not lock.mask & _SIREAD_BIT:
-                continue
-            if lock.owner.id == exclude_owner.id:
-                continue
-            existing = self._by_owner.get(lock.owner.id, {}).get(to_resource)
-            if existing is not None and existing.mask & _SIREAD_BIT:
-                continue
-            to_head = self._heads.get(to_resource)
-            if to_head is None:
-                to_head = self._heads[to_resource] = _LockHead()
-            self._grant(to_head, lock.owner, to_resource, LockMode.SIREAD)
-            inherited += 1
+        with self._queue_latch:
+            with self._stripe_latches[from_index]:
+                head = self._stripe_heads[from_index].get(from_resource)
+                if head is None or not head.mask & _SIREAD_BIT:
+                    return 0
+                holders = [
+                    lock.owner
+                    for lock in head.granted.values()
+                    if lock.mask & _SIREAD_BIT
+                    and lock.owner.id != exclude_owner.id
+                ]
+            if not holders:
+                return 0
+            with self._stripe_latches[to_index]:
+                to_heads = self._stripe_heads[to_index]
+                to_head = to_heads.get(to_resource)
+                if to_head is None:
+                    to_head = to_heads[to_resource] = _LockHead()
+                for holder in holders:
+                    existing = self._by_owner.get(holder.id, {}).get(
+                        to_resource
+                    )
+                    if existing is not None and existing.mask & _SIREAD_BIT:
+                        continue
+                    self._grant(to_head, holder, to_resource, LockMode.SIREAD)
+                    inherited += 1
         return inherited
 
     def cancel_request(self, request: LockRequest, error: Exception | None = None) -> bool:
@@ -537,21 +1000,25 @@ class LockManager:
         """
         if request.state is not RequestState.WAITING:
             return False
-        head = self._heads.get(request.resource)
-        if head is None or not head.queue or request not in head.queue:
-            return False
-        head.queue.remove(request)
-        self._waiting_discard(request)
-        request._resolve(RequestState.DENIED, error)
-        if self.trace is not None:
-            self.trace.emit(
-                EventType.LOCK_DENY, request.owner.id,
-                resource=repr(request.resource), mode=request.mode.value,
-                error=type(error).__name__ if error else None,
-            )
-        self._refresh_wait_edges(head)
-        self._promote(request.resource)
-        return True
+        resource = request.resource
+        stripe_index = self._stripe_of(resource)
+        with self._queue_latch:
+            with self._stripe_latches[stripe_index]:
+                head = self._stripe_heads[stripe_index].get(resource)
+                if head is None or not head.queue or request not in head.queue:
+                    return False
+                head.queue.remove(request)
+                self._waiting_discard(request)
+                request._resolve(RequestState.DENIED, error)
+                if self.trace is not None:
+                    self.trace.emit(
+                        EventType.LOCK_DENY, request.owner.id,
+                        resource=repr(resource), mode=request.mode.value,
+                        error=type(error).__name__ if error else None,
+                    )
+                self._refresh_wait_edges(head)
+                self._promote(resource, stripe_index)
+                return True
 
     def cancel_waits(self, owner: Any, error: Exception | None = None) -> None:
         """Remove any waiting requests of ``owner`` (abort/doom path).
@@ -561,42 +1028,50 @@ class LockManager:
         waiting index — this runs on *every* commit and abort, so it must
         not walk the table.
         """
-        pending = self._waiting.pop(owner.id, None)
-        if pending:
-            by_resource: dict[Resource, list[LockRequest]] = {}
-            for request in pending:
-                by_resource.setdefault(request.resource, []).append(request)
-            for resource, requests in by_resource.items():
-                head = self._heads.get(resource)
-                if head is None or not head.queue:
-                    continue
-                removed = False
-                for request in requests:
-                    try:
-                        head.queue.remove(request)
-                    except ValueError:
-                        continue
-                    removed = True
-                    request._resolve(RequestState.DENIED, error)
-                    if self.trace is not None:
-                        self.trace.emit(
-                            EventType.LOCK_DENY, request.owner.id,
-                            resource=repr(request.resource), mode=request.mode.value,
-                            error=type(error).__name__ if error else None,
-                        )
-                if removed:
-                    self._refresh_wait_edges(head)
-                    self._promote(resource)
-        self.waits_for.remove_node(owner.id)
+        with self._queue_latch:
+            with self._owner_latch:
+                pending = self._waiting.pop(owner.id, None)
+            if pending:
+                by_resource: dict[Resource, list[LockRequest]] = {}
+                for request in pending:
+                    by_resource.setdefault(request.resource, []).append(request)
+                for resource, requests in by_resource.items():
+                    stripe_index = self._stripe_of(resource)
+                    with self._stripe_latches[stripe_index]:
+                        head = self._stripe_heads[stripe_index].get(resource)
+                        if head is None or not head.queue:
+                            continue
+                        removed = False
+                        for request in requests:
+                            try:
+                                head.queue.remove(request)
+                            except ValueError:
+                                continue
+                            removed = True
+                            request._resolve(RequestState.DENIED, error)
+                            if self.trace is not None:
+                                self.trace.emit(
+                                    EventType.LOCK_DENY, request.owner.id,
+                                    resource=repr(request.resource),
+                                    mode=request.mode.value,
+                                    error=type(error).__name__ if error else None,
+                                )
+                        if removed:
+                            self._refresh_wait_edges(head)
+                            self._promote(resource, stripe_index)
+            self.waits_for.remove_node(owner.id)
 
     # --------------------------------------------------------------- queries
 
     def locks_on(self, resource: Resource) -> list[Lock]:
-        head = self._heads.get(resource)
-        return list(head.granted.values()) if head else []
+        stripe_index = self._stripe_of(resource)
+        with self._stripe_latches[stripe_index]:
+            head = self._stripe_heads[stripe_index].get(resource)
+            return list(head.granted.values()) if head else []
 
     def locks_held_by(self, owner: Any) -> list[Lock]:
-        return list(self._by_owner.get(owner.id, {}).values())
+        with self._owner_latch:
+            return list(self._by_owner.get(owner.id, {}).values())
 
     def holds(self, owner: Any, resource: Resource, mode: LockMode | None = None) -> bool:
         owner_locks = self._by_owner.get(owner.id)
@@ -609,12 +1084,14 @@ class LockManager:
         return self._siread_counts.get(owner.id, 0) > 0
 
     def waiting_requests(self) -> list[LockRequest]:
-        return [
-            request
-            for head in self._heads.values()
-            if head.queue
-            for request in head.queue
-        ]
+        requests: list[LockRequest] = []
+        with self._queue_latch:
+            for stripe_index, heads in enumerate(self._stripe_heads):
+                with self._stripe_latches[stripe_index]:
+                    for head in heads.values():
+                        if head.queue:
+                            requests.extend(head.queue)
+        return requests
 
     def find_deadlock_victims(self, choose: Callable[[list[Any]], Any]) -> list[Any]:
         """Periodic deadlock sweep: find every cycle and pick victims.
@@ -625,7 +1102,9 @@ class LockManager:
         """
         victims = []
         seen: set[Hashable] = set()
-        for cycle_ids in self.waits_for.find_cycles():
+        with self._queue_latch:
+            cycles = self.waits_for.find_cycles()
+        for cycle_ids in cycles:
             if seen & set(cycle_ids):
                 continue
             seen.update(cycle_ids)
@@ -642,20 +1121,22 @@ class LockManager:
     # -------------------------------------------------------------- internals
 
     def _owner_for(self, owner_id: Hashable) -> Any | None:
-        locks = self._by_owner.get(owner_id)
-        if locks:
-            return next(iter(locks.values())).owner
-        pending = self._waiting.get(owner_id)
-        if pending:
-            return next(iter(pending)).owner
-        return None
+        with self._owner_latch:
+            locks = self._by_owner.get(owner_id)
+            if locks:
+                return next(iter(locks.values())).owner
+            pending = self._waiting.get(owner_id)
+            if pending:
+                return next(iter(pending)).owner
+            return None
 
     def _waiting_discard(self, request: LockRequest) -> None:
-        pending = self._waiting.get(request.owner.id)
-        if pending is not None:
-            pending.discard(request)
-            if not pending:
-                del self._waiting[request.owner.id]
+        with self._owner_latch:
+            pending = self._waiting.get(request.owner.id)
+            if pending is not None:
+                pending.discard(request)
+                if not pending:
+                    del self._waiting[request.owner.id]
 
     def _add_mode(self, head: _LockHead, lock: Lock, mode: LockMode) -> None:
         """Add ``mode`` to a granted lock, keeping all summaries in sync.
@@ -668,9 +1149,10 @@ class LockManager:
             head.mask |= bit
         head.counts += 1 << shift
         if mode is LockMode.SIREAD:
-            counts_by_owner = self._siread_counts
-            owner_id = lock.owner.id
-            counts_by_owner[owner_id] = counts_by_owner.get(owner_id, 0) + 1
+            with self._owner_latch:
+                counts_by_owner = self._siread_counts
+                owner_id = lock.owner.id
+                counts_by_owner[owner_id] = counts_by_owner.get(owner_id, 0) + 1
 
     def _discard_mode(self, head: _LockHead, lock: Lock, mode: LockMode) -> None:
         """Remove ``mode`` from a granted lock, keeping summaries in sync.
@@ -683,13 +1165,14 @@ class LockManager:
         if not (head.counts >> shift) & 0xFFFF:
             head.mask &= ~bit
         if mode is LockMode.SIREAD:
-            counts_by_owner = self._siread_counts
-            owner_id = lock.owner.id
-            remaining = counts_by_owner[owner_id] - 1
-            if remaining:
-                counts_by_owner[owner_id] = remaining
-            else:
-                del counts_by_owner[owner_id]
+            with self._owner_latch:
+                counts_by_owner = self._siread_counts
+                owner_id = lock.owner.id
+                remaining = counts_by_owner[owner_id] - 1
+                if remaining:
+                    counts_by_owner[owner_id] = remaining
+                else:
+                    del counts_by_owner[owner_id]
 
     def _detection_conflicts(self, head: _LockHead, owner: Any, mode: LockMode) -> list[Lock]:
         """Granted locks of other owners that signal rw-dependencies."""
@@ -736,9 +1219,23 @@ class LockManager:
                 blockers.append(queued.owner)
         return blockers
 
-    def _grant(self, head: _LockHead, owner: Any, resource: Resource, mode: LockMode) -> None:
-        owner_locks = self._by_owner[owner.id]
-        held = owner_locks.get(resource)
+    def _grant(
+        self,
+        head: _LockHead,
+        owner: Any,
+        resource: Resource,
+        mode: LockMode,
+        count_acquire: bool = False,
+    ) -> None:
+        """Caller holds the resource's stripe latch.
+
+        ``count_acquire`` folds the ``acquires`` statistic into the grant's
+        own owner-latch section — set by the fresh-grant fast path of
+        :meth:`acquire`; promotion and inheritance grants leave it off
+        (their acquire was counted at enqueue time, or is not one)."""
+        owner_id = owner.id
+        owner_locks = self._by_owner.get(owner_id)
+        held = owner_locks.get(resource) if owner_locks else None
         if held is not None:
             if not held.mask & mode.bit:
                 self._add_mode(head, held, mode)
@@ -751,42 +1248,25 @@ class LockManager:
                 and held.mask & _SIREAD_BIT
             ):
                 self._discard_mode(head, held, LockMode.SIREAD)
-                self.stats["siread_dropped"] += 1
+                with self._owner_latch:
+                    self.stats["siread_dropped"] += 1
         else:
             lock = Lock(owner=owner, resource=resource)
-            head.granted[owner.id] = lock
-            owner_locks[resource] = lock
-            self._granted_count += 1
+            head.granted[owner_id] = lock
+            with self._owner_latch:
+                if count_acquire:
+                    self.stats["acquires"] += 1
+                self._by_owner[owner_id][resource] = lock
+                self._granted_count += 1
             self._add_mode(head, lock, mode)
 
-    def _remove_lock(self, lock: Lock) -> None:
-        owner_id = lock.owner.id
-        head = self._heads.get(lock.resource)
-        if head is not None:
-            if head.granted.pop(owner_id, None) is not None:
-                self._granted_count -= 1
-                for mode in _MODES_IN[lock.mask]:
-                    shift = mode.index << 4
-                    head.counts -= 1 << shift
-                    if not (head.counts >> shift) & 0xFFFF:
-                        head.mask &= ~mode.bit
-                if lock.mask & _SIREAD_BIT:
-                    remaining = self._siread_counts[owner_id] - 1
-                    if remaining:
-                        self._siread_counts[owner_id] = remaining
-                    else:
-                        del self._siread_counts[owner_id]
-            if head.empty():
-                del self._heads[lock.resource]
-        owner_locks = self._by_owner.get(owner_id)
-        if owner_locks is not None:
-            owner_locks.pop(lock.resource, None)
-            if not owner_locks:
-                self._by_owner.pop(owner_id, None)
+    def _promote(self, resource: Resource, stripe_index: int | None = None) -> None:
+        """Grant queued requests now compatible, front-first (FIFO).
 
-    def _promote(self, resource: Resource) -> None:
-        """Grant queued requests now compatible, front-first (FIFO)."""
-        head = self._heads.get(resource)
+        Caller holds the queue latch and the resource's stripe latch."""
+        if stripe_index is None:
+            stripe_index = hash(resource) & _STRIPE_MASK
+        head = self._stripe_heads[stripe_index].get(resource)
         if head is None:
             return
         while head.queue:
@@ -809,7 +1289,7 @@ class LockManager:
         if head.queue:
             self._refresh_wait_edges(head)
         if head.empty():
-            self._heads.pop(resource, None)
+            self._stripe_heads[stripe_index].pop(resource, None)
 
     def _refresh_wait_edges(self, head: _LockHead) -> None:
         """Recompute waits-for edges contributed by this resource's queue."""

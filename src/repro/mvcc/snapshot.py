@@ -43,9 +43,12 @@ class Snapshot:
             return self._memo_version
         # Inlined tail fast path of VersionChain.visible: on the dominant
         # "snapshot sees the newest version" case this saves a call per row.
-        ts = chain._ts
-        if ts and ts[-1] <= self.read_ts:
-            version = chain._versions[-1]
+        # Latch-free read of the chain's (versions, ts) tuple; len(ts) is
+        # the authoritative length during a concurrent install.
+        versions, ts = chain._data
+        length = len(ts)
+        if length and ts[length - 1] <= self.read_ts:
+            version = versions[length - 1]
         else:
             version = chain.visible(self.read_ts)
         self._memo_chain = chain

@@ -17,6 +17,24 @@ sees the newest version" case) falling back to one ``bisect``, and "does a
 newer version exist" — the first-committer-wins probe — is O(1).  The
 public view is unchanged: iteration and :meth:`newer_than` still yield
 newest-first.
+
+Concurrency protocol (PR-5 latching pass): *writers* — ``install`` and
+``prune`` — are serialised by the owning table's latch.  *Readers* take no
+latch at all.  That works because both lists live in a single
+``_data = (versions, ts)`` tuple slot:
+
+* ``install`` appends in place, version first, then timestamp.  Readers
+  treat ``len(ts)`` as the authoritative length, so a half-finished append
+  (version present, timestamp not yet) is simply invisible; and any
+  version being installed concurrently carries a ``commit_ts`` newer than
+  every live snapshot (snapshot assignment and version install are both
+  under the commit latch), so it would be invisible anyway.
+* ``prune`` never mutates the lists a reader may hold — it builds pruned
+  copies and swaps the ``_data`` tuple in one reference store.  A reader
+  that grabbed the old tuple keeps a consistent (merely stale) pair; the
+  old in-place ``del list[:removed]`` could shift entries under a
+  concurrent ``bisect`` and return a version misaligned with its
+  timestamp.
 """
 
 from __future__ import annotations
@@ -75,30 +93,34 @@ class VersionChain:
     paper Section 2.5).
     """
 
-    __slots__ = ("_versions", "_ts")
+    __slots__ = ("_data",)
 
     def __init__(self, versions: Iterable[Version] | None = None):
         # Legacy constructor argument is newest-first; storage is ascending.
         ordered = list(versions or [])
         ordered.reverse()
-        self._versions: list[Version] = ordered
-        self._ts: list[int] = [version.commit_ts for version in ordered]
+        self._data: tuple[list[Version], list[int]] = (
+            ordered,
+            [version.commit_ts for version in ordered],
+        )
 
     def install(self, version: Version) -> int:
         """Append a newly committed version; returns the new chain length
         (the engine's version-chain-length histogram observes it without
         re-walking the chain).
 
-        Commit timestamps are handed out under the engine's commit mutex,
-        so installs always arrive in increasing commit_ts order.
+        Caller holds the table latch; commit timestamps are handed out
+        under the engine's commit latch, so installs always arrive in
+        increasing commit_ts order.  Append order (version, then ts)
+        matters: latch-free readers use ``len(ts)`` as the length.
         """
-        ts = self._ts
+        versions, ts = self._data
         if ts and version.commit_ts <= ts[-1]:
             raise ValueError(
                 f"version install out of order: {version.commit_ts} "
                 f"<= {ts[-1]}"
             )
-        self._versions.append(version)
+        versions.append(version)
         ts.append(version.commit_ts)
         return len(ts)
 
@@ -107,15 +129,17 @@ class VersionChain:
 
         That is the newest version with ``commit_ts <= read_ts``; ``None``
         if the item did not exist at that time.  The caller is responsible
-        for treating a visible tombstone as "not present".
+        for treating a visible tombstone as "not present".  Latch-free:
+        the length is captured once and every index stays below it.
         """
-        ts = self._ts
-        if not ts:
+        versions, ts = self._data
+        length = len(ts)
+        if not length:
             return None
-        if ts[-1] <= read_ts:  # common case: snapshot sees the newest
-            return self._versions[-1]
-        index = bisect_right(ts, read_ts)
-        return self._versions[index - 1] if index else None
+        if ts[length - 1] <= read_ts:  # common case: sees the newest
+            return versions[length - 1]
+        index = bisect_right(ts, read_ts, 0, length)
+        return versions[index - 1] if index else None
 
     def newer_than(self, read_ts: int) -> Iterator[Version]:
         """Yield every committed version ignored by a snapshot at ``read_ts``,
@@ -125,22 +149,27 @@ class VersionChain:
         rw-dependency from the reader to the version creator (Fig 3.4,
         lines 8-9).
         """
-        ts = self._ts
-        if not ts or ts[-1] <= read_ts:
+        versions, ts = self._data
+        length = len(ts)
+        if not length or ts[length - 1] <= read_ts:
             return
-        versions = self._versions
-        for index in range(len(ts) - 1, bisect_right(ts, read_ts) - 1, -1):
+        for index in range(
+            length - 1, bisect_right(ts, read_ts, 0, length) - 1, -1
+        ):
             yield versions[index]
 
     def has_newer(self, read_ts: int) -> bool:
         """O(1): does any committed version postdate a snapshot at
         ``read_ts``?  (The first-committer-wins probe, Section 2.5.1.)"""
-        ts = self._ts
-        return bool(ts) and ts[-1] > read_ts
+        _versions, ts = self._data
+        length = len(ts)
+        return length > 0 and ts[length - 1] > read_ts
 
     def latest(self) -> Version | None:
         """Return the most recent committed version, if any."""
-        return self._versions[-1] if self._versions else None
+        versions, ts = self._data
+        length = len(ts)
+        return versions[length - 1] if length else None
 
     def prune(self, horizon_ts: int) -> int:
         """Garbage-collect versions no active snapshot can read.
@@ -152,29 +181,33 @@ class VersionChain:
         that tombstones can be reclaimed when no transaction could read
         the last valid version (Section 3.5).
 
+        Caller holds the table latch.  Copy-on-write: the surviving
+        suffix is copied into fresh lists and published with one tuple
+        store, so concurrent latch-free readers keep a consistent view.
+
         Returns the number of versions removed.
         """
-        ts = self._ts
+        versions, ts = self._data
         visible_at_horizon = bisect_right(ts, horizon_ts)
         if visible_at_horizon == 0:
             return 0  # every version is newer than the horizon
-        removed = visible_at_horizon - 1
-        if removed:
-            del self._versions[:removed]
-            del ts[:removed]
+        keep_from = visible_at_horizon - 1
         # Reclaim a leading tombstone: nothing older remains for it to
         # shadow, and every surviving snapshot sees "absent" either way.
-        if self._versions[0].is_tombstone and ts[0] <= horizon_ts:
-            del self._versions[0]
-            del ts[0]
-            removed += 1
-        return removed
+        if versions[keep_from].is_tombstone and ts[keep_from] <= horizon_ts:
+            keep_from += 1
+        if not keep_from:
+            return 0
+        self._data = (versions[keep_from:], ts[keep_from:])
+        return keep_from
 
     def __len__(self) -> int:
-        return len(self._versions)
+        return len(self._data[1])
 
     def __iter__(self) -> Iterator[Version]:
-        return reversed(self._versions)
+        versions, ts = self._data
+        return reversed(versions[: len(ts)])
 
     def __repr__(self) -> str:
-        return f"VersionChain({list(reversed(self._versions))!r})"
+        versions, ts = self._data
+        return f"VersionChain({list(reversed(versions[: len(ts)]))!r})"

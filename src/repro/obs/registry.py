@@ -21,7 +21,21 @@ Design constraints:
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Iterable, Mapping
+
+#: The obs latch — the *leaf* of the engine's latch hierarchy (see
+#: :mod:`repro.engine.latches`): it may be taken while holding any other
+#: engine latch, and nothing may be acquired under it.  One module-level
+#: latch (rather than per-registry) keeps :meth:`CounterGroup.inc` usable
+#: on groups that were never registered, and contention on it is
+#: negligible at engine scale.  It serialises: cross-thread counter
+#: increments that are not already guarded by an engine latch
+#: (:meth:`CounterGroup.inc`), multi-field histogram observation, trace
+#: emission, and registry snapshots — fixing the torn-snapshot reads a
+#: concurrent ``snapshot()`` could previously produce (e.g. a histogram
+#: whose ``count`` was bumped but whose ``total`` was not yet).
+OBS_LATCH = threading.RLock()
 
 
 def deep_copy_counters(mapping: Mapping) -> dict:
@@ -62,9 +76,20 @@ class CounterGroup(dict):
 
     __slots__ = ()
 
+    def inc(self, key: str, n: int = 1) -> None:
+        """Atomic increment for counters shared across threads.
+
+        ``stats["reads"] += 1`` stays the idiom on paths that already run
+        under an engine latch; ``inc`` is for increments with no other
+        guard (it takes the obs latch around the read-modify-write).
+        """
+        with OBS_LATCH:
+            self[key] = self.get(key, 0) + n
+
     def snapshot(self) -> dict:
         """Deep plain-dict copy; safe to hand out and to serialise."""
-        return deep_copy_counters(self)
+        with OBS_LATCH:
+            return deep_copy_counters(self)
 
     def reset(self) -> None:
         """Zero every counter, recursively, in place."""
@@ -100,17 +125,20 @@ class Histogram:
         self.max: float | None = None
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for index, edge in enumerate(self._edges):
-            if value <= edge:
-                self._buckets[index] += 1
-                return
-        self._buckets[-1] += 1
+        # Multi-field update: without the latch a concurrent snapshot()
+        # could see count bumped but total stale (a torn read).
+        with OBS_LATCH:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, edge in enumerate(self._edges):
+                if value <= edge:
+                    self._buckets[index] += 1
+                    return
+            self._buckets[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -118,17 +146,21 @@ class Histogram:
 
     def snapshot(self) -> dict:
         """Plain-dict summary; all values finite and JSON-safe."""
-        return {
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "buckets": {
-                **{f"le_{edge:g}": n for edge, n in zip(self._edges, self._buckets)},
-                "overflow": self._buckets[-1],
-            },
-        }
+        with OBS_LATCH:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+                "buckets": {
+                    **{
+                        f"le_{edge:g}": n
+                        for edge, n in zip(self._edges, self._buckets)
+                    },
+                    "overflow": self._buckets[-1],
+                },
+            }
 
     def reset(self) -> None:
         self.count = 0
@@ -158,31 +190,34 @@ class MetricsRegistry:
     def group(self, name: str, initial: Mapping | None = None) -> CounterGroup:
         """Create (or fetch) a counter group.  ``initial`` seeds counters
         on first creation; nested mappings become nested groups."""
-        existing = self._groups.get(name)
-        if existing is not None:
-            return existing
-        group = CounterGroup()
-        for key, value in (initial or {}).items():
-            group[key] = (
-                CounterGroup(value) if isinstance(value, Mapping) else value
-            )
-        self._groups[name] = group
-        return group
+        with OBS_LATCH:
+            existing = self._groups.get(name)
+            if existing is not None:
+                return existing
+            group = CounterGroup()
+            for key, value in (initial or {}).items():
+                group[key] = (
+                    CounterGroup(value) if isinstance(value, Mapping) else value
+                )
+            self._groups[name] = group
+            return group
 
     def register_group(self, name: str, group: Mapping) -> CounterGroup:
         """Adopt an externally-created group (e.g. the lock manager's)."""
         if not isinstance(group, CounterGroup):
             group = CounterGroup(group)
-        self._groups[name] = group
+        with OBS_LATCH:
+            self._groups[name] = group
         return group
 
     def histogram(self, name: str, edges: Iterable[float] | None = None) -> Histogram:
-        existing = self._histograms.get(name)
-        if existing is not None:
-            return existing
-        histogram = Histogram(name, edges)
-        self._histograms[name] = histogram
-        return histogram
+        with OBS_LATCH:
+            existing = self._histograms.get(name)
+            if existing is not None:
+                return existing
+            histogram = Histogram(name, edges)
+            self._histograms[name] = histogram
+            return histogram
 
     # ------------------------------------------------------------ queries
 
@@ -198,18 +233,20 @@ class MetricsRegistry:
         The result contains only plain dicts, ints, floats and None, so
         it round-trips through strict JSON and never aliases live state.
         """
-        return {
-            "counters": {
-                name: group.snapshot() for name, group in self._groups.items()
-            },
-            "histograms": {
-                name: histogram.snapshot()
-                for name, histogram in self._histograms.items()
-            },
-        }
+        with OBS_LATCH:
+            return {
+                "counters": {
+                    name: group.snapshot() for name, group in self._groups.items()
+                },
+                "histograms": {
+                    name: histogram.snapshot()
+                    for name, histogram in self._histograms.items()
+                },
+            }
 
     def reset(self) -> None:
-        for group in self._groups.values():
-            group.reset()
-        for histogram in self._histograms.values():
-            histogram.reset()
+        with OBS_LATCH:
+            for group in self._groups.values():
+                group.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()

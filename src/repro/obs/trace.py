@@ -17,7 +17,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.obs.registry import json_safe
+from repro.obs.registry import OBS_LATCH, json_safe
 
 
 class EventType:
@@ -76,7 +76,12 @@ class TraceEvent:
 
 
 class RingBufferSink:
-    """Bounded in-memory sink: keeps the most recent ``capacity`` events."""
+    """Bounded in-memory sink: keeps the most recent ``capacity`` events.
+
+    Not internally locked: :meth:`EventTrace.emit` serialises all sink
+    calls under the obs latch, and ``deque`` iteration for :meth:`events`
+    is safe against concurrent appends under CPython's GIL.
+    """
 
     def __init__(self, capacity: int = 8192):
         self.capacity = capacity
@@ -169,12 +174,18 @@ class EventTrace:
         self._clock = clock
 
     def emit(self, etype: str, txn_id: int, **data) -> TraceEvent:
-        event = TraceEvent(
-            seq=self._seq, ts=self._clock(), type=etype, txn_id=txn_id, data=data
-        )
-        self._seq += 1
-        for sink in self.sinks:
-            sink.emit(event)
+        # The obs latch makes sequence allocation atomic and serialises
+        # sink fan-out: a ring-buffer append (deque mutation + dropped
+        # bookkeeping) and a JSONL write are not safe under concurrent
+        # emitters otherwise.  Sinks must not re-enter the engine.
+        with OBS_LATCH:
+            event = TraceEvent(
+                seq=self._seq, ts=self._clock(), type=etype, txn_id=txn_id,
+                data=data,
+            )
+            self._seq += 1
+            for sink in self.sinks:
+                sink.emit(event)
         return event
 
     # ------------------------------------------------------------ queries

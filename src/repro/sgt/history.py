@@ -10,6 +10,7 @@ oracle rather than a developer tool.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable
 
@@ -57,20 +58,28 @@ class TxnRecord:
 
 
 class HistoryRecorder:
-    """Accumulates per-transaction operation logs."""
+    """Accumulates per-transaction operation logs.
+
+    Thread-safe: engine callbacks arrive from concurrent client threads
+    outside any engine latch, so a private leaf lock guards the
+    transaction map and the per-transaction op lists.
+    """
 
     def __init__(self):
         self.transactions: dict[int, TxnRecord] = {}
+        self._lock = threading.Lock()
 
     # Engine callbacks ---------------------------------------------------
 
     def on_begin(self, txn_id: int) -> None:
-        self.transactions[txn_id] = TxnRecord(txn_id=txn_id)
+        with self._lock:
+            self.transactions[txn_id] = TxnRecord(txn_id=txn_id)
 
     def on_snapshot(self, txn_id: int, read_ts: int) -> None:
-        record = self.transactions.get(txn_id)
-        if record is not None and record.begin_ts is None:
-            record.begin_ts = read_ts
+        with self._lock:
+            record = self.transactions.get(txn_id)
+            if record is not None and record.begin_ts is None:
+                record.begin_ts = read_ts
 
     def on_read(self, txn_id: int, table: str, key: Hashable, version_ts: int | None) -> None:
         self._append(txn_id, OpRecord("read", table, key, version_ts=version_ts))
@@ -92,15 +101,17 @@ class HistoryRecorder:
         )
 
     def on_commit(self, txn_id: int, commit_ts: int) -> None:
-        record = self.transactions.get(txn_id)
-        if record is not None:
-            record.commit_ts = commit_ts
-            record.status = "committed"
+        with self._lock:
+            record = self.transactions.get(txn_id)
+            if record is not None:
+                record.commit_ts = commit_ts
+                record.status = "committed"
 
     def on_abort(self, txn_id: int) -> None:
-        record = self.transactions.get(txn_id)
-        if record is not None:
-            record.status = "aborted"
+        with self._lock:
+            record = self.transactions.get(txn_id)
+            if record is not None:
+                record.status = "aborted"
 
     # Queries -------------------------------------------------------------
 
@@ -111,7 +122,8 @@ class HistoryRecorder:
         return len(self.transactions)
 
     def _append(self, txn_id: int, op: OpRecord) -> None:
-        record = self.transactions.get(txn_id)
-        if record is None:
-            record = self.transactions[txn_id] = TxnRecord(txn_id=txn_id)
-        record.ops.append(op)
+        with self._lock:
+            record = self.transactions.get(txn_id)
+            if record is None:
+                record = self.transactions[txn_id] = TxnRecord(txn_id=txn_id)
+            record.ops.append(op)

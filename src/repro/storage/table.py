@@ -12,12 +12,21 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterator
 
+from repro.engine.latches import make_latch
 from repro.mvcc.version import Version, VersionChain
 from repro.storage.btree import SUPREMUM, BPlusTree
 
 
 class Table:
     """A named, versioned, ordered key/value table.
+
+    Every method is internally guarded by the table's latch (rank
+    ``table`` in the engine hierarchy): B+-tree lookups race structurally
+    with node splits, so even reads must exclude tree mutation.  The
+    latch is re-entrant and public — the engine takes it around compound
+    sections (successor probe + gap lock + chain creation on insert;
+    the version-install loop at commit) so they are atomic against
+    concurrent scans of the same table.
 
     Args:
         name: table name, used in lock resources and error messages.
@@ -29,12 +38,14 @@ class Table:
     def __init__(self, name: str, page_size: int = 64):
         self.name = name
         self._tree = BPlusTree(order=page_size)
+        self.latch = make_latch(f"table[{name}]")
 
     # ------------------------------------------------------------- chains
 
     def chain(self, key: Hashable) -> VersionChain | None:
         """The version chain for ``key``, or None if never written."""
-        return self._tree.get(key)
+        with self.latch:
+            return self._tree.get(key)
 
     def ensure_chain(self, key: Hashable) -> tuple[VersionChain, list[int]]:
         """Get-or-create the chain for ``key``.
@@ -42,48 +53,56 @@ class Table:
         Returns (chain, touched_page_ids); the page list is non-empty only
         when the key was newly added (page-granularity conflict modelling).
         """
-        chain = self._tree.get(key)
-        if chain is not None:
-            return chain, []
-        chain = VersionChain()
-        touched = self._tree.insert(key, chain)
-        return chain, touched
+        with self.latch:
+            chain = self._tree.get(key)
+            if chain is not None:
+                return chain, []
+            chain = VersionChain()
+            touched = self._tree.insert(key, chain)
+            return chain, touched
 
     def load(self, key: Hashable, value: Any) -> None:
         """Bulk-load initial data at timestamp 0 (visible to everyone)."""
-        chain, _touched = self.ensure_chain(key)
-        chain.install(Version(value=value, commit_ts=0, creator_id=0))
+        with self.latch:
+            chain, _touched = self.ensure_chain(key)
+            chain.install(Version(value=value, commit_ts=0, creator_id=0))
 
     # ------------------------------------------------------------ queries
 
     def successor(self, key: Hashable) -> Hashable:
         """The next key after ``key`` (SUPREMUM past the end) — the
         gap-lock target for reads/writes of ``key`` (Fig 3.6/3.7)."""
-        return self._tree.successor(key)
+        with self.latch:
+            return self._tree.successor(key)
 
     def first_key(self) -> Hashable:
-        return self._tree.first_key()
+        with self.latch:
+            return self._tree.first_key()
 
     def scan_chains(
         self, lo: Hashable | None, hi: Hashable | None
     ) -> list[tuple[Hashable, VersionChain]]:
         """Materialised ordered scan of chains with keys in [lo, hi]."""
-        return list(self._tree.range(lo, hi))
+        with self.latch:
+            return list(self._tree.range(lo, hi))
 
     def keys(self) -> Iterator[Hashable]:
-        return self._tree.keys()
+        with self.latch:
+            return iter(list(self._tree.keys()))
 
     def leaf_page_of(self, key: Hashable) -> int:
-        return self._tree.leaf_page_of(key)
+        with self.latch:
+            return self._tree.leaf_page_of(key)
 
     def root_page_id(self) -> int:
         return self._tree.root_page_id
 
     def __len__(self) -> int:
-        return len(self._tree)
+        with self.latch:
+            return len(self._tree)
 
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, keys={len(self._tree)})"
+        return f"Table({self.name!r}, keys={len(self)})"
 
     # ----------------------------------------------------------------- GC
 
@@ -93,12 +112,13 @@ class Table:
 
         Returns the number of versions removed.
         """
-        removed = 0
-        dead_keys = []
-        for key, chain in self._tree.items():
-            removed += chain.prune(horizon_ts)
-            if len(chain) == 0:
-                dead_keys.append(key)
-        for key in dead_keys:
-            self._tree.delete(key)
-        return removed
+        with self.latch:
+            removed = 0
+            dead_keys = []
+            for key, chain in self._tree.items():
+                removed += chain.prune(horizon_ts)
+                if len(chain) == 0:
+                    dead_keys.append(key)
+            for key in dead_keys:
+                self._tree.delete(key)
+            return removed

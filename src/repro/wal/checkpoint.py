@@ -30,7 +30,10 @@ def take_checkpoint(db: Database, path: str | None = None) -> dict:
     pairs with a checkpoint LSN; with ``path``, the image is pickled to
     disk.  Returns the image (a plain dict).
     """
-    with db._mutex:
+    # The commit latch excludes version installation, so the image is a
+    # transactionally consistent committed prefix (commits are entirely
+    # before or entirely after the checkpoint).
+    with db._commit_latch:
         tables: dict[str, list[tuple[Any, Any, int, int, bool]]] = {}
         for name, table in db._tables.items():
             rows = []

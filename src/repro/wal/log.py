@@ -20,6 +20,7 @@ import os
 import pickle
 from typing import Any, Hashable, Iterable, Iterator
 
+from repro.engine.latches import make_latch
 from repro.wal.records import (
     AbortRecord,
     BeginRecord,
@@ -44,15 +45,21 @@ class WriteAheadLog:
         self._next_lsn = 1
         self.path = path
         self.stats = {"appends": 0, "flushes": 0}
+        # Leaf latch (rank "wal", the bottom of the hierarchy): serialises
+        # LSN allocation, appends and the flush watermark.  Engine callers
+        # invoke the WAL outside every engine latch, so log-file I/O never
+        # blocks latched critical sections — only other WAL operations.
+        self._latch = make_latch("wal")
 
     # ------------------------------------------------------------- append
 
     def _append(self, factory, txn_id: int, **fields) -> LogRecord:
-        record = factory(lsn=self._next_lsn, txn_id=txn_id, **fields)
-        self._next_lsn += 1
-        self._records.append(record)
-        self.stats["appends"] += 1
-        return record
+        with self._latch:
+            record = factory(lsn=self._next_lsn, txn_id=txn_id, **fields)
+            self._next_lsn += 1
+            self._records.append(record)
+            self.stats["appends"] += 1
+            return record
 
     def log_begin(self, txn_id: int) -> LogRecord:
         return self._append(BeginRecord, txn_id)
@@ -94,22 +101,26 @@ class WriteAheadLog:
         """Make everything appended so far durable; returns the new
         watermark.  One flush covers every commit queued behind it
         (group commit)."""
-        self._flushed_lsn = self.last_lsn
-        self.stats["flushes"] += 1
-        if self.path is not None:
-            durable = [r for r in self._records if r.lsn <= self._flushed_lsn]
-            with open(self.path, "wb") as handle:
-                pickle.dump(durable, handle)
-        return self._flushed_lsn
+        with self._latch:
+            self._flushed_lsn = self.last_lsn
+            self.stats["flushes"] += 1
+            if self.path is not None:
+                durable = [
+                    r for r in self._records if r.lsn <= self._flushed_lsn
+                ]
+                with open(self.path, "wb") as handle:
+                    pickle.dump(durable, handle)
+            return self._flushed_lsn
 
     def crash(self) -> int:
         """Simulate power loss: the unflushed suffix disappears.
         Returns the number of records lost."""
-        survivors = [r for r in self._records if r.lsn <= self._flushed_lsn]
-        lost = len(self._records) - len(survivors)
-        self._records = survivors
-        self._next_lsn = self._flushed_lsn + 1
-        return lost
+        with self._latch:
+            survivors = [r for r in self._records if r.lsn <= self._flushed_lsn]
+            lost = len(self._records) - len(survivors)
+            self._records = survivors
+            self._next_lsn = self._flushed_lsn + 1
+            return lost
 
     @classmethod
     def load(cls, path: str) -> "WriteAheadLog":
@@ -127,11 +138,12 @@ class WriteAheadLog:
     def records(self, durable_only: bool = True) -> Iterator[LogRecord]:
         """Iterate records; by default only the flushed (durable) prefix —
         what recovery is allowed to see."""
-        if durable_only:
-            return iter(
-                [r for r in self._records if r.lsn <= self._flushed_lsn]
-            )
-        return iter(list(self._records))
+        with self._latch:
+            if durable_only:
+                return iter(
+                    [r for r in self._records if r.lsn <= self._flushed_lsn]
+                )
+            return iter(list(self._records))
 
     def committed_txn_ids(self) -> list[int]:
         return [
@@ -144,10 +156,11 @@ class WriteAheadLog:
         """Drop records below ``lsn`` (after a checkpoint made them
         redundant).  Returns the number removed.  LSNs are preserved —
         the log keeps a base offset."""
-        keep = [record for record in self._records if record.lsn >= lsn]
-        removed = len(self._records) - len(keep)
-        self._records = keep
-        return removed
+        with self._latch:
+            keep = [record for record in self._records if record.lsn >= lsn]
+            removed = len(self._records) - len(keep)
+            self._records = keep
+            return removed
 
     def __len__(self) -> int:
         return len(self._records)
