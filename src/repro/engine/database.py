@@ -475,17 +475,11 @@ class Database:
         if keep_siread and not txn.locked_writes:
             # Read-only commit retaining its sentinels.  The transaction
             # never ran a write-side lock path, so a lock it holds can
-            # only be a read sentinel — and when every sentinel is pure
-            # SIREAD (per-owner counts agree, read latch-free; inherits
-            # bump both sides so the race is benign), all of them are
-            # being kept and release_all would walk the set to shed
-            # nothing.  A SHARED-read retaining policy fails the count
-            # check and takes the full path.
-            held = lm._by_owner.get(txn.id)
-            if held is None or lm._siread_counts.get(txn.id, 0) >= len(held):
-                if lm._waiting.get(txn.id) or txn.id in lm.waits_for._edges:
-                    lm.cancel_waits(txn)
-            else:
+            # only be a read sentinel — when every sentinel is pure
+            # SIREAD, all of them are being kept and the full release
+            # walk is skipped.  A SHARED-read retaining policy fails the
+            # manager's count check and takes the full path.
+            if not lm.retain_all_reads(txn):
                 lm.release_all(txn, keep_siread=True)
         else:
             lm.release_all(txn, keep_siread=keep_siread)
@@ -564,6 +558,7 @@ class Database:
         self.stats.inc("scans")
 
         read_mode = txn.policy.read_lock_mode(txn)
+        keyset_before = table.keyset_version
         chains = table.scan_chains(lo, hi)
         if read_mode is not None:
             # The whole predicate's read locks — each row's gap + record,
@@ -575,29 +570,57 @@ class Database:
             # guarantee: a writer arriving after this point sees them
             # and reports the edge itself.  Contended SHARED resources
             # come back deferred and go through the normal blocking path.
+            #
+            # One window remains after materialisation and before the
+            # batch lands: a writer whose entire lock lifetime (acquire,
+            # commit, finalize-release) fits inside it leaves no lock for
+            # the batch acquire to collide with, and its new key is
+            # absent from the stale materialised list — the rw edge (or,
+            # under S2PL, the row itself) would be silently lost.  So
+            # after each batch the table's key-set version (bumped under
+            # the table latch on every chain add/remove, sampled before
+            # materialisation) is re-probed, and only if it moved is the
+            # key set re-materialised and any fresh keys (plus a moved
+            # boundary) locked in another round.  The common
+            # uncontended scan pays one latch-free int probe, never a
+            # second tree walk.  The loop converges: the locks already
+            # placed make the window one-shot per key, and
+            # ``requested`` only grows.
             cache = (
                 txn._siread_cache
                 if read_mode is LockMode.SIREAD
                 else None
             )
-            wanted: list = []
-            for key, _chain in chains:
-                for resource in (
-                    self._gap_resource_for(table_name, key),
-                    self._rec_resource(table_name, key),
-                ):
-                    if cache is not None:
-                        if resource in cache:
+            requested: set = set()
+            while True:
+                wanted: list = []
+                for key, _chain in chains:
+                    for resource in (
+                        self._gap_resource_for(table_name, key),
+                        self._rec_resource(table_name, key),
+                    ):
+                        if resource in requested:
                             continue
-                        cache.add(resource)
-                    wanted.append(resource)
-            boundary = table.successor(hi) if hi is not None else SUPREMUM
-            resource = self._gap_resource_for(table_name, boundary)
-            if cache is None or resource not in cache:
-                if cache is not None:
-                    cache.add(resource)
-                wanted.append(resource)
-            if wanted:
+                        requested.add(resource)
+                        if cache is not None:
+                            if resource in cache:
+                                continue
+                            cache.add(resource)
+                        wanted.append(resource)
+                boundary = table.successor(hi) if hi is not None else SUPREMUM
+                resource = self._gap_resource_for(table_name, boundary)
+                if resource not in requested:
+                    requested.add(resource)
+                    if cache is None or resource not in cache:
+                        if cache is not None:
+                            cache.add(resource)
+                        wanted.append(resource)
+                if not wanted:
+                    # Every resource the current key set needs was
+                    # requested before the last materialisation, so any
+                    # committed insert since would have collided with a
+                    # lock already in the table.
+                    break
                 conflicts, deferred = self.locks.acquire_read_batch(
                     txn, wanted, read_mode
                 )
@@ -607,6 +630,14 @@ class Database:
                     result = self._acquire(txn, resource, read_mode)
                     for lock in result.detection_conflicts:
                         self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+                keyset_now = table.keyset_version
+                if keyset_now == keyset_before:
+                    # Key set unchanged since before materialisation: a
+                    # writer still mid-flight will collide with the locks
+                    # now in the table and report its own edge.
+                    break
+                keyset_before = keyset_now
+                chains = table.scan_chains(lo, hi)
         results: list[tuple[Hashable, Any]] = []
         seen: list[Hashable] = []
         deferred_reads: list | None = [] if txn.policy.tracks_reads else None

@@ -231,6 +231,11 @@ class Transaction:
         event = threading.Event()
         request.on_resolve(lambda _req: event.set())
         while not event.is_set():
+            # Belt and braces against a lost wakeup: resolution publishes
+            # request.state before firing callbacks, so even if the event
+            # were somehow missed the poll tick notices the final state.
+            if request.state is not RequestState.WAITING:
+                break
             if event.wait(timeout=self._db.wait_poll_interval):
                 break
             if deadline is not None and time.monotonic() >= deadline:

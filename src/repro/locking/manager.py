@@ -40,6 +40,7 @@ Performance structure (the PR-4 hot-path pass):
 from __future__ import annotations
 
 import enum
+import threading
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, NamedTuple
@@ -154,17 +155,24 @@ class LockRequest:
     state: RequestState = RequestState.WAITING
     error: Exception | None = None
     _callbacks: list[Callable[["LockRequest"], None]] = field(default_factory=list)
+    # Serialises subscription against resolution: the subscriber is a
+    # client thread holding no manager latch while _resolve runs under
+    # them, so an unguarded check-then-append could land a callback on
+    # the already-swapped list and the waiter would never wake.
+    _resolve_latch: threading.Lock = field(default_factory=threading.Lock)
 
     def on_resolve(self, callback: Callable[["LockRequest"], None]) -> None:
-        if self.state is not RequestState.WAITING:
-            callback(self)
-        else:
-            self._callbacks.append(callback)
+        with self._resolve_latch:
+            if self.state is RequestState.WAITING:
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def _resolve(self, state: RequestState, error: Exception | None = None) -> None:
-        self.state = state
-        self.error = error
-        callbacks, self._callbacks = self._callbacks, []
+        with self._resolve_latch:
+            self.state = state
+            self.error = error
+            callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)
 
@@ -807,6 +815,32 @@ class LockManager:
         # owner's locks were blocking.
         if self._waiting.get(owner_id) or owner_id in self.waits_for._edges:
             self.cancel_waits(owner)
+
+    def retain_all_reads(self, owner: Any) -> bool:
+        """Commit-time fast path for a read-only retaining owner.
+
+        When every lock the owner holds is a pure SIREAD sentinel
+        (per-owner SIREAD count covers the whole held set), retaining
+        them all means :meth:`release_all` would walk the set to shed
+        nothing — only pending waits and waits-for edges need
+        cancelling.  Returns True when the release was handled here
+        (everything retained); False when the owner holds a non-SIREAD
+        lock (e.g. a SHARED-read retaining policy) and the caller must
+        take the full ``release_all(keep_siread=True)`` path.
+
+        The counts-vs-held comparison runs under the owner latch so it
+        cannot tear against a concurrent grant or inheritance, and the
+        engine never has to reach into the manager's private indexes.
+        """
+        owner_id = owner.id
+        with self._owner_latch:
+            held = self._by_owner.get(owner_id)
+            if held is not None and self._siread_counts.get(owner_id, 0) < len(held):
+                return False
+            pending = bool(self._waiting.get(owner_id))
+        if pending or owner_id in self.waits_for._edges:
+            self.cancel_waits(owner)
+        return True
 
     def drop_siread_locks(self, owner: Any) -> int:
         """Remove retained SIREAD locks of a cleaned-up suspended txn.

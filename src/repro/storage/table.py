@@ -39,6 +39,11 @@ class Table:
         self.name = name
         self._tree = BPlusTree(order=page_size)
         self.latch = make_latch(f"table[{name}]")
+        #: Bumped (under the latch) whenever the *key set* changes — new
+        #: chain added or vacuumed away.  Scans compare it across their
+        #: materialise->lock window to decide whether a re-scan is owed;
+        #: reading it is a GIL-atomic latch-free int probe.
+        self.keyset_version = 0
 
     # ------------------------------------------------------------- chains
 
@@ -59,6 +64,7 @@ class Table:
                 return chain, []
             chain = VersionChain()
             touched = self._tree.insert(key, chain)
+            self.keyset_version += 1
             return chain, touched
 
     def load(self, key: Hashable, value: Any) -> None:
@@ -121,4 +127,6 @@ class Table:
                     dead_keys.append(key)
             for key in dead_keys:
                 self._tree.delete(key)
+            if dead_keys:
+                self.keyset_version += 1
             return removed

@@ -30,10 +30,14 @@ def take_checkpoint(db: Database, path: str | None = None) -> dict:
     pairs with a checkpoint LSN; with ``path``, the image is pickled to
     disk.  Returns the image (a plain dict).
     """
-    # The commit latch excludes version installation, so the image is a
+    # The txn latch (taken first, per the rank order) freezes the table
+    # dict against concurrent DDL and bulk load — create_table/load
+    # mutate it under that latch, so iterating it latch-free could raise
+    # mid-iteration or capture a half-loaded table.  The commit latch
+    # then excludes version installation, so the image is a
     # transactionally consistent committed prefix (commits are entirely
     # before or entirely after the checkpoint).
-    with db._commit_latch:
+    with db._txn_latch, db._commit_latch:
         tables: dict[str, list[tuple[Any, Any, int, int, bool]]] = {}
         for name, table in db._tables.items():
             rows = []
