@@ -301,6 +301,114 @@ def run_concurrency(quick: bool) -> dict:
     }
 
 
+# ------------------------------------------------------------ ssi hardening
+#
+# PR-6 case: memory-bounded SIREAD state.  A scan-heavy sibench run at
+# high MPL retains SIREAD sentinels on every scanned row and gap; without
+# a budget the lock table grows with the suspended-transaction backlog.
+# With ``siread_budget`` set, the engine escalates record sentinels to
+# page/table granularity whenever the table exceeds the budget, so the
+# peak gauge must stay under budget + a per-thread in-flight allowance
+# (fine locks acquired by scans racing the single reactive escalator —
+# see run_ssi_hardening).  Both runs certify against the MVSG oracle:
+# escalation may only
+# introduce false-positive aborts, never miss an rw-antidependency.
+
+SSI_HARDENING_BUDGET = 1200
+SSI_HARDENING_THREADS = 8
+SSI_HARDENING_ITEMS = 100
+
+
+def _ssi_hardening_case(budget, threads: int, txns_per_thread: int) -> dict:
+    import threading as _threading
+
+    from repro.exec import run_threaded_stress
+    from repro.workloads.sibench import make_sibench
+
+    peak = {"lock_table": 0, "samples": 0}
+    stop = _threading.Event()
+    holder: dict = {}
+
+    def on_database(db) -> None:
+        holder["db"] = db
+        gauge = db.metrics.gauges()["lock_table_size"]
+
+        def sample() -> None:
+            while not stop.is_set():
+                size = gauge.read()
+                if size > peak["lock_table"]:
+                    peak["lock_table"] = size
+                peak["samples"] += 1
+                time.sleep(0.001)
+
+        thread = _threading.Thread(target=sample, daemon=True, name="gauge-sampler")
+        thread.start()
+        holder["sampler"] = thread
+
+    try:
+        result = run_threaded_stress(
+            make_sibench(items=SSI_HARDENING_ITEMS, queries_per_update=2),
+            level="ssi",
+            threads=threads,
+            txns_per_thread=txns_per_thread,
+            seed=SEED,
+            config=EngineConfig(record_history=True, siread_budget=budget),
+            check_serializability=True,
+            on_database=on_database,
+        )
+    finally:
+        stop.set()
+        sampler = holder.get("sampler")
+        if sampler is not None:
+            sampler.join()
+    # One last sample after the quiesce so the peak is never zero on a
+    # machine too fast for the 1ms sampler to catch the run.
+    db = holder["db"]
+    snapshot = db.metrics.snapshot()
+    locks = snapshot["counters"]["locks"]
+    peak["lock_table"] = max(peak["lock_table"], snapshot["gauges"]["lock_table_size"])
+    return {
+        "budget": budget,
+        "threads": threads,
+        "txns": result.txns,
+        "commits": result.commits,
+        "aborts": result.aborts,
+        "serializable": result.serializable,
+        "lock_table_clean": result.lock_table_clean,
+        "peak_lock_table": peak["lock_table"],
+        "gauge_samples": peak["samples"],
+        "escalations": locks.get("escalations", 0),
+        "escalated_records": locks.get("escalated_records", 0),
+        "siread_dropped": locks.get("siread_dropped", 0),
+        "final_lock_table": snapshot["gauges"]["lock_table_size"],
+    }
+
+
+def run_ssi_hardening(quick: bool) -> dict:
+    txns_per_thread = 30 if quick else 100
+    threads = SSI_HARDENING_THREADS
+    # In-flight allowance: escalation is reactive and single-escalator
+    # (a non-blocking guard), so while one thread drains the table each
+    # other thread can contribute up to *two* scan footprints of fine
+    # locks — one scan mid-flight plus one just-committed transaction
+    # whose retained sentinels the current pass has not reached yet.  A
+    # footprint is rec + gap per row plus boundary/write locks.  The gate
+    # is what makes "bounded" meaningful: it is independent of the total
+    # transaction count, while the unbounded peak grows with the backlog.
+    allowance = threads * 2 * (2 * SSI_HARDENING_ITEMS + 24)
+    bounded = _ssi_hardening_case(SSI_HARDENING_BUDGET, threads, txns_per_thread)
+    unbounded = _ssi_hardening_case(None, threads, txns_per_thread)
+    gate = SSI_HARDENING_BUDGET + allowance
+    return {
+        "budget": SSI_HARDENING_BUDGET,
+        "overshoot_allowance": allowance,
+        "peak_gate": gate,
+        "bounded": bounded,
+        "unbounded": unbounded,
+        "bounded_within_gate": bounded["peak_lock_table"] <= gate,
+    }
+
+
 # ----------------------------------------------------------------- capture
 
 
@@ -319,6 +427,7 @@ def capture(quick: bool, label: str) -> dict:
     for name, entry in run_experiments(quick).items():
         entry["normalized_wall"] = entry["wall_clock_s"] * calibration
         experiments[name] = entry
+    ssi_hardening = run_ssi_hardening(quick)
     concurrency = run_concurrency(quick)
     for entry in concurrency["threaded_smallbank"].values():
         entry["normalized_wall"] = entry["wall_clock_s"] * calibration
@@ -339,6 +448,7 @@ def capture(quick: bool, label: str) -> dict:
         "micro": micro,
         "experiments": experiments,
         "concurrency": concurrency,
+        "ssi_hardening": ssi_hardening,
     }
 
 
@@ -456,6 +566,32 @@ def compare_captures(base: dict, current: dict, tolerance: float) -> list[dict]:
                     "ratio": float("inf"),
                     "regressed": True,
                 })
+    cur_hardening = current.get("ssi_hardening")
+    if cur_hardening:
+        # Correctness gates, not perf: the budgeted run must keep its
+        # peak under the gate and still certify serializable.
+        bounded_ok = bool(cur_hardening.get("bounded_within_gate"))
+        serializable_ok = (
+            cur_hardening.get("bounded", {}).get("serializable") is not False
+            and cur_hardening.get("unbounded", {}).get("serializable")
+            is not False
+        )
+        rows.append({
+            "metric": "ssi_hardening:peak_within_gate",
+            "kind": "peak lock-table entries <= budget + allowance",
+            "base": 1.0,
+            "current": 1.0 if bounded_ok else 0.0,
+            "ratio": 1.0 if bounded_ok else float("inf"),
+            "regressed": not bounded_ok,
+        })
+        rows.append({
+            "metric": "ssi_hardening:serializable",
+            "kind": "MVSG certification under escalation",
+            "base": 1.0,
+            "current": 1.0 if serializable_ok else 0.0,
+            "ratio": 1.0 if serializable_ok else float("inf"),
+            "regressed": not serializable_ok,
+        })
     return rows
 
 
@@ -538,6 +674,25 @@ def _print_capture(cap: dict) -> None:
                 f"{stats['throughput']:>10.0f} commits/s  "
                 f"err/commit {stats['error_rate']:.4f}"
             )
+    hardening = cap.get("ssi_hardening")
+    if hardening:
+        bounded = hardening["bounded"]
+        unbounded = hardening["unbounded"]
+        print(
+            f"ssi hardening (budget={hardening['budget']}, "
+            f"gate={hardening['peak_gate']}):"
+        )
+        print(
+            f"    bounded   peak lock table {bounded['peak_lock_table']:>7} "
+            f"({bounded['escalations']} escalations, "
+            f"{bounded['escalated_records']} records escalated, "
+            f"serializable={bounded['serializable']})"
+        )
+        print(
+            f"    unbounded peak lock table {unbounded['peak_lock_table']:>7} "
+            f"(serializable={unbounded['serializable']})"
+        )
+        print(f"    within gate: {hardening['bounded_within_gate']}")
     conc = cap.get("concurrency")
     if conc:
         print(f"concurrency (cpus={conc['cpus']}):")

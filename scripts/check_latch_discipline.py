@@ -88,12 +88,23 @@ DEFAULT_RULES = {
         "_active": "txn",
         "_registry": "txn",
         "_suspended": "txn",
+        "_retired_writers": "txn",
     },
     "src/repro/locking/manager.py": {
         "_by_owner": "lock-owner",
         "_waiting": "lock-owner",
         "_siread_counts": "lock-owner",
         "_granted_count": "lock-owner",
+        # Escalation bookkeeping: weights must be inserted/removed under
+        # the owner latch so the has_escalated_locks() gate and the
+        # _forget_locks surplus accounting stay coherent.
+        "_escalated_weights": "lock-owner",
+    },
+    # The safe-snapshot monitor mutates its watch maps under the engine's
+    # tracker latch (its register/on_commit/on_abort contracts).
+    "src/repro/core/conflicts.py": {
+        "_watching": "tracker",
+        "_watchers": "tracker",
     },
 }
 

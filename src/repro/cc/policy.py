@@ -179,6 +179,15 @@ class CCPolicy:
         decision; SGT retains every committed node."""
         return keep_siread
 
+    def needs_findable_record(self, txn: "Transaction") -> bool:
+        """When the record is *not* retained (no SIREADs, no
+        out-conflict), must it nonetheless stay findable in the registry
+        while a concurrent snapshot predates its commit?  SSI answers yes
+        for writers: the newer-version read check (Fig 3.4 lines 8-9)
+        resolves reader -> writer edges by creator id, and a write-only
+        committed transaction dropped from the registry loses them."""
+        return False
+
     def may_cleanup(self, txn: "Transaction") -> bool:
         """May this suspended committed transaction be dropped now that no
         active snapshot overlaps it (Sections 4.3.1/4.6.1)?  SGT vetoes

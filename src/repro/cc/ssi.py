@@ -17,7 +17,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.cc.policy import CCPolicy
-from repro.core.conflicts import conflict_ref_id, make_tracker, pivot_triple
+from repro.core.conflicts import (
+    SafeSnapshotMonitor,
+    conflict_ref_id,
+    make_tracker,
+    pivot_triple,
+)
 from repro.engine.isolation import IsolationLevel
 from repro.errors import TransactionAbortedError, UnsafeError
 from repro.locking.modes import LockMode
@@ -44,6 +49,11 @@ class SSIPolicy(CCPolicy):
         # tracker state, and adopted by the unified metrics registry.
         db.tracker = self.tracker
         db.metrics.register_group("tracker", self.tracker.stats)
+        # Safe-snapshot monitor (Ports & Grittner §2.4): watches declared
+        # read-only transactions and tells them when their snapshot can no
+        # longer join a dangerous structure.
+        db.safe_snapshots = SafeSnapshotMonitor(db, family=SSIPolicy)
+        db.metrics.register_group("safe_snapshots", db.safe_snapshots.stats)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -53,11 +63,17 @@ class SSIPolicy(CCPolicy):
     # ------------------------------------------------------------ read path
 
     def read_lock_mode(self, txn: "Transaction") -> Optional[LockMode]:
+        if txn.snapshot_safe:
+            # Safe snapshot: this transaction can never be the T_in of a
+            # dangerous structure, so its reads need no SIREAD sentinels.
+            return None
         return LockMode.SIREAD
 
     def on_read(
         self, txn: "Transaction", table_name: str, key, chain, version
     ) -> None:
+        if txn.snapshot_safe:
+            return  # edges from a safe snapshot cannot close a cycle
         # Fig 3.4 lines 8-9: every newer version this snapshot ignores is
         # an rw-dependency to its creator (if its record survives).
         read_ts = txn.snapshot.read_ts
@@ -162,9 +178,22 @@ class SSIPolicy(CCPolicy):
         self.tracker.after_commit(txn)
 
     def retain_read_locks(self, txn: "Transaction") -> bool:
+        if txn.snapshot_safe:
+            # Safe snapshots retain nothing: their SIREADs were already
+            # dropped when the monitor proved safety.
+            return False
         # Suspend if SIREAD locks are held OR an outgoing conflict was
         # detected (the Section 3.7.3 adjustment).
         return self.db.locks.holds_any_siread(txn) or bool(txn.out_conflict)
+
+    def needs_findable_record(self, txn: "Transaction") -> bool:
+        # A committed writer must stay findable while concurrent
+        # transactions remain: Fig 3.4's newer-version branch resolves
+        # reader -> writer edges by creator id, so dropping a write-only
+        # committed record from the registry silently loses those edges.
+        # (Registry-only retention — the record is not *suspended*: with
+        # no SIREADs and no outgoing conflict it can never be a pivot.)
+        return bool(txn.write_set)
 
 
 class SSIReadOnlyOptPolicy(SSIPolicy):
@@ -192,8 +221,16 @@ class SSIReadOnlyOptPolicy(SSIPolicy):
         t_out = txn.out_conflict
         if t_in is None or t_in is txn or t_in is True:
             return False  # T_in identity unknown: assume the worst.
-        if not t_in.is_committed or t_in.write_set:
-            return False  # T_in still active, or not read-only.
+        if getattr(t_in, "snapshot_safe", False):
+            # T_in runs under a proven-safe snapshot: it can always be
+            # serialized before the pivot; no cycle can complete.
+            return True
+        if t_in.write_set:
+            return False  # not read-only: the excuse does not apply.
+        if not (t_in.is_committed or getattr(t_in, "read_only", False)):
+            # An active T_in that has not *declared* read-only may still
+            # write; only a finished or declared-RO T_in is excusable.
+            return False
         if t_out is None or t_out is txn or t_out is True:
             return False  # T_out identity unknown.
         if not t_out.is_committed:

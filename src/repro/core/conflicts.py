@@ -323,6 +323,191 @@ class EnhancedConflictTracker(ConflictTracker):
         return txn.out_conflict is not None
 
 
+class SafeSnapshotMonitor:
+    """Tracks when a read-only transaction's snapshot becomes *safe* —
+    Ports & Grittner's safe-snapshot optimization (§2.4 of *Serializable
+    Snapshot Isolation in PostgreSQL*).
+
+    A declared read-only transaction ``T_ro`` can only participate in a
+    dangerous structure as ``T_in``: ``T_ro --rw--> pivot --rw--> T_out``
+    with ``T_out.commit_ts <= T_ro.read_ts``.  Any such pivot read under
+    a snapshot taken no later than ``T_ro``'s (a pivot that began after
+    ``T_ro``'s snapshot cannot be concurrent with a ``T_out`` that
+    committed before it).  So the monitor watches exactly the read/write
+    transactions active at registration whose snapshots are at most
+    ``T_ro``'s:
+
+    * when a watched transaction **aborts**, it is simply removed;
+    * when one **commits**, its out-conflict slot decides: no outgoing
+      rw edge (or an edge to a transaction that cannot have committed
+      before ``T_ro``'s snapshot) removes it, anything else — a
+      self-reference, a boolean ``True`` from the basic tracker, or an
+      edge to an old committed ``T_out`` — marks the snapshot
+      permanently *unsafe* (a dangerous structure it can complete now
+      exists);
+    * when the watch set drains with no unsafe verdict, the snapshot is
+      **safe**: ``T_ro`` drops its SIREAD locks immediately, skips all
+      further read-side detection, and retains nothing at commit.
+
+    Every transition runs under the engine's tracker latch (the caller's
+    context for commit/abort hooks; :meth:`register` takes it itself),
+    so the monitor needs no latch of its own.
+    """
+
+    __slots__ = ("db", "family", "stats", "_watching", "_watchers")
+
+    def __init__(self, db, family: type, stats=None):
+        self.db = db
+        #: the policy class whose conflict slots the monitor can read
+        #: (the SSI family); other certifying policies are watched too,
+        #: but their commits are conservatively treated as dangerous.
+        self.family = family
+        self.stats = stats if stats is not None else CounterGroup({
+            "registered": 0, "safe": 0, "safe_immediate": 0, "unsafe": 0,
+        })
+        #: ro txn -> set of watched concurrent read/write transactions
+        self._watching: dict = {}
+        #: watched rw txn -> list of ro txns watching it (reverse index)
+        self._watchers: dict = {}
+
+    # --------------------------------------------------------- lifecycle
+
+    def register(self, ro) -> None:
+        """Start watching a read-only transaction that just took its
+        snapshot.  Called with no engine latch held (from
+        ``_assign_snapshot``)."""
+        db = self.db
+        read_ts = ro.snapshot.read_ts
+        with db._txn_latch:
+            candidates = [
+                txn
+                for txn in db._active.values()
+                if txn is not ro
+                and not txn.read_only
+                and txn.read_ts is not None
+                and txn.read_ts <= read_ts
+                and (isinstance(txn.policy, self.family) or txn.policy.certifies)
+            ]
+        with db._tracker_latch:
+            self.stats["registered"] += 1
+            watched = set()
+            unsafe = False
+            for txn in candidates:
+                if txn.is_active:
+                    watched.add(txn)
+                elif txn.is_committed and self._dangerous_commit(ro, txn):
+                    # Committed between collection and here; its slots may
+                    # already be munged to self-references, which the
+                    # danger test treats conservatively.
+                    unsafe = True
+            if unsafe:
+                self._verdict_unsafe(ro)
+                return
+            if not watched:
+                self.stats["safe_immediate"] += 1
+                self._mark_safe(ro)
+                return
+            ro.snapshot_safe = False
+            self._watching[ro] = watched
+            for txn in watched:
+                self._watchers.setdefault(txn, []).append(ro)
+
+    def on_commit(self, txn) -> None:
+        """Tracker-latched, called *before* the enhanced tracker munges
+        committed conflict references to self-references."""
+        self._discard_registration(txn)
+        watchers = self._watchers.pop(txn, None)  # latch-ok: caller holds tracker
+        if not watchers:
+            return
+        dangerous = None  # evaluated lazily, shared across watchers
+        for ro in watchers:
+            watched = self._watching.get(ro)
+            if watched is None:
+                continue
+            watched.discard(txn)
+            if dangerous is None:
+                dangerous = self._dangerous_commit(ro, txn)
+            if dangerous:
+                self._verdict_unsafe(ro)
+            elif not watched:
+                self._mark_safe(ro)
+                del self._watching[ro]  # latch-ok: caller holds tracker
+
+    def on_abort(self, txn) -> None:
+        """Tracker-latched: an aborted transaction threatens nobody."""
+        self._discard_registration(txn)
+        watchers = self._watchers.pop(txn, None)  # latch-ok: caller holds tracker
+        if not watchers:
+            return
+        for ro in watchers:
+            watched = self._watching.get(ro)
+            if watched is None:
+                continue
+            watched.discard(txn)
+            if not watched:
+                self._mark_safe(ro)
+                del self._watching[ro]  # latch-ok: caller holds tracker
+
+    # ----------------------------------------------------------- helpers
+
+    def _dangerous_commit(self, ro, rw) -> bool:
+        """Can ``rw``'s commit complete a dangerous structure with ``ro``
+        as T_in?  Decided from ``rw``'s out-conflict slot."""
+        if not isinstance(rw.policy, self.family):
+            # A certifying non-SSI transaction (SGT level): its conflict
+            # bookkeeping lives elsewhere — assume the worst.
+            return True
+        ref = rw.out_conflict
+        if not ref:
+            return False  # no outgoing edge: rw cannot be the pivot
+        if ref is True or ref is rw:
+            return True  # order unknown (boolean / self-reference)
+        if not ref.is_committed:
+            # T_out will commit after now > ro.read_ts: never "first".
+            return False
+        return ref.commit_ts is not None and ref.commit_ts <= ro.read_ts
+
+    def _verdict_unsafe(self, ro) -> None:
+        self.stats["unsafe"] += 1
+        watched = self._watching.pop(ro, None)  # latch-ok: caller holds tracker
+        if watched:
+            for txn in watched:
+                watchers = self._watchers.get(txn)
+                if watchers is not None and ro in watchers:
+                    watchers.remove(ro)
+                    if not watchers:
+                        del self._watchers[txn]  # latch-ok: caller holds tracker
+        ro.snapshot_safe = False
+        event = ro._safe_event
+        if event is not None:
+            event.set()
+
+    def _mark_safe(self, ro) -> None:
+        """The snapshot can never join a dangerous structure: drop the
+        SIREAD state it accumulated and stop all further detection for
+        it.  Caller holds the tracker latch (rank 20), so the lock
+        manager's latches (50+) nest legally."""
+        self.stats["safe"] += 1
+        ro.snapshot_safe = True
+        self.db.locks.drop_siread_locks(ro)
+        event = ro._safe_event
+        if event is not None:
+            event.set()
+
+    def _discard_registration(self, txn) -> None:
+        """A registered read-only transaction retiring (commit or abort)
+        stops watching."""
+        watched = self._watching.pop(txn, None)  # latch-ok: caller holds tracker
+        if watched is None:
+            return
+        for rw in watched:
+            watchers = self._watchers.get(rw)
+            if watchers is not None and txn in watchers:
+                watchers.remove(txn)
+                if not watchers:
+                    del self._watchers[rw]  # latch-ok: caller holds tracker
+
+
 def make_tracker(
     precise: bool = True,
     victim_policy: VictimPolicy | str = "pivot",

@@ -91,6 +91,16 @@ class EngineConfig:
     #: simulated seconds under the simulator, wall-clock for threads —
     #: InnoDB's innodb_lock_wait_timeout.
     lock_timeout: float | None = None
+    #: lock-table budget for SIREAD state (None = unbounded, the paper's
+    #: behaviour).  When the granted-lock count exceeds the budget, the
+    #: engine escalates record SIREADs of the busiest holder to page,
+    #: then table, granularity — the Ports & Grittner memory-bounding
+    #: strategy.  Escalation may only introduce false-positive aborts,
+    #: never miss an rw-antidependency.  RECORD granularity only.
+    siread_budget: int | None = None
+    #: minimum number of record SIREADs on one leaf page before the
+    #: page tier replaces them with a single page SIREAD.
+    siread_escalation_min_group: int = 2
 
     @classmethod
     def berkeleydb_style(cls, page_size: int = 8, **overrides) -> "EngineConfig":

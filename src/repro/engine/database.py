@@ -37,6 +37,7 @@ run outside every engine latch.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Hashable, Iterable, Optional
 
 from repro.cc import build_policies
@@ -69,6 +70,7 @@ from repro.locking.manager import (
     gap_resource,
     page_resource,
     record_resource,
+    table_resource,
 )
 from repro.locking.modes import LockMode
 from repro.mvcc.snapshot import Snapshot
@@ -116,6 +118,19 @@ class Database:
             deadlock_handler=handler, siread_upgrade=self.config.siread_upgrade
         )
         self.deadlock_detector = DeadlockDetector()
+        #: True when blocked threads must keep a poll tick alive to drive
+        #: the periodic deadlock sweep; with immediate detection, lock
+        #: waits are pure push wakeups (no timeout polling at all).
+        self.needs_wait_polling = (
+            self.config.deadlock_mode is DeadlockMode.PERIODIC
+        )
+        #: single-escalator guard for SIREAD granularity escalation; a
+        #: plain (unranked) lock taken with blocking=False only — at most
+        #: one thread escalates while the rest carry on.
+        self._escalation_guard = threading.Lock()
+        #: safe-snapshot monitor (Ports & Grittner §2.4), published by
+        #: SSIPolicy.install when the SSI family is available.
+        self.safe_snapshots = None
 
         #: transactions findable by id: active, plus committed-suspended
         self._registry: dict[int, Transaction] = {}
@@ -123,6 +138,13 @@ class Database:
         #: committed transactions retained for conflict detection, in
         #: commit order (Section 3.3)
         self._suspended: list[Transaction] = []
+        #: committed writers kept *findable* (in the registry) but not
+        #: suspended: they hold no SIREADs and cannot become pivots, yet
+        #: Fig 3.4's newer-version branch must still resolve
+        #: reader -> writer edges by creator id while a concurrent
+        #: snapshot could ignore their versions.  Swept with the same
+        #: horizon as the suspended list.
+        self._retired_writers: list[Transaction] = []
         #: PAGE granularity: last commit timestamp per (table, page) —
         #: Berkeley DB versions whole pages, so first-committer-wins
         #: fires on page conflicts between unrelated rows (Section 4.2).
@@ -161,6 +183,16 @@ class Database:
         # keep their counters in CounterGroups; adopting them (same
         # object, no copy) folds every stats dict into one surface.
         self.metrics.register_group("locks", self.locks.stats)
+        # Instantaneous lock-table telemetry: the gauges the SIREAD
+        # budget is judged against (counters can't answer "how big is the
+        # lock table right now").
+        self.metrics.register_gauge("lock_table_size", self.locks.table_size)
+        self.metrics.register_gauge(
+            "siread_locks", self.locks.siread_lock_count
+        )
+        self.metrics.register_gauge(
+            "escalated_locks", self.locks.escalated_lock_count
+        )
         #: one CCPolicy instance per isolation level.  Policies that own
         #: engine subsystems publish them during install (SSIPolicy sets
         #: ``self.tracker``, SGTPolicy sets ``self.certifier``) and adopt
@@ -297,18 +329,34 @@ class Database:
     # ------------------------------------------------------------ lifecycle
 
     def begin(
-        self, isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI
+        self,
+        isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
+        read_only: bool = False,
+        deferrable: bool = False,
     ) -> Transaction:
-        """Start a transaction at the given isolation level (Fig 3.1)."""
+        """Start a transaction at the given isolation level (Fig 3.1).
+
+        ``read_only=True`` declares the transaction will never write
+        (writes raise :class:`TransactionStateError`); under the SSI
+        family the safe-snapshot monitor then watches for the moment its
+        snapshot can no longer join a dangerous structure and releases
+        its SIREAD locks early (Ports & Grittner §2.4).
+        ``deferrable=True`` (implies read-only) blocks here until a safe
+        snapshot is available, then runs with zero SIREAD retention —
+        PostgreSQL's SERIALIZABLE READ ONLY DEFERRABLE.
+        """
         isolation = IsolationLevel.parse(isolation)
         # The single level -> behavior lookup: everything downstream
         # dispatches through txn.policy.
         policy = self._policies[isolation]
+        if deferrable:
+            read_only = True
         with self._txn_latch:
             txn = Transaction(
                 self, self._next_txn_id, isolation, self.clock.next(),
                 policy=policy,
             )
+            txn.read_only = read_only
             self._next_txn_id += 1
             self._registry[txn.id] = txn
             self._active[txn.id] = txn
@@ -318,11 +366,40 @@ class Database:
                 policy.on_begin(txn)
         if self.trace is not None:
             self.trace.emit(EventType.BEGIN, txn.id, isolation=isolation.value)
-        if policy.uses_snapshots and not self.config.deferred_snapshot:
+        if policy.uses_snapshots and deferrable:
+            self._wait_safe_snapshot(txn)
+        elif policy.uses_snapshots and not self.config.deferred_snapshot:
             self._assign_snapshot(txn)
         if self.history is not None:
             self.history.on_begin(txn.id)
         return txn
+
+    def _wait_safe_snapshot(self, txn: Transaction) -> None:
+        """Block a deferrable read-only begin() until it holds a *safe*
+        snapshot — one that can never be the T_in of a dangerous
+        structure.  Each candidate snapshot is registered with the
+        monitor; an unsafe verdict discards the snapshot and retries
+        once the concurrent writers that doomed it are gone."""
+        monitor = self.safe_snapshots
+        while True:
+            event = threading.Event()
+            txn._safe_event = event
+            self._assign_snapshot(txn)
+            if txn.snapshot_safe:
+                break
+            if monitor is None or txn.snapshot_safe is None:
+                # No monitor watches this level: nothing retains SIREADs
+                # here, so every snapshot is trivially safe.
+                txn.snapshot_safe = True
+                break
+            event.wait()
+            if txn.snapshot_safe:
+                break
+            # Unsafe verdict: a concurrent writer committed a pivot edge
+            # this snapshot can still complete.  Take a fresh snapshot.
+            txn.snapshot = None
+            txn.snapshot_safe = None
+        txn._safe_event = None
 
     def commit(self, txn: Transaction) -> None:
         """Commit: unsafe check, version install, lock release, suspension
@@ -353,6 +430,11 @@ class Database:
                 error = txn.policy.before_commit(txn)
                 if error is None:
                     self._logical_commit(txn, page_mode)
+                    if self.safe_snapshots is not None:
+                        # Before after_commit: the enhanced tracker munges
+                        # committed conflict references to self-references
+                        # there, and the monitor needs the real T_out.
+                        self.safe_snapshots.on_commit(txn)
                     txn.policy.after_commit(txn)
         else:
             # No certification hooks (plain SI, S2PL): nothing for the
@@ -398,7 +480,19 @@ class Database:
             for (table_name, key), value in txn.write_set.items():
                 table = self.table(table_name)
                 with table.latch:
-                    chain, _pages = table.ensure_chain(key)
+                    chain, touched = table.ensure_chain(key)
+                    if (
+                        len(touched) > 1
+                        and not page_mode
+                        and self.locks.has_escalated_locks()
+                    ):
+                        # A blind write's key registration split a leaf:
+                        # replicate escalated page sentinels onto the new
+                        # sibling (commit 30 < queue 50 keeps rank order).
+                        self.locks.inherit_siread_locks(
+                            page_resource(table_name, touched[0]),
+                            page_resource(table_name, touched[1]),
+                        )
                     chain_length = chain.install(
                         Version(value=value, commit_ts=txn.commit_ts,
                                 creator_id=txn.id)
@@ -458,6 +552,15 @@ class Database:
                 suspended_depth = len(self._suspended)
                 if suspended_depth > self.stats["suspended_peak"]:
                     self.stats["suspended_peak"] = suspended_depth
+            elif (
+                txn.policy.needs_findable_record(txn)
+                and txn.commit_ts > self._oldest_active_read_ts()
+            ):
+                # Not suspended — no SIREADs, no out-conflict — but a
+                # concurrent snapshot predates this commit and may later
+                # ignore one of its versions; the record must stay
+                # findable or that rw edge is silently lost.
+                self._retired_writers.append(txn)
             else:
                 self._registry.pop(txn.id, None)
         if immediate_retention is not None:
@@ -520,6 +623,7 @@ class Database:
         snapshot is chosen (Section 4.5), providing Oracle-style promotion
         semantics (Section 2.6.2)."""
         self._check_op(txn)
+        self._check_write(txn)
         self._acquire_write_locks(txn, table_name, key, gap=False)
         value, found = self._read_internal(
             txn, table_name, key, locking=True
@@ -594,6 +698,7 @@ class Database:
             requested: set = set()
             while True:
                 wanted: list = []
+                covered: list = []
                 for key, _chain in chains:
                     for resource in (
                         self._gap_resource_for(table_name, key),
@@ -606,6 +711,14 @@ class Database:
                             if resource in cache:
                                 continue
                             cache.add(resource)
+                            if self._covered_by_coarse(
+                                txn, table_name, resource
+                            ):
+                                # An escalated sentinel of our own covers
+                                # this unit: skip the fine acquire, keep
+                                # the reader-side detection probe below.
+                                covered.append(resource)
+                                continue
                         wanted.append(resource)
                 boundary = table.successor(hi) if hi is not None else SUPREMUM
                 resource = self._gap_resource_for(table_name, boundary)
@@ -614,7 +727,18 @@ class Database:
                     if cache is None or resource not in cache:
                         if cache is not None:
                             cache.add(resource)
-                        wanted.append(resource)
+                        if cache is not None and self._covered_by_coarse(
+                            txn, table_name, resource
+                        ):
+                            covered.append(resource)
+                        else:
+                            wanted.append(resource)
+                if covered:
+                    for resource in covered:
+                        for lock in self.locks.probe_detection(
+                            txn, resource, read_mode
+                        ):
+                            self.dispatch_rw_edge(reader=txn, writer=lock.owner)
                 if not wanted:
                     # Every resource the current key set needs was
                     # requested before the last materialisation, so any
@@ -638,6 +762,14 @@ class Database:
                     break
                 keyset_before = keyset_now
                 chains = table.scan_chains(lo, hi)
+            if (
+                read_mode is LockMode.SIREAD
+                and self.config.siread_budget is not None
+            ):
+                # The batch above may have pushed the lock table past its
+                # budget; escalate with no latch held, before row
+                # resolution.
+                self._escalate_sireads()
         results: list[tuple[Hashable, Any]] = []
         seen: list[Hashable] = []
         deferred_reads: list | None = [] if txn.policy.tracks_reads else None
@@ -677,6 +809,7 @@ class Database:
     def write(self, txn: Transaction, table_name: str, key: Hashable, value: Any) -> None:
         """Fig 3.5's modified write: blind upsert of a single item."""
         self._check_op(txn)
+        self._check_write(txn)
         self.table(table_name)  # validate early
         self._acquire_write_locks(txn, table_name, key, gap=False)
         self._ensure_snapshot(txn)
@@ -694,6 +827,7 @@ class Database:
     def insert(self, txn: Transaction, table_name: str, key: Hashable, value: Any) -> None:
         """Fig 3.7's insert: gap-locks next(key) against concurrent scans."""
         self._check_op(txn)
+        self._check_write(txn)
         table = self.table(table_name)
         locked_succ = self._acquire_write_locks(txn, table_name, key, gap=True)
         self._ensure_snapshot(txn)
@@ -750,12 +884,27 @@ class Database:
                     if not page_mode and touched_pages:
                         # The insert split gap (prev, succ): scans covering
                         # the old gap must also cover the new sub-gap
-                        # (prev, key).
+                        # (prev, key) — *including the inserter's own*: its
+                        # scan predicate still spans the sub-gap, and a
+                        # concurrent insert landing there is a phantom it
+                        # must detect (self rw edges are filtered at
+                        # dispatch, so its own sentinel costs nothing).
                         self.locks.inherit_siread_locks(
                             gap_resource(table_name, succ),
                             gap_resource(table_name, key),
-                            exclude_owner=txn,
                         )
+                        if (
+                            len(touched_pages) > 1
+                            and self.locks.has_escalated_locks()
+                        ):
+                            # A leaf split moved keys onto a fresh page:
+                            # escalated page sentinels on the old leaf
+                            # must cover the new sibling too, or writes
+                            # landing there would miss their readers.
+                            self.locks.inherit_siread_locks(
+                                page_resource(table_name, touched_pages[0]),
+                                page_resource(table_name, touched_pages[1]),
+                            )
                     return touched_pages
             result = self._acquire(
                 txn, gap_resource(table_name, succ), LockMode.INSERT_INTENTION
@@ -764,11 +913,17 @@ class Database:
                 with self._tracker_latch:
                     for lock in result.detection_conflicts:
                         txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
+            if (
+                self.config.granularity is LockGranularity.RECORD
+                and self.locks.has_escalated_locks()
+            ):
+                self._probe_coarse_sireads(txn, table_name, None)
             locked_succ = succ
 
     def delete(self, txn: Transaction, table_name: str, key: Hashable) -> None:
         """Fig 3.7's delete: installs a tombstone version at commit."""
         self._check_op(txn)
+        self._check_write(txn)
         table = self.table(table_name)
         self._acquire_write_locks(txn, table_name, key, gap=True)
         self._ensure_snapshot(txn)
@@ -926,6 +1081,15 @@ class Database:
                     kept.append(txn)
             self._suspended = kept
             self.stats["cleaned"] += cleaned
+            if self._retired_writers:
+                keep_writers: list[Transaction] = []
+                for txn in self._retired_writers:
+                    if txn.commit_ts is not None and txn.commit_ts <= horizon:
+                        self._retire(txn)
+                        self._registry.pop(txn.id, None)
+                    else:
+                        keep_writers.append(txn)
+                self._retired_writers = keep_writers
             return cleaned
 
     def vacuum(self) -> int:
@@ -982,6 +1146,16 @@ class Database:
         if not txn.is_active:
             raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
 
+    def _check_write(self, txn: Transaction) -> None:
+        """Reject mutations on declared read-only transactions — the
+        declaration is what lets the safe-snapshot machinery trust that
+        the transaction can only ever be the T_in of a dangerous
+        structure."""
+        if txn.read_only:
+            raise TransactionStateError(
+                f"transaction {txn.id} is read-only"
+            )
+
     def _check_doom(self, txn: Transaction) -> None:
         """A doomed transaction aborts at its next operation (Section 3.2's
         'the conflicting transaction must abort instead')."""
@@ -997,6 +1171,13 @@ class Database:
         # its versions are in place — never halfway.
         with self._commit_latch:
             txn.snapshot = Snapshot(self.clock.now())
+        monitor = self.safe_snapshots
+        if (
+            monitor is not None
+            and txn.read_only
+            and isinstance(txn.policy, monitor.family)
+        ):
+            monitor.register(txn)
         if self.trace is not None:
             self.trace.emit(EventType.SNAPSHOT, txn.id, read_ts=txn.snapshot.read_ts)
         if self.history is not None:
@@ -1015,13 +1196,16 @@ class Database:
         return oldest
 
     def _maybe_cleanup(self) -> None:
-        # Optimistic emptiness probe (atomic list read): SI/S2PL commits
+        # Optimistic emptiness probe (atomic list reads): SI/S2PL commits
         # retain nothing, so their hot path pays no latch here.
-        if not self._suspended:
+        if not self._suspended and not self._retired_writers:
             return
         if self.config.eager_cleanup:
             self.cleanup_suspended()
-        elif len(self._suspended) > self.config.cleanup_threshold:
+        elif (
+            len(self._suspended) + len(self._retired_writers)
+            > self.config.cleanup_threshold
+        ):
             self.cleanup_suspended()
 
     # --------------------------------------------------------- lock paths
@@ -1035,6 +1219,111 @@ class Database:
         if self.config.granularity is LockGranularity.PAGE:
             return page_resource(table_name, self.table(table_name).leaf_page_of(gap_key))
         return gap_resource(table_name, gap_key)
+
+    def _covered_by_coarse(
+        self, txn: Transaction, table_name: str, resource: Resource
+    ) -> bool:
+        """Does an escalated page/table SIREAD of ``txn``'s own already
+        cover ``resource``?  Gap resources are only subsumed by the table
+        tier — a gap interval can span leaf boundaries, so page coverage
+        cannot stand in for it."""
+        coarse = txn.coarse_sireads
+        if not coarse:
+            return False
+        if table_resource(table_name) in coarse:
+            return True
+        if resource.kind == "rec":
+            page = self.table(table_name).leaf_page_of(resource.key)
+            return page_resource(table_name, page) in coarse
+        return False
+
+    def _probe_coarse_sireads(
+        self, txn: Transaction, table_name: str, key: Hashable | None
+    ) -> None:
+        """After a write-side lock grant under RECORD granularity, when
+        any SIREAD escalation is live: the readers of this unit may now
+        be represented only by coarse page/table sentinels — probe those
+        and dispatch the same rw edges the fine acquire would have
+        reported.  Probing *after* the EXCLUSIVE/II grant closes the race
+        with an escalation completing in between: promotion grants coarse
+        before removing fine, so the writer always sees one or the other.
+        """
+        lm = self.locks
+        conflicts = list(
+            lm.probe_detection(
+                txn, table_resource(table_name), LockMode.EXCLUSIVE
+            )
+        )
+        if key is not None:
+            page = self.table(table_name).leaf_page_of(key)
+            conflicts.extend(
+                lm.probe_detection(
+                    txn, page_resource(table_name, page), LockMode.EXCLUSIVE
+                )
+            )
+        if conflicts:
+            with self._tracker_latch:
+                for lock in conflicts:
+                    txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
+
+    def _escalate_sireads(self) -> None:
+        """Bring the lock table back under ``siread_budget`` by promoting
+        record SIREADs to coarser units (record -> page -> table, Ports &
+        Grittner Section 4).  Called with no latch held, after read-lock
+        acquisition grew the table.
+
+        Victims are the busiest SIREAD holders.  The page tier groups a
+        holder's record sentinels by leaf page; gap sentinels are only
+        promoted by the table tier (a gap can span leaf boundaries, so a
+        page lock derived from one endpoint would miss inserts landing on
+        the neighbouring leaf — an unsound escalation, not merely a
+        coarse one).  Escalation therefore only ever *adds* rw-edge
+        false positives, never loses an antidependency."""
+        budget = self.config.siread_budget
+        lm = self.locks
+        if budget is None or lm.table_size() <= budget:
+            return
+        if self.config.granularity is not LockGranularity.RECORD:
+            return
+        if not self._escalation_guard.acquire(blocking=False):
+            return  # another thread is already escalating
+        try:
+            min_group = self.config.siread_escalation_min_group
+            for owner in lm.siread_owners_by_count():
+                if lm.table_size() <= budget:
+                    return
+                groups: dict[tuple[str, int], list[Resource]] = {}
+                for resource in lm.siread_resources(owner, kinds=("rec",)):
+                    table = self._tables.get(resource.table)
+                    if table is None:
+                        continue
+                    page = table.leaf_page_of(resource.key)
+                    groups.setdefault((resource.table, page), []).append(
+                        resource
+                    )
+                for (table_name, page), fine in groups.items():
+                    if len(fine) < min_group:
+                        continue
+                    coarse = page_resource(table_name, page)
+                    if lm.promote_sireads(owner, fine, coarse):
+                        owner.coarse_sireads.add(coarse)
+                    if lm.table_size() <= budget:
+                        return
+                # Table tier: everything left — records below the page
+                # threshold, gaps, and already-escalated page sentinels.
+                by_table: dict[str, list[Resource]] = {}
+                for resource in lm.siread_resources(
+                    owner, kinds=("rec", "gap", "page")
+                ):
+                    by_table.setdefault(resource.table, []).append(resource)
+                for table_name, fine in by_table.items():
+                    coarse = table_resource(table_name)
+                    if lm.promote_sireads(owner, fine, coarse):
+                        owner.coarse_sireads.add(coarse)
+                    if lm.table_size() <= budget:
+                        return
+        finally:
+            self._escalation_guard.release()
 
     def _acquire(self, txn: Transaction, resource: Resource, mode: LockMode) -> AcquireResult:
         """Acquire or raise LockWaitRequired; resolves denied requests."""
@@ -1076,6 +1365,17 @@ class Database:
             # own EXCLUSIVE acquire and dispatched the rw edge from the
             # writer side (Fig 3.5) — nothing left to do or report.
             return
+        if mode is LockMode.SIREAD and self._covered_by_coarse(
+            txn, table_name, resource
+        ):
+            # An escalated sentinel of our own already covers this unit:
+            # writers see it via their coarse probes, so no fine lock is
+            # added — but the reader-side Fig 3.4 check against granted
+            # EXCLUSIVE holders must still run.
+            txn._siread_cache.add(resource)
+            for lock in self.locks.probe_detection(txn, resource, mode):
+                self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            return
         result = self._acquire(txn, resource, mode)
         if mode is LockMode.SIREAD:
             txn._siread_cache.add(resource)
@@ -1084,6 +1384,8 @@ class Database:
             # (SHARED requests report no detection conflicts, so this
             # loop is empty for lock-based readers.)
             self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+        if mode is LockMode.SIREAD and self.config.siread_budget is not None:
+            self._escalate_sireads()
 
     def _acquire_gap_read_lock(
         self,
@@ -1103,6 +1405,13 @@ class Database:
         resource = self._gap_resource_for(table_name, gap_key)
         if mode is LockMode.SIREAD and resource in txn._siread_cache:
             return  # repeat gap SIREAD — see _acquire_read_locks
+        if mode is LockMode.SIREAD and self._covered_by_coarse(
+            txn, table_name, resource
+        ):
+            txn._siread_cache.add(resource)
+            for lock in self.locks.probe_detection(txn, resource, mode):
+                self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            return
         result = self._acquire(txn, resource, mode)
         if mode is LockMode.SIREAD:
             txn._siread_cache.add(resource)
@@ -1150,6 +1459,11 @@ class Database:
                 with self._tracker_latch:
                     for lock in result.detection_conflicts:
                         txn.policy.on_write_conflict(writer=txn, reader=lock.owner)
+        if (
+            self.config.granularity is LockGranularity.RECORD
+            and self.locks.has_escalated_locks()
+        ):
+            self._probe_coarse_sireads(txn, table_name, key)
         return succ
 
     def _lock_touched_pages(
@@ -1383,6 +1697,8 @@ class Database:
                 return
             txn.status = TransactionStatus.ABORTED
             txn.policy.on_abort(txn)
+            if self.safe_snapshots is not None:
+                self.safe_snapshots.on_abort(txn)
             self._retire(txn)
             bucket = reason if reason in self.stats["aborts"] else "aborted"
             self.stats["aborts"][bucket] += 1

@@ -53,6 +53,10 @@ class Transaction:
         "write_kinds",
         "locked_writes",
         "_siread_cache",
+        "read_only",
+        "snapshot_safe",
+        "coarse_sireads",
+        "_safe_event",
     )
 
     def __init__(
@@ -97,6 +101,19 @@ class Transaction:
         #: engine's re-read fast path checks here and skips the lock
         #: manager entirely for repeat SIREAD acquisition.
         self._siread_cache: set = set()
+        #: declared read-only at begin(); writes raise
+        #: TransactionStateError and the safe-snapshot monitor may mark
+        #: the snapshot safe (Ports & Grittner Section 2.4).
+        self.read_only = False
+        #: None = not watched (read/write txn), False = watched but not
+        #: yet proven safe, True = the snapshot can no longer join a
+        #: dangerous structure — SIREADs dropped, detection skipped.
+        self.snapshot_safe: bool | None = None
+        #: coarse (page/table) SIREAD resources granted to this txn by
+        #: escalation — the read path skips fine acquisition under them.
+        self.coarse_sireads: set = set()
+        #: set by the safe-snapshot monitor to wake a deferrable begin().
+        self._safe_event: threading.Event | None = None
 
     # ----------------------------------------------------------- state
 
@@ -230,20 +247,22 @@ class Transaction:
             deadline = wait_started + self._db.config.lock_timeout
         event = threading.Event()
         request.on_resolve(lambda _req: event.set())
-        while not event.is_set():
-            # Belt and braces against a lost wakeup: resolution publishes
-            # request.state before firing callbacks, so even if the event
-            # were somehow missed the poll tick notices the final state.
-            if request.state is not RequestState.WAITING:
-                break
-            if event.wait(timeout=self._db.wait_poll_interval):
-                break
-            if deadline is not None and time.monotonic() >= deadline:
-                self._db.cancel_lock_request(request)
-                continue  # the denial resolves the request and sets event
-            # Gives periodic deadlock detection a chance to run even when
-            # every client thread is blocked (Berkeley DB db_perf style).
-            self._db.poll_waiters()
+        if deadline is None and not self._db.needs_wait_polling:
+            # Pure push wakeup: LockRequest._resolve publishes the final
+            # state before firing callbacks, so one untimed wait is
+            # race-free — no timeout-poll fallback, no re-check loop.
+            event.wait()
+        else:
+            # Timed waits keep a poll tick for the two duties that need
+            # one: the lock_timeout deadline, and periodic deadlock
+            # detection, which must run even when every client thread is
+            # blocked (Berkeley DB db_perf style).
+            while not event.wait(timeout=self._db.wait_poll_interval):
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._db.cancel_lock_request(request)
+                    continue  # the denial resolves the request, sets event
+                if self._db.needs_wait_polling:
+                    self._db.poll_waiters()
         # Threaded clients measure wall-clock lock waits; the simulator
         # feeds the same histogram in simulated seconds instead.
         self._db.metrics.histogram("lock_wait_time").observe(

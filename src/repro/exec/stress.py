@@ -69,15 +69,21 @@ class StressResult:
     residual_waiters: int
     #: committed-suspended records cleanup could not retire
     residual_suspended: int
+    #: SIREAD sentinels (weighted: an escalated coarse lock counts as the
+    #: records it replaced) still in the manager's per-owner accounting
+    #: after the quiesce — the SIREAD-lifecycle leak detector: a grant
+    #: that landed after its owner's release pass shows up here
+    residual_siread: int = 0
 
     @property
     def lock_table_clean(self) -> bool:
-        """No locks, owners or waiters survived the quiesce — every
-        commit/abort path released what it acquired."""
+        """No locks, owners, waiters or SIREAD sentinels survived the
+        quiesce — every commit/abort path released what it acquired."""
         return (
             self.residual_granted == 0
             and self.residual_owners == 0
             and self.residual_waiters == 0
+            and self.residual_siread == 0
         )
 
     @property
@@ -107,6 +113,7 @@ def run_threaded_stress(
     config: EngineConfig | None = None,
     check_serializability: bool = False,
     invariant: Callable[[Database], None] | None = None,
+    on_database: Callable[[Database], None] | None = None,
 ) -> StressResult:
     """Run ``threads`` real threads, each executing ``txns_per_thread``
     workload transactions at ``level`` against one shared database.
@@ -117,6 +124,9 @@ def run_threaded_stress(
     the engine is quiesced (suspended-transaction cleanup runs with no
     one active) and the lock table audited; ``invariant`` — if given —
     then inspects the final database state and raises on violation.
+    ``on_database`` runs right after workload setup, before any client
+    thread starts — the seam for attaching samplers (e.g. a peak
+    lock-table-gauge watcher) or tracing to the shared database.
     """
     if config is None:
         config = EngineConfig(record_history=check_serializability)
@@ -124,6 +134,8 @@ def run_threaded_stress(
         config = replace(config, record_history=True)
     db = Database(config)
     workload.setup(db)
+    if on_database is not None:
+        on_database(db)
 
     barrier = threading.Barrier(threads)
     tally = threading.Lock()
@@ -182,6 +194,7 @@ def run_threaded_stress(
     residual_owners = len(lm._by_owner)
     residual_waiters = len(lm._waiting)
     residual_suspended = len(db._suspended)
+    residual_siread = lm.siread_lock_count()
 
     serializable: Optional[bool] = None
     detail = ""
@@ -209,6 +222,7 @@ def run_threaded_stress(
         residual_owners=residual_owners,
         residual_waiters=residual_waiters,
         residual_suspended=residual_suspended,
+        residual_siread=residual_siread,
     )
 
 

@@ -87,6 +87,12 @@ def page_resource(table: str, page_id: int) -> Resource:
     return Resource("page", table, page_id)
 
 
+def table_resource(table: str) -> Resource:
+    """The whole-table unit — the top of the SIREAD escalation ladder
+    (record -> page -> table, Ports & Grittner Section 4)."""
+    return Resource("tbl", table, None)
+
+
 class Lock:
     """A granted lock: one owner's claim on one resource.
 
@@ -368,12 +374,26 @@ class LockManager:
         #: holds_any_siread, consulted on every SSI commit).
         self._siread_counts: dict[Hashable, int] = {}
         self._granted_count = 0
+        #: (owner_id, coarse resource) -> number of record SIREADs the
+        #: coarse lock replaced.  An entry exists for every escalated lock
+        #: still granted; its presence (atomic ``bool(dict)`` probe) gates
+        #: the engine's coarse-lock write probes, so it is inserted
+        #: *before* the coarse lock is granted and removed only after the
+        #: lock leaves the table.  Guarded by the owner latch.
+        self._escalated_weights: dict[tuple[Hashable, Resource], int] = {}
         self.waits_for = WaitsForGraph()
         self.deadlock_handler = deadlock_handler
         self.siread_upgrade = siread_upgrade
         #: cumulative counters for the overhead benchmarks (registry-adoptable)
         self.stats = CounterGroup(
-            {"acquires": 0, "waits": 0, "upgrades": 0, "siread_dropped": 0}
+            {
+                "acquires": 0,
+                "waits": 0,
+                "upgrades": 0,
+                "siread_dropped": 0,
+                "escalations": 0,
+                "escalated_records": 0,
+            }
         )
         #: event trace, installed by Database.enable_tracing (None = off)
         self.trace = None
@@ -703,9 +723,13 @@ class LockManager:
         removed stripe by stripe (one stripe latch per group, one
         owner-latch section for all the per-owner bookkeeping); only
         resources with waiters take the queue latch for promotion.  A
-        second pass catches locks that :meth:`inherit_siread_locks`
-        granted to this owner concurrently (a gap split replicating a
-        scan's sentinel while its owner aborts).
+        second pass catches most locks that :meth:`inherit_siread_locks`
+        or :meth:`promote_sireads` granted to this owner concurrently (a
+        gap split replicating a scan's sentinel while its owner aborts),
+        and — for SIREAD holders releasing everything — a final
+        queue-latched verification sweep closes the in-flight-grant
+        window the passes cannot (both granting paths are
+        collect-and-grant atomic under the queue latch).
         """
         owner_id = owner.id
         if owner_id not in self._by_owner and owner_id not in self._waiting:
@@ -751,6 +775,18 @@ class LockManager:
                             with self._queue_latch:
                                 with self._stripe_latches[stripe_index]:
                                     self._promote(resource, stripe_index)
+                        if (
+                            not keep_siread
+                            and lock.mask & _SIREAD_BIT
+                            and resource.kind != "rec"
+                        ):
+                            # A coarse sentinel marks a possible
+                            # inheritance source: close the in-flight
+                            # grant window before declaring the owner
+                            # drained (record sentinels cannot be
+                            # sources, and a raced promotion self-undoes
+                            # or leaves its grant visible below).
+                            self._sweep_owner_queued(owner_id, siread_only=False)
                     if not self._by_owner.get(owner_id):
                         if (
                             self._waiting.get(owner_id)
@@ -760,6 +796,7 @@ class LockManager:
                         return
                 # mixed keep_siread single lock, a raced detach, or a
                 # concurrently inherited sentinel: general loop below.
+        saw_siread = False
         for _pass in range(2):
             # Repeat passes only re-snapshot when the atomic probe says
             # locks remain (the common case is that pass one drained them).
@@ -770,6 +807,10 @@ class LockManager:
                 items = list(locks.items()) if locks else []
             if not items:
                 break
+            if not saw_siread:
+                saw_siread = any(
+                    lock.mask & _SIREAD_BIT for _resource, lock in items
+                )
             if len(items) == 1:
                 by_stripe = {hash(items[0][0]) & _STRIPE_MASK: items}
             else:
@@ -808,6 +849,14 @@ class LockManager:
                         self._promote(resource, stripe_index)
             if keep_siread or not removed:
                 break
+        if not keep_siread and saw_siread:
+            # SIREAD holders can be inheritance sources and escalation
+            # targets; one queue-latched sweep closes the window where a
+            # concurrent inherit/promote grant lands after the passes
+            # above snapshotted the owner's set.  (Retaining commits skip
+            # this — their sentinels are dropped by drop_siread_locks,
+            # which runs its own sweep.)
+            self._sweep_owner_queued(owner_id, siread_only=False)
         # Waits-for maintenance is only owed when the owner has waiting
         # requests or stale outgoing edges (a promoted-then-granted waiter
         # keeps its edges until here); stale *incoming* edges cannot
@@ -847,9 +896,13 @@ class LockManager:
 
         Locks are dropped stripe group by stripe group (scan-heavy
         suspended transactions hold hundreds of sentinels — one latch per
-        lock would dominate cleanup); a repeat pass catches sentinels
+        lock would dominate cleanup); the bulk passes catch most sentinels
         that :meth:`inherit_siread_locks` replicated onto new gaps for
-        this owner while the sweep ran.
+        this owner while the sweep ran, and a final queue-latched
+        verification sweep (:meth:`_sweep_owner_queued`) closes the
+        remaining in-flight-grant window for good.  The weighted return
+        value counts an escalated coarse sentinel as the record locks it
+        replaced.
         """
         owner_id = owner.id
         dropped = 0
@@ -871,9 +924,18 @@ class LockManager:
                         self._detach_lock(heads, head, lock)
                         removed = True
                 if removed:
-                    self._forget_locks(owner_id, [lock], dropped_stat=1)
-                    dropped = 1
-                if owner_id not in self._by_owner:
+                    # The lone sentinel may itself be an escalated coarse
+                    # lock; its weight surplus keeps the return value
+                    # counting the record locks it replaced.
+                    surplus = self._forget_locks(
+                        owner_id, [lock], dropped_stat=1
+                    )
+                    dropped = 1 + surplus
+                if resource.kind == "rec" and owner_id not in self._by_owner:
+                    # A lone record sentinel is never an inheritance
+                    # source, and a racing promotion that failed to find
+                    # it undoes its own coarse grant — nothing concurrent
+                    # can leave residue behind this probe.
                     return dropped
         for _pass in range(3):
             if owner_id not in self._by_owner:
@@ -925,11 +987,14 @@ class LockManager:
                         dropped += 1
             if removed or shed:
                 # ``siread_dropped`` accounting rides in the same
-                # owner-latch section that settles the per-owner indexes.
-                self._forget_locks(
+                # owner-latch section that settles the per-owner indexes;
+                # the surplus is the extra records escalated sentinels
+                # stood for.
+                dropped += self._forget_locks(
                     owner_id, removed, extra_siread=shed,
                     dropped_stat=len(removed) + shed,
                 )
+        dropped += self._sweep_owner_queued(owner_id, siread_only=True)
         return dropped
 
     def _detach_lock(
@@ -953,50 +1018,73 @@ class LockManager:
         removed: list[Lock],
         extra_siread: int = 0,
         dropped_stat: int = 0,
-    ) -> None:
+    ) -> int:
         """One owner-latch section settling the per-owner indexes for a
         batch of detached locks (plus ``extra_siread`` shed sentinel
         modes on locks that remain granted); ``dropped_stat`` folds the
-        ``siread_dropped`` counter bump into the same section."""
+        ``siread_dropped`` counter bump into the same section.
+
+        An escalated coarse lock counts as the record locks it replaced:
+        its weight entry is popped here, and when the removal is being
+        counted as a drop the surplus (weight - 1 per coarse lock) joins
+        ``siread_dropped`` so obs snapshots stay comparable before and
+        after escalation.  Returns the surplus for callers that report
+        weighted totals."""
         with self._owner_latch:
-            if dropped_stat:
-                self.stats["siread_dropped"] += dropped_stat
+            surplus = 0
             siread_gone = extra_siread
             if removed:
                 self._granted_count -= len(removed)
                 owner_locks = self._by_owner.get(owner_id)
+                weights = self._escalated_weights
                 for lock in removed:
                     if lock.mask & _SIREAD_BIT:
                         siread_gone += 1
+                    if weights:
+                        surplus += weights.pop((owner_id, lock.resource), 1) - 1
                     if owner_locks is not None:
                         owner_locks.pop(lock.resource, None)
                 if owner_locks is not None and not owner_locks:
                     del self._by_owner[owner_id]
+            if dropped_stat:
+                self.stats["siread_dropped"] += dropped_stat + surplus
             if siread_gone:
                 remaining = self._siread_counts.get(owner_id, 0) - siread_gone
                 if remaining > 0:
                     self._siread_counts[owner_id] = remaining
                 else:
                     self._siread_counts.pop(owner_id, None)
+        return surplus
 
     def inherit_siread_locks(
-        self, from_resource: Resource, to_resource: Resource, exclude_owner: Any
+        self,
+        from_resource: Resource,
+        to_resource: Resource,
+        exclude_owner: Any = None,
     ) -> int:
-        """Replicate SIREAD locks from one gap onto another.
+        """Replicate SIREAD locks from one resource onto another.
 
         When an insert splits a gap, holders of SIREAD locks on the old
         gap (scans whose range covered it, possibly already committed)
         must also cover the new sub-gap, or later inserts between the new
         key and its predecessor would escape phantom detection — InnoDB's
-        gap-lock inheritance.  Returns the number of locks inherited.
+        gap-lock inheritance.  The same replication keeps escalated
+        *page* SIREADs sound across B+-tree leaf splits: records moved to
+        the new sibling must stay covered.  Returns the number of locks
+        inherited.  ``exclude_owner=None`` replicates every holder (the
+        page-split case: the splitting writer's own escalated coverage
+        must follow its records).
 
         Latching: holders are collected under the source stripe, grants
         happen under the destination stripe; the queue latch is held
         across both so the two stripes form one atomic step against
-        concurrent release/cleanup of the same owners.
+        concurrent release/cleanup of the same owners — release paths
+        close their race with this grant via their own final
+        queue-latched sweep.
         """
         from_index = self._stripe_of(from_resource)
         to_index = self._stripe_of(to_resource)
+        exclude_id = exclude_owner.id if exclude_owner is not None else None
         inherited = 0
         with self._queue_latch:
             with self._stripe_latches[from_index]:
@@ -1007,7 +1095,7 @@ class LockManager:
                     lock.owner
                     for lock in head.granted.values()
                     if lock.mask & _SIREAD_BIT
-                    and lock.owner.id != exclude_owner.id
+                    and lock.owner.id != exclude_id
                 ]
             if not holders:
                 return 0
@@ -1025,6 +1113,236 @@ class LockManager:
                     self._grant(to_head, holder, to_resource, LockMode.SIREAD)
                     inherited += 1
         return inherited
+
+    # ----------------------------------------------------- SIREAD escalation
+
+    def has_escalated_locks(self) -> bool:
+        """Atomic gate for the engine's coarse-unit write probes: False
+        proves no escalated page/table SIREAD exists.  The weight entry is
+        inserted *before* its coarse lock is granted and removed only
+        after the lock leaves the table, so a stale True merely sends the
+        writer to probe an empty head — safe, never the reverse."""
+        return bool(self._escalated_weights)
+
+    def probe_detection(
+        self, owner: Any, resource: Resource, mode: LockMode
+    ) -> list[Lock]:
+        """Detection conflicts on ``resource`` without acquiring anything.
+
+        Two users: write paths probing coarse (page/table) units for
+        escalated SIREAD holders, and readers whose fine acquisition was
+        skipped because a coarse lock of their own already covers the
+        resource (they still owe the Fig 3.4 check against granted
+        EXCLUSIVE holders)."""
+        stripe_index = self._stripe_of(resource)
+        with self._stripe_latches[stripe_index]:
+            head = self._stripe_heads[stripe_index].get(resource)
+            if head is None:
+                return _NO_CONFLICTS
+            return self._detection_conflicts(head, owner, mode)
+
+    def siread_owners_by_count(self) -> list[Any]:
+        """SIREAD-holding owners, busiest first — the escalation victim
+        order (deterministic tie-break on owner id)."""
+        with self._owner_latch:
+            ranked = sorted(
+                self._siread_counts.items(),
+                key=lambda item: (-item[1], str(item[0])),
+            )
+            owners = []
+            for owner_id, _count in ranked:
+                locks = self._by_owner.get(owner_id)
+                if locks:
+                    owners.append(next(iter(locks.values())).owner)
+            return owners
+
+    def siread_resources(
+        self, owner: Any, kinds: tuple[str, ...] = ("rec",)
+    ) -> list[Resource]:
+        """Resources of the given kinds on which ``owner`` holds a *pure*
+        SIREAD sentinel (escalation candidates; a mixed-mode lock belongs
+        to an active writer and stays put)."""
+        with self._owner_latch:
+            locks = self._by_owner.get(owner.id)
+            if not locks:
+                return []
+            return [
+                resource
+                for resource, lock in locks.items()
+                if resource.kind in kinds and lock.mask == _SIREAD_BIT
+            ]
+
+    def siread_lock_count(self) -> int:
+        """Granted locks carrying SIREAD, across all owners (obs gauge)."""
+        with self._owner_latch:
+            return sum(self._siread_counts.values())
+
+    def escalated_lock_count(self) -> int:
+        """Escalated coarse SIREADs currently granted (obs gauge)."""
+        return len(self._escalated_weights)
+
+    def promote_sireads(
+        self, owner: Any, fine: list[Resource], coarse: Resource
+    ) -> int:
+        """Replace ``owner``'s record SIREADs in ``fine`` with one coarse
+        (page or table) SIREAD on ``coarse`` — the memory-bounding
+        escalation step (Ports & Grittner Section 4).
+
+        Soundness: the coarse lock is granted *before* any fine sentinel
+        is removed, so a concurrent writer sees fine or coarse, never
+        neither — escalation can add false-positive rw edges but never
+        lose one.  The whole promotion holds the queue latch (the licence
+        for holding several stripe latches, in rank order), which also
+        serialises it against inherit_siread_locks and the release paths'
+        final queue-latched sweep: a promotion racing a release either
+        lands before that sweep's snapshot (and is swept) or finds no
+        fine sentinels left and undoes its own grant.
+
+        Returns the number of record sentinels replaced (added to the
+        coarse lock's weight; 0 means nothing was promoted).
+        """
+        owner_id = owner.id
+        weight_key = (owner_id, coarse)
+        with self._queue_latch:
+            # Gate on *before* the coarse grant: a writer that misses the
+            # fine sentinels (removed below) must already see the gate and
+            # probe the coarse unit.
+            with self._owner_latch:
+                base = self._escalated_weights.get(weight_key)
+                if base is None:
+                    self._escalated_weights[weight_key] = 1
+            coarse_index = self._stripe_of(coarse)
+            fresh_grant = False
+            added_mode = False
+            with self._stripe_latches[coarse_index]:
+                heads = self._stripe_heads[coarse_index]
+                head = heads.get(coarse)
+                if head is None:
+                    head = heads[coarse] = _LockHead()
+                held = self._by_owner.get(owner_id, {}).get(coarse)
+                if held is None:
+                    fresh_grant = True
+                    self._grant(head, owner, coarse, LockMode.SIREAD)
+                elif not held.mask & _SIREAD_BIT:
+                    added_mode = True
+                    self._add_mode(head, held, LockMode.SIREAD)
+            if len(fine) == 1:
+                by_stripe = {hash(fine[0]) & _STRIPE_MASK: fine}
+            else:
+                by_stripe = {}
+                for resource in fine:
+                    by_stripe.setdefault(
+                        hash(resource) & _STRIPE_MASK, []
+                    ).append(resource)
+            removed: list[Lock] = []
+            for stripe_index, group in by_stripe.items():
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    for resource in group:
+                        head = heads.get(resource)
+                        lock = head.granted.get(owner_id) if head else None
+                        if lock is None or lock.mask != _SIREAD_BIT:
+                            continue  # released or upgraded since selection
+                        self._detach_lock(heads, head, lock)
+                        removed.append(lock)
+            replaced = len(removed)
+            if not replaced:
+                # Raced with a release that already took every candidate:
+                # undo the grant so a drained owner is not left holding a
+                # lock its (already finished) sweep can no longer see.
+                undo = None
+                with self._stripe_latches[coarse_index]:
+                    heads = self._stripe_heads[coarse_index]
+                    head = heads.get(coarse)
+                    lock = head.granted.get(owner_id) if head else None
+                    if lock is not None and lock.mask & _SIREAD_BIT:
+                        if fresh_grant and lock.mask == _SIREAD_BIT:
+                            self._detach_lock(heads, head, lock)
+                            undo = lock
+                        elif added_mode:
+                            self._discard_mode(head, lock, LockMode.SIREAD)
+                if undo is not None:
+                    self._forget_locks(owner_id, [undo])
+                if base is None:
+                    with self._owner_latch:
+                        self._escalated_weights.pop(weight_key, None)
+                return 0
+            # The replaced sentinels are *promoted*, not dropped: no
+            # siread_dropped bump — the weight entry carries their count
+            # forward to whichever path finally removes the coarse lock.
+            # A promoted lock that was itself escalated (page -> table)
+            # contributes its whole weight via the surplus.
+            surplus = self._forget_locks(owner_id, removed)
+            with self._owner_latch:
+                prior = base if base is not None else 1
+                self._escalated_weights[weight_key] = prior + replaced + surplus
+                self.stats["escalations"] += 1
+                self.stats["escalated_records"] += replaced
+        return replaced
+
+    def _sweep_owner_queued(self, owner_id: Hashable, siread_only: bool) -> int:
+        """Final verification sweep of a release path, under the queue
+        latch.
+
+        The bulk release passes run without the queue latch, so a SIREAD
+        granted concurrently by :meth:`inherit_siread_locks` or
+        :meth:`promote_sireads` (both collect-and-grant atomic under the
+        queue latch) can land *after* the last bulk snapshot — the window
+        the old "second pass" comment papered over.  One queue-latched
+        re-snapshot closes it for good: any such grant either completed
+        before this sweep (its lock is in the snapshot and is removed) or
+        starts after it — and then finds none of this owner's SIREADs
+        left to replicate or promote.  Returns the weighted count of
+        sentinels removed (``siread_only``) or 0.
+        """
+        dropped = 0
+        with self._queue_latch:
+            with self._owner_latch:
+                locks = self._by_owner.get(owner_id)
+                items = list(locks.items()) if locks else []
+            if not items:
+                return 0
+            removed: list[Lock] = []
+            shed = 0
+            promote: list[tuple[Resource, int]] = []
+            for resource, lock in items:
+                stripe_index = hash(resource) & _STRIPE_MASK
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    head = heads.get(resource)
+                    if head is None or head.granted.get(owner_id) is not lock:
+                        continue
+                    mask = lock.mask
+                    if siread_only:
+                        if not mask & _SIREAD_BIT:
+                            continue
+                        if mask == _SIREAD_BIT:
+                            self._detach_lock(heads, head, lock)
+                            removed.append(lock)
+                        else:
+                            lock.mask = mask & ~_SIREAD_BIT
+                            head.counts -= 1 << _SIREAD_SHIFT
+                            if not (head.counts >> _SIREAD_SHIFT) & 0xFFFF:
+                                head.mask &= ~_SIREAD_BIT
+                            shed += 1
+                        dropped += 1
+                    else:
+                        self._detach_lock(heads, head, lock)
+                        removed.append(lock)
+                    if head.queue:
+                        promote.append((resource, stripe_index))
+            if removed or shed:
+                if siread_only:
+                    dropped += self._forget_locks(
+                        owner_id, removed, extra_siread=shed,
+                        dropped_stat=len(removed) + shed,
+                    )
+                else:
+                    self._forget_locks(owner_id, removed)
+            for resource, stripe_index in promote:
+                with self._stripe_latches[stripe_index]:
+                    self._promote(resource, stripe_index)
+        return dropped
 
     def cancel_request(self, request: LockRequest, error: Exception | None = None) -> bool:
         """Remove one waiting request (lock-wait timeout path).
@@ -1283,7 +1601,12 @@ class LockManager:
             ):
                 self._discard_mode(head, held, LockMode.SIREAD)
                 with self._owner_latch:
-                    self.stats["siread_dropped"] += 1
+                    # A discarded escalated sentinel counts as the record
+                    # locks it replaced (weight defaults to 1 for plain
+                    # record sentinels).
+                    self.stats["siread_dropped"] += self._escalated_weights.pop(
+                        (owner_id, resource), 1
+                    )
         else:
             lock = Lock(owner=owner, resource=resource)
             head.granted[owner_id] = lock

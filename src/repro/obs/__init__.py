@@ -15,6 +15,7 @@ Three pieces (see DESIGN.md "Observability"):
 from repro.obs.explain import AbortExplanation, PivotTriple, explain_abort
 from repro.obs.registry import (
     CounterGroup,
+    Gauge,
     Histogram,
     MetricsRegistry,
     deep_copy_counters,
@@ -35,6 +36,7 @@ __all__ = [
     "CounterGroup",
     "EventTrace",
     "EventType",
+    "Gauge",
     "Histogram",
     "JsonlFileSink",
     "MetricsRegistry",

@@ -173,6 +173,30 @@ class Histogram:
         return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
 
 
+class Gauge:
+    """A sampled instantaneous value — current lock-table size, active
+    transaction count — probed from a callable at read time.
+
+    Counters only ever grow; a gauge answers "how big is it *right now*",
+    which is the question memory-bounding machinery (the SIREAD budget)
+    is judged on.  The callable must be safe to invoke from any thread
+    and may take engine latches, so gauges are sampled *outside* the obs
+    latch (engine latches rank below it).
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn):
+        self.name = name
+        self.fn = fn
+
+    def read(self):
+        return self.fn()
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r})"
+
+
 class MetricsRegistry:
     """The unified telemetry surface of one :class:`~repro.engine.database.Database`.
 
@@ -184,6 +208,7 @@ class MetricsRegistry:
     def __init__(self):
         self._groups: dict[str, CounterGroup] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     # -------------------------------------------------------- registration
 
@@ -219,6 +244,13 @@ class MetricsRegistry:
             self._histograms[name] = histogram
             return histogram
 
+    def register_gauge(self, name: str, fn) -> Gauge:
+        """Register a sampled instantaneous metric (see :class:`Gauge`)."""
+        gauge = Gauge(name, fn)
+        with OBS_LATCH:
+            self._gauges[name] = gauge
+        return gauge
+
     # ------------------------------------------------------------ queries
 
     def groups(self) -> dict[str, CounterGroup]:
@@ -227,12 +259,21 @@ class MetricsRegistry:
     def histograms(self) -> dict[str, Histogram]:
         return dict(self._histograms)
 
+    def gauges(self) -> dict[str, Gauge]:
+        return dict(self._gauges)
+
     def snapshot(self) -> dict:
         """Deep, immutable-by-copy snapshot of every registered metric.
 
         The result contains only plain dicts, ints, floats and None, so
         it round-trips through strict JSON and never aliases live state.
         """
+        # Gauges first, *outside* the obs latch: their probes may take
+        # engine latches (lock-manager owner latch for table_size), which
+        # rank below the obs leaf and must not nest under it.
+        with OBS_LATCH:
+            gauge_list = list(self._gauges.values())
+        gauges = {gauge.name: json_safe(gauge.read()) for gauge in gauge_list}
         with OBS_LATCH:
             return {
                 "counters": {
@@ -242,6 +283,7 @@ class MetricsRegistry:
                     name: histogram.snapshot()
                     for name, histogram in self._histograms.items()
                 },
+                "gauges": gauges,
             }
 
     def reset(self) -> None:

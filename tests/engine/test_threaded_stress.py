@@ -94,6 +94,26 @@ class TestThreadedSmallbank:
         assert result.lock_table_clean, result.describe()
         assert seen == {"siread_counts": {}, "by_owner": 0, "granted": 0}
 
+    def test_no_lost_sireads_under_escalation(self):
+        """Same leak audit with a budget tiny enough that the run lives
+        in a permanent escalation storm: promoted coarse sentinels,
+        covered re-reads and weighted drops must all settle to zero
+        (``residual_siread`` is the weighted count), and the committed
+        history must still pass the MVSG oracle — escalation only ever
+        adds conservative aborts."""
+        result = run_threaded_stress(
+            sibench.make_sibench(items=30, queries_per_update=1.0),
+            level="ssi",
+            threads=4,
+            txns_per_thread=30,
+            seed=SEED,
+            config=EngineConfig(record_history=True, siread_budget=40),
+            check_serializability=True,
+        )
+        assert result.serializable, result.serialization_detail
+        assert result.residual_siread == 0
+        assert result.lock_table_clean, result.describe()
+
 
 # --------------------------------------------------------------- sibench
 

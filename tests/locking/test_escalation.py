@@ -1,0 +1,103 @@
+"""Lock-manager unit tests for SIREAD granularity escalation (PR 6).
+
+``promote_sireads`` swaps a batch of record sentinels for one coarse
+(page/table) sentinel; the coarse lock carries a *weight* — itself plus
+every fine lock it absorbed — so observability totals and the
+release-path return values stay comparable before and after escalation.
+"""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.locking.manager import (
+    LockManager,
+    page_resource,
+    record_resource,
+    table_resource,
+)
+from repro.locking.modes import LockMode
+
+SIREAD, X = LockMode.SIREAD, LockMode.EXCLUSIVE
+
+
+@dataclass
+class Owner:
+    id: int
+    begin_ts: int = 0
+    coarse_sireads: set = field(default_factory=set)
+
+
+@pytest.fixture
+def lm():
+    return LockManager()
+
+
+def hold_records(lm, owner, count):
+    fine = [record_resource("t", i) for i in range(count)]
+    for resource in fine:
+        assert lm.acquire(owner, resource, SIREAD).granted
+    return fine
+
+
+class TestPromote:
+    def test_promote_replaces_fine_with_one_coarse(self, lm):
+        owner = Owner(1)
+        fine = hold_records(lm, owner, 5)
+        assert lm.table_size() == 5
+        replaced = lm.promote_sireads(owner, fine, page_resource("t", 0))
+        assert replaced == 5
+        assert lm.table_size() == 1
+        assert lm.escalated_lock_count() == 1
+        assert lm.stats["escalations"] == 1
+        assert lm.stats["escalated_records"] == 5
+
+    def test_promote_nothing_held_is_a_clean_noop(self, lm):
+        owner = Owner(1)
+        ghost = [record_resource("t", i) for i in range(3)]  # never held
+        assert lm.promote_sireads(owner, ghost, page_resource("t", 0)) == 0
+        assert lm.table_size() == 0
+        assert lm.escalated_lock_count() == 0  # grant undone, weight gone
+
+    def test_writer_probe_sees_coarse_sentinel(self, lm):
+        reader, writer = Owner(1), Owner(2)
+        fine = hold_records(lm, reader, 4)
+        coarse = page_resource("t", 0)
+        lm.promote_sireads(reader, fine, coarse)
+        conflicts = lm.probe_detection(writer, coarse, X)
+        assert [lock.owner.id for lock in conflicts] == [reader.id]
+
+
+class TestWeightedDrop:
+    def test_drop_counts_records_an_escalated_lock_replaced(self, lm):
+        """Satellite (c): the lone coarse sentinel left after escalation
+        must report the locks it stands for, not 1."""
+        owner = Owner(1)
+        fine = hold_records(lm, owner, 5)
+        lm.promote_sireads(owner, fine, page_resource("t", 0))
+        dropped = lm.drop_siread_locks(owner)
+        assert dropped == 6  # the sentinel itself + 5 records absorbed
+        assert lm.stats["siread_dropped"] == 6
+        assert lm.table_size() == 0
+        assert lm.siread_lock_count() == 0
+        assert lm.escalated_lock_count() == 0
+
+    def test_two_tier_escalation_accumulates_weight(self, lm):
+        """page -> table re-escalation folds the page weight into the
+        table sentinel via the surplus."""
+        owner = Owner(1)
+        fine = hold_records(lm, owner, 5)
+        page = page_resource("t", 0)
+        lm.promote_sireads(owner, fine, page)
+        replaced = lm.promote_sireads(owner, [page], table_resource("t"))
+        assert replaced == 1  # one page sentinel absorbed...
+        dropped = lm.drop_siread_locks(owner)
+        assert dropped == 7  # ...but it carried its own 6 grants along
+        assert lm.stats["siread_dropped"] == 7
+        assert lm.escalated_lock_count() == 0
+
+    def test_unescalated_drop_is_unweighted(self, lm):
+        owner = Owner(1)
+        hold_records(lm, owner, 3)
+        assert lm.drop_siread_locks(owner) == 3
+        assert lm.stats["siread_dropped"] == 3

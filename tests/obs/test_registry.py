@@ -130,3 +130,42 @@ class TestMetricsRegistry:
         registry.reset()
         assert group["reads"] == 0
         assert histogram.count == 0
+
+
+class TestGauge:
+    def test_register_and_read(self):
+        registry = MetricsRegistry()
+        box = {"value": 3}
+        gauge = registry.register_gauge("depth", lambda: box["value"])
+        assert gauge.read() == 3
+        box["value"] = 11
+        assert gauge.read() == 11
+        assert registry.gauges()["depth"] is gauge
+
+    def test_snapshot_samples_gauges_fresh(self):
+        """Gauges are sampled at snapshot time (outside the registry
+        latch: probes may take engine latches of their own), so each
+        snapshot reflects the instantaneous value."""
+        registry = MetricsRegistry()
+        box = {"value": 0}
+        registry.register_gauge("lock_table_size", lambda: box["value"])
+        assert registry.snapshot()["gauges"]["lock_table_size"] == 0
+        box["value"] = 42
+        snap = registry.snapshot()
+        assert snap["gauges"]["lock_table_size"] == 42
+        text = json.dumps(snap, allow_nan=False)
+        assert json.loads(text)["gauges"]["lock_table_size"] == 42
+
+    def test_database_exports_lock_gauges(self):
+        from repro import Database, EngineConfig
+
+        db = Database(EngineConfig())
+        db.create_table("t")
+        db.load("t", [(1, "a"), (2, "b")])
+        txn = db.begin("ssi")
+        txn.read("t", 1)
+        gauges = db.metrics.snapshot()["gauges"]
+        assert gauges["lock_table_size"] >= 1
+        assert gauges["siread_locks"] >= 1
+        assert gauges["escalated_locks"] == 0
+        txn.commit()
