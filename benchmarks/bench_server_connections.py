@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Connection-count scaling benchmark for the session-scheduler server (PR 7).
+
+The claim under test: because lock waits and deferrable waits suspend
+*sessions* instead of parking *threads*, one 8-worker pool can serve
+1024 concurrent transactional connections — two orders of magnitude more
+connections than threads — while every committed history stays
+MVSG-certified serializable and the lock table drains clean.
+
+For each connection count (64 / 256 / 1024) the benchmark starts a fresh
+in-process server, opens that many asyncio client connections, and runs
+a contended transfer mix (read two accounts, write both, commit at
+``ssi``) with per-transaction latency recorded client-side.  Reported
+per level: commits, aborts, throughput (commits/s), latency p50/p95/p99,
+the serializability verdict, and the lock-table audit.
+
+Results land in strict JSON (``--out BENCH_PR7.json``) with the machine
+fingerprint (cpu count, python version, platform) and worker-pool size
+in the metadata — comparisons against a capture from another machine are
+meaningless and refused by ``scripts/bench_baseline.py --compare``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server_connections.py \
+        --out BENCH_PR7.json            # full capture (64/256/1024)
+    PYTHONPATH=src python benchmarks/bench_server_connections.py --quick
+    PYTHONPATH=src python benchmarks/bench_server_connections.py \
+        --check BENCH_PR7.json          # CI: validate committed claims
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.client import AsyncClient  # noqa: E402
+from repro.engine.config import EngineConfig  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.errors import TransactionAbortedError  # noqa: E402
+from repro.server import ReproServer  # noqa: E402
+from repro.sgt.checker import check_serializable  # noqa: E402
+
+WORKERS = 8
+ACCOUNTS = 1024
+#: per-connection transaction counts, chosen so total work grows slowly
+#: with the connection count (the point is connections, not throughput)
+LEVELS = {64: 16, 256: 8, 1024: 4}
+QUICK_LEVELS = {64: 4}
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+async def run_level(connections: int, txns_per_connection: int) -> dict:
+    db = Database(EngineConfig(record_history=True))
+    db.create_table("acct")
+    db.load("acct", [(i, 1000) for i in range(ACCOUNTS)])
+    server = ReproServer(db, workers=WORKERS)
+    await server.start()
+
+    latencies: list[float] = []
+    tallies = {"commits": 0, "aborts": 0}
+    started = asyncio.Event()
+
+    async def one_connection(index: int) -> None:
+        client = await AsyncClient.connect(port=server.port)
+        try:
+            await started.wait()
+            for round_ in range(txns_per_connection):
+                src = (index * 31 + round_ * 7) % ACCOUNTS
+                dst = (index * 17 + round_ * 13 + 1) % ACCOUNTS
+                if src == dst:
+                    dst = (dst + 1) % ACCOUNTS
+                begin = time.perf_counter()
+                try:
+                    await client.begin("ssi")
+                    a = await client.read("acct", src)
+                    b = await client.read("acct", dst)
+                    await client.put("acct", src, a - 1)
+                    await client.put("acct", dst, b + 1)
+                    await client.commit()
+                    tallies["commits"] += 1
+                except TransactionAbortedError:
+                    tallies["aborts"] += 1
+                latencies.append(time.perf_counter() - begin)
+        finally:
+            await client.close()
+
+    tasks = [asyncio.ensure_future(one_connection(i))
+             for i in range(connections)]
+    # Let every connection establish before any transaction starts, so
+    # the measured window really holds `connections` concurrent sessions.
+    await asyncio.sleep(0.05)
+    wall_start = time.perf_counter()
+    started.set()
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - wall_start
+    peak_sessions = server.scheduler.open_sessions
+    await server.stop()
+
+    db.cleanup_suspended()
+    lm = db.locks
+    lock_table_clean = (
+        lm.table_size() == 0
+        and len(lm._by_owner) == 0
+        and len(lm._waiting) == 0
+        and lm.siread_lock_count() == 0
+    )
+    report = check_serializable(db.history)
+    latencies.sort()
+    total = tallies["commits"] + tallies["aborts"]
+    return {
+        "connections": connections,
+        "txns_per_connection": txns_per_connection,
+        "txns": total,
+        "commits": tallies["commits"],
+        "aborts": tallies["aborts"],
+        "wall_clock_s": wall,
+        "throughput_commits_per_s": (
+            tallies["commits"] / wall if wall > 0 else 0.0
+        ),
+        "latency_p50_s": percentile(latencies, 0.50),
+        "latency_p95_s": percentile(latencies, 0.95),
+        "latency_p99_s": percentile(latencies, 0.99),
+        "serializable": report.serializable,
+        "lock_table_clean": lock_table_clean,
+        "peak_open_sessions": peak_sessions,
+    }
+
+
+def capture(levels: dict) -> dict:
+    results = []
+    for connections, txns_per_connection in levels.items():
+        print(f"  {connections} connections x {txns_per_connection} txns "
+              f"on {WORKERS} workers ...", flush=True)
+        level = asyncio.run(run_level(connections, txns_per_connection))
+        verdict = "serializable" if level["serializable"] else "NON-SERIALIZABLE"
+        clean = "clean" if level["lock_table_clean"] else "DIRTY"
+        print(
+            f"    {level['commits']} commits / {level['aborts']} aborts in "
+            f"{level['wall_clock_s']:.2f}s "
+            f"({level['throughput_commits_per_s']:.0f} commits/s, "
+            f"p99 {level['latency_p99_s'] * 1000:.1f}ms, {verdict}, "
+            f"{clean} lock table)", flush=True,
+        )
+        results.append(level)
+    return {
+        "benchmark": "server_connections",
+        "workers": WORKERS,
+        "accounts": ACCOUNTS,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+        "levels": results,
+    }
+
+
+def check_document(path: str) -> int:
+    """CI gate over the committed capture: the PR's acceptance claims
+    must hold in the recorded data (machine-independent — no live timing
+    comparison, which would be meaningless across runners)."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    problems = []
+    if document.get("workers", 10**9) > 8:
+        problems.append(f"worker pool {document.get('workers')} exceeds 8")
+    for field in ("python", "platform", "cpus"):
+        if field not in document:
+            problems.append(f"metadata field {field!r} missing")
+    levels = {level["connections"]: level
+              for level in document.get("levels", [])}
+    for required in (64, 256, 1024):
+        level = levels.get(required)
+        if level is None:
+            problems.append(f"no capture at {required} connections")
+            continue
+        if not level.get("serializable"):
+            problems.append(f"{required}-connection history not serializable")
+        if not level.get("lock_table_clean"):
+            problems.append(f"{required}-connection lock table dirty")
+        if level.get("commits", 0) <= 0:
+            problems.append(f"{required}-connection run committed nothing")
+        finished = level.get("commits", 0) + level.get("aborts", 0)
+        expected = level.get("connections", 0) * level.get(
+            "txns_per_connection", 0)
+        if finished != expected:
+            problems.append(
+                f"{required}-connection run lost transactions "
+                f"({finished}/{expected})")
+    if problems:
+        print(f"{path}: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"{path}: ok — >=1024 connections on <={document['workers']} "
+          "workers, serializable, clean")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", help="write the capture (strict JSON) here")
+    parser.add_argument("--quick", action="store_true",
+                        help="64 connections only (CI smoke)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate a committed capture instead of running")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_document(args.check)
+
+    levels = QUICK_LEVELS if args.quick else LEVELS
+    print(f"server connection scaling ({WORKERS} workers, "
+          f"{ACCOUNTS} accounts):")
+    document = capture(levels)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

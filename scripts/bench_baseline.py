@@ -461,6 +461,22 @@ def baseline_capture(document: dict) -> dict:
     return document.get("after", document)
 
 
+def machine_mismatches(base: dict, current: dict) -> list[tuple]:
+    """Fingerprint fields on which the two captures disagree.
+
+    Calibration normalization cancels raw single-thread speed but not
+    core counts, interpreter versions, or platform scheduling behavior —
+    so a cross-machine comparison is only honest when the caller opts in.
+    """
+    mismatches = []
+    for field in ("python", "platform", "cpus"):
+        base_value = base.get(field)
+        current_value = current.get(field)
+        if base_value != current_value:
+            mismatches.append((field, base_value, current_value))
+    return mismatches
+
+
 def compare_captures(base: dict, current: dict, tolerance: float) -> list[dict]:
     """Compare normalized metrics; returns one row per metric.
 
@@ -727,6 +743,13 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced repetitions / shorter runs (CI smoke)")
     parser.add_argument("--label", default=None, help="capture label")
+    parser.add_argument(
+        "--allow-cross-machine", action="store_true",
+        help="permit --compare against a capture from a different machine "
+        "(different python/platform/cpu fingerprint); without this flag "
+        "cross-machine comparisons are refused rather than silently "
+        "normalized",
+    )
     args = parser.parse_args(argv)
 
     label = args.label or ("after" if args.before else "capture")
@@ -738,6 +761,23 @@ def main(argv=None) -> int:
         with open(args.compare, encoding="utf-8") as handle:
             document = json.load(handle, parse_constant=_reject_constant)
         base = baseline_capture(document)
+        mismatches = machine_mismatches(base, cap)
+        if mismatches:
+            print(f"\nbaseline {args.compare} was captured on a different "
+                  "machine:")
+            for field, base_value, current_value in mismatches:
+                print(f"  {field}: baseline={base_value!r} "
+                      f"current={current_value!r}")
+            if not args.allow_cross_machine:
+                print(
+                    "refusing the comparison: calibration-normalized ratios "
+                    "do not fully cancel machine differences (cache sizes, "
+                    "core counts, thermal budgets).  Re-capture the baseline "
+                    "on this machine, or pass --allow-cross-machine to "
+                    "accept the extra noise explicitly."
+                )
+                return 2
+            print("  proceeding anyway (--allow-cross-machine)")
         rows = compare_captures(base, cap, args.tolerance)
         print(f"\ncomparison vs {args.compare} (tolerance {args.tolerance:.0%}):")
         for row in rows:

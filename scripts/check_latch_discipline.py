@@ -16,7 +16,16 @@ next to ruff/mypy:
    be waived with a ``# latch-free`` comment on the offending line, which
    this lint treats as a reviewed exception.
 
-2. **Acquisition order.**  Within a function, nested ``with`` blocks
+2. **No suspension under latch (PR 7).**  A function must not ``await``
+   or enter a session/thread suspension point (``_block_on``,
+   ``Session._suspend*``, a blocking ``Completion.wait``) while a
+   recognised latch is lexically held: the waker may need that latch to
+   resolve the wait, so suspension under latch is a deadlock by
+   construction.  A ``threading.Condition`` ``wait`` is exempt — it
+   releases its own lock — but engine latches are plain mutexes and are
+   not.
+
+3. **Acquisition order.**  Within a function, nested ``with`` blocks
    over recognised latch expressions must acquire in non-decreasing rank
    order (``txn < tracker < commit < table < lock-queue < lock-stripe <
    lock-owner < obs < wal``).  Same-rank re-acquisition is legal only
@@ -81,6 +90,19 @@ MUTATORS = {
     "popitem", "remove", "setdefault", "update", "appendleft", "popleft",
 }
 
+#: calls that suspend the current execution (thread-park or session
+#: suspension) — never legal while a latch is held.  ``wait`` is listed
+#: because engine code only calls it on Event/Completion objects;
+#: Condition.wait (which releases its own lock) lives behind ``_cv``
+#: receivers and is exempted in the checker.
+SUSPEND_CALLS = {
+    "_block_on", "_suspend", "_suspend_on_request", "_suspend_on_completion",
+    "wait",
+}
+
+#: receiver attribute names whose ``wait`` releases its own lock
+CONDITION_RECEIVERS = {"_cv", "_condition"}
+
 #: files checked by default, with the shared attributes each latch
 #: protects: attr -> rank-name of the required latch.
 DEFAULT_RULES = {
@@ -106,6 +128,13 @@ DEFAULT_RULES = {
         "_watching": "tracker",
         "_watchers": "tracker",
     },
+    # Wait-completion layers: no protected attributes of their own, but
+    # the no-suspension-under-latch rule must hold everywhere a wait can
+    # start or a session can suspend.
+    "src/repro/engine/transaction.py": {},
+    "src/repro/engine/waits.py": {},
+    "src/repro/session/__init__.py": {},
+    "src/repro/server/core.py": {},
 }
 
 
@@ -254,6 +283,35 @@ class FunctionChecker(ast.NodeVisitor):
             attr = self.protected_attr(func.value)
             if attr is not None:
                 self.require_latch(node, attr)
+        if self.held:
+            name = None
+            receiver = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+                if isinstance(func.value, ast.Attribute):
+                    receiver = func.value.attr
+                elif isinstance(func.value, ast.Name):
+                    receiver = func.value.id
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if (
+                name in SUSPEND_CALLS
+                and receiver not in CONDITION_RECEIVERS
+            ):
+                self.report(
+                    node,
+                    f"calls suspension point {name}() while holding the "
+                    f"{self.held[-1]} latch — the waker may need that latch",
+                )
+        self.generic_visit(node)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if self.held:
+            self.report(
+                node,
+                f"awaits while holding the {self.held[-1]} latch — "
+                "suspension under latch deadlocks by construction",
+            )
         self.generic_visit(node)
 
     # Nested defs get their own checker: a closure does not inherit the

@@ -47,6 +47,7 @@ from repro.engine.indexes import IndexDef, KeyFunc
 from repro.engine.isolation import IsolationLevel
 from repro.engine.latches import make_latch
 from repro.engine.transaction import Transaction, TransactionStatus
+from repro.engine.waits import Completion
 from repro.errors import (
     ABORT_REASONS,
     DeadlockError,
@@ -54,6 +55,7 @@ from repro.errors import (
     KeyNotFoundError,
     LockTimeoutError,
     LockWaitRequired,
+    SafeSnapshotWaitRequired,
     TableError,
     TransactionAbortedError,
     TransactionStateError,
@@ -333,6 +335,8 @@ class Database:
         isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
         read_only: bool = False,
         deferrable: bool = False,
+        *,
+        wait: bool = True,
     ) -> Transaction:
         """Start a transaction at the given isolation level (Fig 3.1).
 
@@ -341,9 +345,15 @@ class Database:
         family the safe-snapshot monitor then watches for the moment its
         snapshot can no longer join a dangerous structure and releases
         its SIREAD locks early (Ports & Grittner §2.4).
-        ``deferrable=True`` (implies read-only) blocks here until a safe
+        ``deferrable=True`` (implies read-only) waits here until a safe
         snapshot is available, then runs with zero SIREAD retention —
         PostgreSQL's SERIALIZABLE READ ONLY DEFERRABLE.
+
+        ``wait=False`` makes a deferrable begin non-blocking: instead of
+        parking the calling thread it raises
+        :class:`~repro.errors.SafeSnapshotWaitRequired` carrying the
+        already-created transaction and a subscribable completion; the
+        executor suspends and later calls :meth:`resume_deferrable`.
         """
         isolation = IsolationLevel.parse(isolation)
         # The single level -> behavior lookup: everything downstream
@@ -367,38 +377,70 @@ class Database:
         if self.trace is not None:
             self.trace.emit(EventType.BEGIN, txn.id, isolation=isolation.value)
         if policy.uses_snapshots and deferrable:
-            self._wait_safe_snapshot(txn)
+            if wait:
+                self._wait_safe_snapshot(txn)
+            else:
+                completion = self._deferrable_attempt(txn)
+                if completion is not None:
+                    if self.history is not None:
+                        self.history.on_begin(txn.id)
+                    raise SafeSnapshotWaitRequired(txn, completion)
         elif policy.uses_snapshots and not self.config.deferred_snapshot:
             self._assign_snapshot(txn)
         if self.history is not None:
             self.history.on_begin(txn.id)
         return txn
 
+    def _deferrable_attempt(self, txn: Transaction) -> Completion | None:
+        """Take one candidate snapshot for a deferrable begin.
+
+        Returns None when the snapshot is already safe (the begin is
+        complete) or a :class:`Completion` the safe-snapshot monitor will
+        fire with its verdict — safe, or unsafe (permanent for this
+        snapshot, so the next attempt needs a fresh one)."""
+        completion = Completion()
+        txn._safe_event = completion
+        self._assign_snapshot(txn)
+        if txn.snapshot_safe:
+            txn._safe_event = None
+            return None
+        if self.safe_snapshots is None or txn.snapshot_safe is None:
+            # No monitor watches this level: nothing retains SIREADs
+            # here, so every snapshot is trivially safe.
+            txn.snapshot_safe = True
+            txn._safe_event = None
+            return None
+        return completion
+
+    def resume_deferrable(self, txn: Transaction) -> Transaction:
+        """Drive a non-blocking deferrable begin after its completion
+        fired.  A safe verdict finishes the begin; an unsafe verdict is
+        permanent for that snapshot, so a fresh one is taken — possibly
+        raising :class:`SafeSnapshotWaitRequired` again."""
+        if txn.snapshot_safe:
+            txn._safe_event = None
+            return txn
+        # Unsafe verdict: a concurrent writer committed a pivot edge
+        # this snapshot can still complete.  Take a fresh snapshot.
+        txn.snapshot = None
+        txn.snapshot_safe = None
+        completion = self._deferrable_attempt(txn)
+        if completion is not None:
+            raise SafeSnapshotWaitRequired(txn, completion)
+        return txn
+
     def _wait_safe_snapshot(self, txn: Transaction) -> None:
-        """Block a deferrable read-only begin() until it holds a *safe*
-        snapshot — one that can never be the T_in of a dangerous
-        structure.  Each candidate snapshot is registered with the
-        monitor; an unsafe verdict discards the snapshot and retries
-        once the concurrent writers that doomed it are gone."""
-        monitor = self.safe_snapshots
-        while True:
-            event = threading.Event()
-            txn._safe_event = event
-            self._assign_snapshot(txn)
-            if txn.snapshot_safe:
-                break
-            if monitor is None or txn.snapshot_safe is None:
-                # No monitor watches this level: nothing retains SIREADs
-                # here, so every snapshot is trivially safe.
-                txn.snapshot_safe = True
-                break
-            event.wait()
-            if txn.snapshot_safe:
-                break
-            # Unsafe verdict: a concurrent writer committed a pivot edge
-            # this snapshot can still complete.  Take a fresh snapshot.
-            txn.snapshot = None
-            txn.snapshot_safe = None
+        """Thread-blocking adapter over the deferrable completion path:
+        park on each candidate's completion until a safe verdict."""
+        completion = self._deferrable_attempt(txn)
+        while completion is not None:
+            completion.wait()
+            try:
+                self.resume_deferrable(txn)
+            except SafeSnapshotWaitRequired as retry:
+                completion = retry.completion
+            else:
+                completion = None
         txn._safe_event = None
 
     def commit(self, txn: Transaction) -> None:

@@ -18,6 +18,7 @@ import threading
 from typing import Any, Hashable, Optional
 
 from repro.engine.isolation import IsolationLevel
+from repro.engine.waits import Completion
 from repro.errors import (
     LockWaitRequired,
     TransactionAbortedError,
@@ -112,8 +113,9 @@ class Transaction:
         #: coarse (page/table) SIREAD resources granted to this txn by
         #: escalation — the read path skips fine acquisition under them.
         self.coarse_sireads: set = set()
-        #: set by the safe-snapshot monitor to wake a deferrable begin().
-        self._safe_event: threading.Event | None = None
+        #: completion the safe-snapshot monitor fires (via ``.set()``) to
+        #: wake or reschedule a deferrable begin().
+        self._safe_event: Completion | None = None
 
     # ----------------------------------------------------------- state
 
@@ -234,6 +236,18 @@ class Transaction:
                 self._block_on(wait.request)
 
     def _block_on(self, request: LockRequest) -> None:
+        """Park this thread on a lock-request completion.
+
+        A thin adapter over :meth:`LockRequest.on_resolve`: one
+        ``threading.Event`` registered as the resolve callback, one
+        wait.  ``LockRequest._resolve`` publishes the final state before
+        firing callbacks, so the untimed wait is race-free.  Only two
+        duties ever add a timeout: a configured ``lock_timeout`` (one
+        timed wait to its deadline, then cancel) and PERIODIC deadlock
+        detection, which must keep sweeping even when every client
+        thread is blocked (Berkeley DB db_perf style) and is the sole
+        remaining consumer of ``wait_poll_interval``.
+        """
         import time
 
         from repro.engine.latches import assert_no_latches_held
@@ -241,36 +255,34 @@ class Transaction:
         # Sleeping while holding any engine latch would stall every other
         # thread needing it; LockWaitRequired must fully unwind first.
         assert_no_latches_held("lock wait")
+        db = self._db
         wait_started = time.monotonic()
-        deadline = None
-        if self._db.config.lock_timeout is not None:
-            deadline = wait_started + self._db.config.lock_timeout
+        timeout = db.config.lock_timeout
         event = threading.Event()
         request.on_resolve(lambda _req: event.set())
-        if deadline is None and not self._db.needs_wait_polling:
-            # Pure push wakeup: LockRequest._resolve publishes the final
-            # state before firing callbacks, so one untimed wait is
-            # race-free — no timeout-poll fallback, no re-check loop.
-            event.wait()
-        else:
-            # Timed waits keep a poll tick for the two duties that need
-            # one: the lock_timeout deadline, and periodic deadlock
-            # detection, which must run even when every client thread is
-            # blocked (Berkeley DB db_perf style).
-            while not event.wait(timeout=self._db.wait_poll_interval):
+        if db.needs_wait_polling:
+            deadline = None if timeout is None else wait_started + timeout
+            while not event.wait(timeout=db.wait_poll_interval):
                 if deadline is not None and time.monotonic() >= deadline:
-                    self._db.cancel_lock_request(request)
+                    db.cancel_lock_request(request)
                     continue  # the denial resolves the request, sets event
-                if self._db.needs_wait_polling:
-                    self._db.poll_waiters()
+                db.poll_waiters()
+        elif timeout is not None:
+            if not event.wait(timeout=timeout):
+                # Either the cancel wins (resolving DENIED) or a racing
+                # grant already did — both fire the event promptly.
+                db.cancel_lock_request(request)
+                event.wait()
+        else:
+            event.wait()
         # Threaded clients measure wall-clock lock waits; the simulator
         # feeds the same histogram in simulated seconds instead.
-        self._db.metrics.histogram("lock_wait_time").observe(
+        db.metrics.histogram("lock_wait_time").observe(
             time.monotonic() - wait_started
         )
         if request.state is RequestState.DENIED:
             error = request.error or TransactionAbortedError(txn_id=self.id)
-            self._db.abort(self)
+            db.abort(self)
             raise error
 
     def __repr__(self) -> str:

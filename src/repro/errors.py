@@ -119,5 +119,24 @@ class LockWaitRequired(ReproError):
         self.request = request
 
 
+class SafeSnapshotWaitRequired(ReproError):
+    """Internal control-flow signal: a deferrable begin() must wait.
+
+    ``Database.begin(deferrable=True, wait=False)`` raises this when the
+    candidate snapshot is not yet known to be safe.  ``txn`` already
+    exists (registered, snapshot assigned and being watched by the
+    ``SafeSnapshotMonitor``); ``completion`` fires on the verdict.  The
+    executor suspends until then and re-drives the begin — a safe
+    verdict completes it, an unsafe verdict (permanent for that
+    snapshot) makes ``Database.resume_deferrable`` retake a snapshot and
+    possibly raise this again.  Never escapes to user code.
+    """
+
+    def __init__(self, txn, completion):
+        super().__init__(f"waiting for a safe snapshot for txn {txn.id}")
+        self.txn = txn
+        self.completion = completion
+
+
 #: Every abort classification that the metrics pipeline understands.
 ABORT_REASONS = ("conflict", "unsafe", "deadlock", "timeout", "constraint", "aborted")

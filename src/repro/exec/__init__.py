@@ -10,6 +10,16 @@ workload invariants, the MVSG serializability oracle, and lock-table
 cleanliness.
 """
 
-from repro.exec.stress import StressResult, final_rows, run_threaded_stress
+from repro.exec.stress import (
+    StressResult,
+    final_rows,
+    run_session_stress,
+    run_threaded_stress,
+)
 
-__all__ = ["StressResult", "final_rows", "run_threaded_stress"]
+__all__ = [
+    "StressResult",
+    "final_rows",
+    "run_session_stress",
+    "run_threaded_stress",
+]

@@ -226,6 +226,128 @@ def run_threaded_stress(
     )
 
 
+def run_session_stress(
+    workload: Workload,
+    level: str = "ssi",
+    sessions: int = 32,
+    workers: int = 4,
+    txns_per_session: int = 16,
+    seed: int = 20080501,
+    config: EngineConfig | None = None,
+    check_serializability: bool = False,
+    invariant: Callable[[Database], None] | None = None,
+    on_database: Callable[[Database], None] | None = None,
+) -> StressResult:
+    """Session-scheduler twin of :func:`run_threaded_stress`: N sessions
+    multiplexed onto M ≪ N scheduler workers, no thread parked on any
+    lock or safe-snapshot wait.
+
+    Each session runs ``txns_per_session`` workload programs
+    sequentially (the next submitted from the previous one's completion
+    callback), drawing from ``random.Random(seed * 1000 + index)`` like
+    thread ``index`` would — so the per-session program sequence is as
+    reproducible as the threaded runner's.  The same post-quiesce audit
+    applies: MVSG verdict, residual lock-table state, invariants.
+    """
+    from repro.session import SessionScheduler
+
+    if config is None:
+        config = EngineConfig(record_history=check_serializability)
+    elif check_serializability and not config.record_history:
+        config = replace(config, record_history=True)
+    db = Database(config)
+    workload.setup(db)
+    if on_database is not None:
+        on_database(db)
+
+    scheduler = SessionScheduler(db, workers=workers)
+    tally = threading.Lock()
+    commits_by_name: dict = {}
+    aborts_by_name: dict = {}
+    totals = {"commits": 0, "aborts": 0}
+    failures: list[BaseException] = []
+    done = threading.Event()
+    remaining = {"sessions": sessions}
+
+    def drive(session, rng, left: int) -> None:
+        """Submit one program; its completion submits the next."""
+        if left == 0:
+            session.close()
+            with tally:
+                remaining["sessions"] -= 1
+                if remaining["sessions"] == 0:
+                    done.set()
+            return
+        name, program = workload.next_transaction(rng)
+
+        def on_done(_result, error):
+            if error is None:
+                with tally:
+                    totals["commits"] += 1
+                    commits_by_name[name] = commits_by_name.get(name, 0) + 1
+            elif isinstance(error, TransactionAbortedError):
+                with tally:
+                    totals["aborts"] += 1
+                    aborts_by_name[name] = aborts_by_name.get(name, 0) + 1
+            else:  # engine bug, not a CC outcome
+                with tally:
+                    failures.append(error)
+                    remaining["sessions"] -= 1
+                    if remaining["sessions"] == 0:
+                        done.set()
+                return
+            drive(session, rng, left - 1)
+
+        session.run_program(program, level, on_done=on_done)
+
+    start = time.perf_counter()
+    for index in range(sessions):
+        drive(scheduler.session(), random.Random(seed * 1000 + index),
+              txns_per_session)
+    done.wait()
+    wall = time.perf_counter() - start
+    scheduler.shutdown()
+    if failures:
+        raise failures[0]
+
+    db.cleanup_suspended()
+    lm = db.locks
+    residual_granted = lm.table_size()
+    residual_owners = len(lm._by_owner)
+    residual_waiters = len(lm._waiting)
+    residual_suspended = len(db._suspended)
+    residual_siread = lm.siread_lock_count()
+
+    serializable: Optional[bool] = None
+    detail = ""
+    if check_serializability:
+        report = check_serializable(db.history)
+        serializable = report.serializable
+        detail = report.describe()
+
+    if invariant is not None:
+        invariant(db)
+
+    return StressResult(
+        workload=workload.name,
+        level=level,
+        threads=workers,
+        txns=txns_per_session * sessions,
+        commits=totals["commits"],
+        aborts=totals["aborts"],
+        wall_clock_s=wall,
+        commits_by_name=commits_by_name,
+        aborts_by_name=aborts_by_name,
+        serializable=serializable,
+        serialization_detail=detail,
+        residual_granted=residual_granted,
+        residual_owners=residual_owners,
+        residual_waiters=residual_waiters,
+        residual_suspended=residual_suspended,
+        residual_siread=residual_siread,
+    )
+
+
 def final_rows(db: Database, table: str) -> dict[Hashable, object]:
     """The committed contents of ``table`` as seen by a fresh snapshot —
     the state workload invariants are checked against."""

@@ -149,10 +149,16 @@ class RequestState(enum.Enum):
 
 @dataclass(eq=False, slots=True)
 class LockRequest:
-    """A pending (or resolved) lock request.
+    """A pending (or resolved) lock request — the engine's lock-wait
+    *completion object*.
 
-    Executors subscribe to resolution via :meth:`on_resolve`; the callback
-    fires exactly once, with the request already in its final state.
+    Executors subscribe to resolution via :meth:`on_resolve`; each
+    callback fires exactly once, with the request already in its final
+    state.  :meth:`_resolve` is the **only** resolution mechanism and is
+    race-free under the per-request lock: the first terminal transition
+    wins, any concurrent or later attempt (a grant racing a timeout
+    cancel) is a no-op, so a request has exactly one terminal state and
+    its callbacks run exactly once.
     """
 
     owner: Any
@@ -166,21 +172,54 @@ class LockRequest:
     # them, so an unguarded check-then-append could land a callback on
     # the already-swapped list and the waiter would never wake.
     _resolve_latch: threading.Lock = field(default_factory=threading.Lock)
+    #: back-reference for surfacing swallowed callback errors (set by
+    #: _enqueue_wait; None for hand-built requests in unit tests)
+    _manager: Any = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.state is not RequestState.WAITING
 
     def on_resolve(self, callback: Callable[["LockRequest"], None]) -> None:
         with self._resolve_latch:
             if self.state is RequestState.WAITING:
                 self._callbacks.append(callback)
                 return
-        callback(self)
+        self._run_callback(callback)
 
-    def _resolve(self, state: RequestState, error: Exception | None = None) -> None:
+    def _resolve(self, state: RequestState, error: Exception | None = None) -> bool:
+        """First terminal transition wins; returns whether this call won.
+
+        A losing call (the request already GRANTED or DENIED by a racing
+        resolver) must not touch state, error, or callbacks — waiters
+        woken by the winner may already be acting on the final state.
+        """
         with self._resolve_latch:
+            if self.state is not RequestState.WAITING:
+                return False
             self.state = state
             self.error = error
             callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
+            self._run_callback(callback)
+        return True
+
+    def _run_callback(self, callback: Callable[["LockRequest"], None]) -> None:
+        """Fire one subscriber with the request in its final state.
+
+        A raising callback must not skip the remaining subscribers or
+        leave the request half-resolved (state is already final before
+        any callback runs), so the error is contained here and surfaced
+        through the manager's ``lock_callback_errors`` counter and a
+        trace event instead of unwinding the resolver — which may be a
+        *different* transaction's commit path deep under manager latches.
+        """
+        try:
             callback(self)
+        except Exception as error:  # noqa: BLE001 - deliberate containment
+            manager = self._manager
+            if manager is not None:
+                manager._note_callback_error(self, error)
 
     def __repr__(self) -> str:
         return (
@@ -393,6 +432,7 @@ class LockManager:
                 "siread_dropped": 0,
                 "escalations": 0,
                 "escalated_records": 0,
+                "lock_callback_errors": 0,
             }
         )
         #: event trace, installed by Database.enable_tracing (None = off)
@@ -414,6 +454,35 @@ class LockManager:
         for heads in self._stripe_heads:
             merged.update(heads)
         return merged
+
+    def _note_callback_error(self, request: "LockRequest", error: Exception) -> None:
+        """Account for an exception a resolve callback swallowed.
+
+        Runs on the resolving thread, possibly under queue/stripe
+        latches; the obs latch (rank 80) nests legally above them."""
+        self.stats.inc("lock_callback_errors")
+        if self.trace is not None:
+            self.trace.emit(
+                EventType.CALLBACK_ERROR, request.owner.id,
+                resource=repr(request.resource), mode=request.mode.value,
+                state=request.state.value, error=type(error).__name__,
+                message=str(error),
+            )
+
+    def acquire_nowait(
+        self, owner: Any, resource: Resource, mode: LockMode
+    ) -> AcquireResult:
+        """Completion-style acquisition: never blocks the calling thread.
+
+        Returns either an immediate ``GRANTED`` result or ``WAIT``
+        carrying a subscribable :class:`LockRequest`; the caller
+        registers interest with ``result.request.on_resolve`` (a thread
+        parks an event on it, a session schedules its own resumption, an
+        asyncio bridge settles a future) and retries the operation after
+        the grant.  This is the canonical waiting API; :meth:`acquire`
+        is the same call under its historical name.
+        """
+        return self.acquire(owner, resource, mode)
 
     def acquire(self, owner: Any, resource: Resource, mode: LockMode) -> AcquireResult:
         """Request ``mode`` on ``resource`` for ``owner``.
@@ -675,7 +744,7 @@ class LockManager:
         owner_id = owner.id
         owner_locks = self._by_owner.get(owner_id)
         held = owner_locks.get(resource) if owner_locks else None
-        request = LockRequest(owner=owner, resource=resource, mode=mode)
+        request = LockRequest(owner=owner, resource=resource, mode=mode, _manager=self)
         if head.queue is None:
             head.queue = deque()
         if held is not None:
@@ -1361,8 +1430,12 @@ class LockManager:
                     return False
                 head.queue.remove(request)
                 self._waiting_discard(request)
-                request._resolve(RequestState.DENIED, error)
-                if self.trace is not None:
+                # Queue membership (checked under the queue latch, which
+                # every resolver holds) implies the request is still
+                # WAITING, but the terminal transition itself is the
+                # arbiter: report cancellation only if this call won it.
+                cancelled = request._resolve(RequestState.DENIED, error)
+                if cancelled and self.trace is not None:
                     self.trace.emit(
                         EventType.LOCK_DENY, request.owner.id,
                         resource=repr(resource), mode=request.mode.value,
@@ -1370,7 +1443,7 @@ class LockManager:
                     )
                 self._refresh_wait_edges(head)
                 self._promote(resource, stripe_index)
-                return True
+                return cancelled
 
     def cancel_waits(self, owner: Any, error: Exception | None = None) -> None:
         """Remove any waiting requests of ``owner`` (abort/doom path).

@@ -36,10 +36,12 @@ class EventType:
     SUSPEND = "suspend"
     CLEANUP = "cleanup"
     ABORT = "abort"
+    CALLBACK_ERROR = "lock_callback_error"
 
     ALL = (
         BEGIN, SNAPSHOT, LOCK_WAIT, LOCK_GRANT, LOCK_DENY, RW_CONFLICT,
         MIXED_EDGE, VICTIM, UNSAFE, COMMIT, SUSPEND, CLEANUP, ABORT,
+        CALLBACK_ERROR,
     )
 
 

@@ -1,0 +1,22 @@
+"""Network frontend: the asyncio wire-protocol server.
+
+See :mod:`repro.server.core` for the server, :mod:`repro.server.protocol`
+for the framing, and :mod:`repro.client` for the matching clients.
+Run one from the command line with ``python -m repro.server``.
+"""
+
+from repro.server.core import ReproServer
+from repro.server.protocol import (
+    FrameError,
+    MAX_FRAME,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "ReproServer",
+    "FrameError",
+    "MAX_FRAME",
+    "decode_frame",
+    "encode_frame",
+]

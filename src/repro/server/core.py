@@ -1,0 +1,326 @@
+"""The asyncio wire-protocol server.
+
+One TCP connection = one :class:`repro.session.Session`; the asyncio
+event loop never blocks on the engine.  Each request frame is dispatched
+as a session invocation whose ``on_done`` settles an asyncio future via
+``loop.call_soon_threadsafe`` — the bridge between session completions
+(which may fire on scheduler workers or, transitively, on lock-manager
+resolver threads) and the event loop.  While a session is suspended on a
+lock or safe-snapshot wait, neither an OS thread nor the event loop is
+held: 1024 connections cost 1024 suspended sessions, not 1024 threads.
+
+The protocol is request/response per connection (one outstanding op);
+see :mod:`repro.server.protocol` for framing.  Operations:
+
+======================  ====================================================
+``begin``               ``isolation``/``read_only``/``deferrable`` -> txn id
+``read``/``get``        point reads (``read`` errors on missing keys)
+``read_for_update``     SELECT ... FOR UPDATE promotion primitive
+``put``/``insert``/``delete``  writes (``put`` = blind upsert)
+``scan``/``index_scan``/``index_lookup``  predicate reads
+``commit``/``abort``    finish the open transaction
+``create_table``/``load``  schema/bulk-load admin (no open txn required)
+``ping``                liveness + server info
+======================  ====================================================
+
+Abort responses carry the machine-readable ``reason`` and, when the
+database has tracing enabled, the ``explanation`` payload built from
+:meth:`Database.explain_abort` (pivot triple and rw-antidependency list
+rendered JSON-safe).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.engine.database import Database
+from repro.errors import TransactionAbortedError
+from repro.server.protocol import (
+    FrameError,
+    encode_frame,
+    read_frame_async,
+)
+from repro.session import Session, SessionScheduler
+
+__all__ = ["ReproServer"]
+
+
+class ReproServer:
+    """Serve a :class:`Database` over TCP.
+
+    ``workers`` sizes the session scheduler's thread pool when the
+    server creates its own; pass an existing ``scheduler`` to share one.
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 8,
+        scheduler: SessionScheduler | None = None,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self._own_scheduler = scheduler is None
+        self.scheduler = scheduler or SessionScheduler(db, workers=workers)
+        self._server: asyncio.AbstractServer | None = None
+        self._connections = 0
+        db.metrics.register_gauge("server_connections", lambda: self._connections)
+
+    # ------------------------------------------------------- lifecycle
+
+    async def start(self, backlog: int = 2048) -> None:
+        # A large accept backlog: the connection-count benchmark opens
+        # ~1024 sockets at once and must not lose SYNs to a 100-deep
+        # default queue.
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=backlog
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._own_scheduler:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.scheduler.shutdown
+            )
+
+    @property
+    def connections(self) -> int:
+        return self._connections
+
+    # ------------------------------------------------------ connection
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = self.scheduler.session()
+        self._connections += 1
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    frame = await read_frame_async(reader)
+                except FrameError as error:
+                    writer.write(encode_frame(
+                        {"ok": False, "error": "FrameError", "message": str(error)}
+                    ))
+                    await writer.drain()
+                    break
+                if frame is None:
+                    break
+                reply = await self._dispatch(loop, session, frame)
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections -= 1
+            await self._close_session(loop, session)
+            writer.close()
+            try:
+                # CancelledError included: at loop teardown the handler
+                # task is cancelled mid-wait_closed; nothing follows this
+                # await, and finishing normally instead of cancelled keeps
+                # the stdlib stream done-callback from logging noise.
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _close_session(self, loop, session: Session) -> None:
+        """Abort whatever the connection left open and retire the session.
+        A session suspended on a wait is interrupted first so close()
+        cannot queue behind a wait that might outlive the connection."""
+        session.interrupt()
+        future: asyncio.Future = loop.create_future()
+
+        def on_done(result: Any, error: BaseException | None) -> None:
+            loop.call_soon_threadsafe(_settle, future, result, error)
+
+        session.close(on_done=on_done)
+        try:
+            # Shielded: a cancelled connection task (loop teardown) must
+            # still wait out the close so the engine state is released.
+            await asyncio.shield(future)
+        except BaseException:  # noqa: BLE001 - best-effort cleanup
+            pass
+
+    # -------------------------------------------------------- dispatch
+
+    async def _dispatch(
+        self, loop, session: Session, frame: dict[str, Any]
+    ) -> dict[str, Any]:
+        op = frame.get("op")
+        if op == "ping":
+            return {
+                "ok": True, "server": "repro", "workers": self.scheduler.workers,
+                "connections": self._connections,
+            }
+        if op in ("create_table", "load"):
+            return self._admin(op, frame)
+        method = _OPS.get(op)
+        if method is None:
+            return {"ok": False, "error": "ProtocolError",
+                    "message": f"unknown op {op!r}"}
+        try:
+            args, kwargs = method(frame)
+        except KeyError as error:
+            return {"ok": False, "error": "ProtocolError",
+                    "message": f"op {op!r} missing field {error}"}
+        future: asyncio.Future = loop.create_future()
+
+        def on_done(result: Any, error: BaseException | None) -> None:
+            loop.call_soon_threadsafe(_settle, future, result, error)
+
+        txn = session.txn
+        txn_id = txn.id if txn is not None else None
+        getattr(session, op if op != "put" else "write")(
+            *args, on_done=on_done, **kwargs
+        )
+        try:
+            result = await future
+        except BaseException as error:  # noqa: BLE001 - mapped onto the wire
+            return self._error_reply(error, txn_id)
+        if op == "begin":
+            return {"ok": True, "txn": result}
+        if op == "scan":
+            return {"ok": True, "rows": [[key, value] for key, value in result]}
+        if op == "index_scan":
+            return {"ok": True, "rows": [[key, pk] for key, pk in result]}
+        if op == "index_lookup":
+            return {"ok": True, "keys": list(result)}
+        if op in ("commit", "abort", "put", "insert", "delete"):
+            return {"ok": True}
+        return {"ok": True, "value": result}
+
+    def _admin(self, op: str, frame: dict[str, Any]) -> dict[str, Any]:
+        try:
+            if op == "create_table":
+                self.db.create_table(frame["table"])
+            else:
+                self.db.load(frame["table"], [
+                    (key, value) for key, value in frame["rows"]
+                ])
+        except KeyError as error:
+            return {"ok": False, "error": "ProtocolError",
+                    "message": f"op {op!r} missing field {error}"}
+        except Exception as error:  # noqa: BLE001 - mapped onto the wire
+            return {"ok": False, "error": type(error).__name__,
+                    "message": str(error)}
+        return {"ok": True}
+
+    def _error_reply(
+        self, error: BaseException, txn_id: int | None
+    ) -> dict[str, Any]:
+        reply: dict[str, Any] = {
+            "ok": False,
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+        if isinstance(error, TransactionAbortedError):
+            reply["reason"] = error.reason
+            failed_id = error.txn_id if error.txn_id is not None else txn_id
+            if failed_id is not None:
+                reply["txn"] = failed_id
+                if self.db.trace is not None:
+                    reply["explanation"] = self._explanation(failed_id)
+        return reply
+
+    def _explanation(self, txn_id: int) -> dict[str, Any] | None:
+        try:
+            explanation = self.db.explain_abort(txn_id)
+        except Exception:  # noqa: BLE001 - diagnostics must not fail the reply
+            return None
+        payload: dict[str, Any] = {
+            "reason": explanation.reason,
+            "text": explanation.render(),
+            "conflicts": [
+                [reader, writer, ts]
+                for reader, writer, ts in explanation.conflicts
+            ],
+        }
+        pivot = explanation.pivot
+        if pivot is not None:
+            payload["pivot"] = {
+                "t_in": pivot.t_in, "pivot": pivot.pivot, "t_out": pivot.t_out,
+            }
+        return payload
+
+
+def _settle(future: asyncio.Future, result: Any,
+            error: BaseException | None) -> None:
+    if future.cancelled():
+        return
+    if error is not None:
+        future.set_exception(error)
+    else:
+        future.set_result(result)
+
+
+def _op_begin(frame):
+    return (frame.get("isolation", "ssi"),), {
+        "read_only": bool(frame.get("read_only", False)),
+        "deferrable": bool(frame.get("deferrable", False)),
+    }
+
+
+def _op_point(frame):
+    return (frame["table"], frame["key"]), {}
+
+
+def _op_get(frame):
+    return (frame["table"], frame["key"], frame.get("default")), {}
+
+
+def _op_value(frame):
+    return (frame["table"], frame["key"], frame["value"]), {}
+
+
+def _op_scan(frame):
+    return (frame["table"], frame.get("lo"), frame.get("hi")), {}
+
+
+def _op_index_scan(frame):
+    return (frame["index"], frame.get("lo"), frame.get("hi")), {}
+
+
+def _op_index_lookup(frame):
+    return (frame["index"], frame["key"]), {}
+
+
+def _op_bare(_frame):
+    return (), {}
+
+
+#: op name -> frame parser returning (args, kwargs) for the Session method
+_OPS = {
+    "begin": _op_begin,
+    "read": _op_point,
+    "get": _op_get,
+    "read_for_update": _op_point,
+    "put": _op_value,
+    "insert": _op_value,
+    "delete": _op_point,
+    "scan": _op_scan,
+    "index_scan": _op_index_scan,
+    "index_lookup": _op_index_lookup,
+    "commit": _op_bare,
+    "abort": _op_bare,
+}

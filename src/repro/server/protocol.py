@@ -1,0 +1,110 @@
+"""Length-prefixed JSON wire protocol shared by server and clients.
+
+Framing: a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  JSON (stdlib) rather than msgpack keeps the
+protocol dependency-free; the framing is identical, so a msgpack codec
+could be swapped in behind :func:`encode_frame`/:func:`decode_frame`.
+
+Requests are objects with an ``op`` field (``begin``/``get``/``put``/
+``scan``/``commit``/``abort``/...); responses carry ``ok: true`` plus a
+result payload, or ``ok: false`` plus ``error`` (exception class name),
+``reason`` (abort classification, see :data:`repro.errors.ABORT_REASONS`),
+``message``, and — when server-side tracing is enabled — an
+``explanation`` object from :meth:`repro.engine.database.Database.explain_abort`.
+
+Keys and values must be JSON-representable; that is the wire format's
+restriction, not the engine's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import socket
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME",
+    "FrameError",
+    "encode_frame",
+    "decode_frame",
+    "read_frame_async",
+    "read_frame_sock",
+    "send_frame_sock",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: refuse frames above 16 MiB — a corrupt header otherwise asks the
+#: server to allocate gigabytes.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class FrameError(Exception):
+    """Malformed frame (oversized, truncated, or invalid JSON)."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"invalid frame body: {error}") from error
+    if not isinstance(message, dict):
+        raise FrameError("frame body must be a JSON object")
+    return message
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; None on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise FrameError("connection closed mid-header") from error
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("connection closed mid-frame") from error
+    return decode_frame(body)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sock(sock: socket.socket) -> dict[str, Any] | None:
+    """Blocking-socket twin of :func:`read_frame_async`."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise FrameError("connection closed mid-frame")
+    return decode_frame(body)
+
+
+def send_frame_sock(sock: socket.socket, message: dict[str, Any]) -> None:
+    sock.sendall(encode_frame(message))

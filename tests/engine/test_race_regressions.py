@@ -132,6 +132,59 @@ class TestLockRequestResolveRace:
             assert fired == [request]
 
 
+class TestCancelVsResolveRace:
+    """``cancel_request`` racing a grant must settle on exactly one
+    terminal state — through the full Database API, where the loser of
+    the race used to double-resolve and emit a spurious deny trace."""
+
+    def test_timeout_cancel_racing_commit_grant(self):
+        from repro.engine.config import EngineConfig
+        from repro.engine.database import Database
+        from repro.errors import TransactionAbortedError
+        from repro.locking.manager import record_resource
+
+        for i in range(25):
+            db = Database(EngineConfig())
+            fill(db, "t", {"k": 0})
+            holder = db.begin("s2pl")
+            holder.read_for_update("t", "k")
+            waiter = db.begin("s2pl")
+            result = db.locks.acquire_nowait(
+                waiter, record_resource("t", "k"), LockMode.SHARED)
+            request = result.request
+            fired = []
+            request.on_resolve(lambda r: fired.append(r.state))
+            barrier = threading.Barrier(2)
+
+            def cancel():
+                barrier.wait()
+                db.cancel_lock_request(request)
+
+            def grant():
+                barrier.wait()
+                holder.commit()
+
+            threads = [threading.Thread(target=cancel),
+                       threading.Thread(target=grant)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(fired) == 1, "exactly one terminal state"
+            assert fired == [request.state]
+            if request.state is RequestState.DENIED:
+                # the timeout won: the waiter is doomed and aborts cleanly
+                assert waiter.doom_error is not None
+                with pytest.raises(TransactionAbortedError):
+                    waiter.read("t", "k")
+            else:
+                assert waiter.doom_error is None
+                waiter.commit()
+            db.cleanup_suspended()
+            assert db.locks.table_size() == 0
+            assert len(db.locks._waiting) == 0
+
+
 class TestRetainAllReadsFastPath:
     def test_pure_siread_owner_is_retained(self, db):
         fill(db, "t", {1: "a"})

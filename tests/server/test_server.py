@@ -1,0 +1,268 @@
+"""Wire-protocol server: framing, error mapping, connection lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.client import AsyncClient, BlockingClient, ServerError
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import (
+    KeyNotFoundError,
+    TransactionAbortedError,
+    UnsafeError,
+)
+from repro.server import ReproServer
+from repro.server.protocol import (
+    MAX_FRAME,
+    FrameError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = {"op": "put", "key": ["compound", 3], "value": {"n": 1.5}}
+        assert decode_frame(encode_frame(frame)[4:]) == frame
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"[1, 2]")
+        with pytest.raises(FrameError):
+            decode_frame(b"not json")
+
+    def test_rejects_oversized_header(self):
+        async def read_it():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", MAX_FRAME + 1))
+            from repro.server.protocol import read_frame_async
+            return await read_frame_async(reader)
+
+        with pytest.raises(FrameError):
+            asyncio.run(read_it())
+
+
+@pytest.fixture
+def server_db():
+    db = Database(EngineConfig(record_history=True))
+    db.enable_tracing()
+    return db
+
+
+def run_with_server(db, body, *, workers: int = 2):
+    """Start a server on an ephemeral port, run ``body(server)`` in the
+    event loop, always stop the server."""
+
+    async def main():
+        server = ReproServer(db, workers=workers)
+        await server.start()
+        try:
+            return await body(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestServer:
+    def test_round_trip_and_admin(self, server_db):
+        async def body(server):
+            client = await AsyncClient.connect(port=server.port)
+            info = await client.ping()
+            assert info["server"] == "repro" and info["connections"] == 1
+            await client.create_table("t")
+            await client.load("t", [("a", 1), ("b", 2)])
+            txn = await client.begin("ssi")
+            assert isinstance(txn, int)
+            assert await client.read("t", "a") == 1
+            assert await client.get("t", "zzz", "fallback") == "fallback"
+            await client.put("t", "a", 10)
+            await client.insert("t", "c", 3)
+            await client.delete("t", "b")
+            assert await client.scan("t") == [["a", 10], ["c", 3]] or \
+                await client.scan("t") == [("a", 10), ("c", 3)]
+            await client.commit()
+            await client.close()
+
+        run_with_server(server_db, body)
+        check = server_db.begin("si")
+        assert check.read("t", "a") == 10
+        check.commit()
+
+    def test_error_frames_map_to_exception_classes(self, server_db):
+        server_db.create_table("t")
+        server_db.load("t", [("k", 0)])
+
+        async def body(server):
+            client = await AsyncClient.connect(port=server.port)
+            await client.begin("ssi")
+            with pytest.raises(KeyNotFoundError):
+                await client.read("t", "missing")
+            # connection (and transaction) survive a failed op
+            assert await client.read("t", "k") == 0
+            await client.abort()
+            with pytest.raises(ServerError) as info:
+                await client._call({"op": "no_such_op"})
+            assert info.value.remote_error == "ProtocolError"
+            await client.close()
+
+        run_with_server(server_db, body)
+
+    def test_abort_reply_carries_reason_and_explanation(self, server_db):
+        """An SSI dangerous-structure abort travels the wire with its
+        machine-readable reason and the explain_abort payload."""
+        server_db.create_table("t")
+        server_db.load("t", [("x", 0), ("y", 0)])
+
+        async def body(server):
+            pivot = await AsyncClient.connect(port=server.port)
+            t_in = await AsyncClient.connect(port=server.port)
+            t_out = await AsyncClient.connect(port=server.port)
+            await pivot.begin("ssi")
+            await t_in.begin("ssi")
+            await t_out.begin("ssi")
+            await t_out.put("t", "y", 1)
+            await pivot.read("t", "y")      # pivot -rw-> t_out
+            await pivot.put("t", "x", 1)
+            await t_in.read("t", "x")       # t_in -rw-> pivot
+            await t_out.commit()
+            await t_in.commit()
+            with pytest.raises(TransactionAbortedError) as info:
+                await pivot.commit()
+            error = info.value
+            assert error.reason == "unsafe"
+            assert isinstance(error, UnsafeError)
+            explanation = error.explanation
+            assert explanation is not None
+            assert explanation["reason"] == "unsafe"
+            assert explanation["pivot"] is not None
+            assert "dangerous structure" in explanation["text"]
+            for client in (pivot, t_in, t_out):
+                await client.close()
+
+        run_with_server(server_db, body)
+
+    def test_more_connections_than_workers(self, server_db):
+        """16 concurrent transactional connections on a 2-worker pool:
+        suspension (not thread count) carries the concurrency."""
+        server_db.create_table("acct")
+        server_db.load("acct", [(i, 100) for i in range(4)])
+
+        async def body(server):
+            async def transfer(index):
+                client = await AsyncClient.connect(port=server.port)
+                try:
+                    for _ in range(3):
+                        try:
+                            await client.begin("ssi")
+                            src, dst = index % 4, (index + 1) % 4
+                            a = await client.read("acct", src)
+                            b = await client.read("acct", dst)
+                            await client.put("acct", src, a - 1)
+                            await client.put("acct", dst, b + 1)
+                            await client.commit()
+                        except TransactionAbortedError:
+                            pass
+                finally:
+                    await client.close()
+
+            await asyncio.gather(*(transfer(i) for i in range(16)))
+
+        run_with_server(server_db, body, workers=2)
+        total = 0
+        check = server_db.begin("si")
+        for _key, value in check.scan("acct"):
+            total += value
+        check.commit()
+        assert total == 400  # transfers conserve money
+        assert server_db.locks.table_size() == 0
+        assert len(server_db.locks._waiting) == 0
+
+    def test_disconnect_releases_locks_and_wakes_nobody_forever(self, server_db):
+        """A client that vanishes mid-transaction (even mid-lock-wait)
+        must not strand engine state: its txn aborts, locks release."""
+        server_db.create_table("t")
+        server_db.load("t", [("x", 0)])
+
+        async def body(server):
+            holder = await AsyncClient.connect(port=server.port)
+            await holder.begin("s2pl")
+            await holder.read_for_update("t", "x")
+
+            waiter = await AsyncClient.connect(port=server.port)
+            await waiter.begin("s2pl")
+            wait_task = asyncio.ensure_future(waiter.read_for_update("t", "x"))
+            await asyncio.sleep(0.1)
+            assert not wait_task.done()
+            # the waiter vanishes while suspended on the lock queue
+            await waiter.close()
+            wait_task.cancel()
+            try:
+                await wait_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            # ...and the holder vanishes while owning the lock
+            await holder.close()
+            # a fresh connection can take the lock immediately
+            fresh = await AsyncClient.connect(port=server.port)
+            await fresh.begin("s2pl")
+            assert await fresh.read_for_update("t", "x") == 0
+            await fresh.commit()
+            await fresh.close()
+
+        run_with_server(server_db, body)
+        assert server_db.locks.table_size() == 0
+        assert len(server_db.locks._by_owner) == 0
+        assert len(server_db.locks._waiting) == 0
+
+    def test_blocking_client_from_thread(self, server_db):
+        server_db.create_table("t")
+
+        async def body(server):
+            loop = asyncio.get_running_loop()
+
+            def blocking_work():
+                with BlockingClient.connect(port=server.port) as client:
+                    client.begin("ssi")
+                    client.insert("t", "k", "v")
+                    client.commit()
+                    client.begin("si", read_only=True)
+                    assert client.read("t", "k") == "v"
+                    client.commit()
+
+            await loop.run_in_executor(None, blocking_work)
+
+        run_with_server(server_db, body)
+
+    def test_deferrable_begin_over_the_wire(self, server_db):
+        """A deferrable begin suspends server-side until safe; the reply
+        frame arrives only after the verdict — without pinning a worker
+        or the event loop."""
+        server_db.create_table("t")
+        server_db.load("t", [(1, "a")])
+        writer = server_db.begin("ssi")
+        writer.read("t", 1)  # rw txn the monitor must watch
+
+        async def body(server):
+            client = await AsyncClient.connect(port=server.port)
+            begin_task = asyncio.ensure_future(
+                client.begin("ssi", deferrable=True))
+            await asyncio.sleep(0.15)
+            assert not begin_task.done()  # still waiting on the verdict
+
+            def release():
+                writer.write("t", 1, "w")
+                writer.commit()
+
+            await asyncio.get_running_loop().run_in_executor(None, release)
+            txn = await asyncio.wait_for(begin_task, timeout=10)
+            assert isinstance(txn, int)
+            assert await client.read("t", 1) == "a"
+            await client.commit()
+            await client.close()
+
+        run_with_server(server_db, body, workers=1)
