@@ -25,7 +25,18 @@ next to ruff/mypy:
    releases its own lock — but engine latches are plain mutexes and are
    not.
 
-3. **Acquisition order.**  Within a function, nested ``with`` blocks
+3. **No blocking RPC under latch (PR 8).**  In the sharding layer
+   (``repro.shard``), a call on a shard backend or wire link
+   (``self.backends[s].op(...)``, ``self.link.call(...)``) is a
+   blocking round trip to another process.  Holding a recognised latch
+   across one stalls every local thread needing that latch on a remote
+   peer — so the lint flags any such call lexically under a latch.  The
+   coordinator's *apply gates* are deliberately not latches (they are
+   commit-visibility gates, held across the ``commit_prepared`` fan-out
+   by design; see the coordinator's module docstring) and are not
+   registered here.
+
+4. **Acquisition order.**  Within a function, nested ``with`` blocks
    over recognised latch expressions must acquire in non-decreasing rank
    order (``txn < tracker < commit < table < lock-queue < lock-stripe <
    lock-owner < obs < wal``).  Same-rank re-acquisition is legal only
@@ -64,6 +75,11 @@ RANKS = {
     "lock-stripe": 60,
     "lock-owner": 70,
     "obs": 80,
+    # Coordinator-process latches (repro.shard): they never nest with
+    # engine latches — the engines live in other processes — so their
+    # ranks only order them against each other.
+    "vis": 84,
+    "abort-log": 86,
     "wal": 90,
 }
 
@@ -76,6 +92,8 @@ LATCH_ATTRS = {
     "_queue_latch": "lock-queue",
     "_owner_latch": "lock-owner",
     "_latch": "wal",  # WriteAheadLog._latch
+    "_vis_latch": "vis",  # Coordinator's commit-sequence vector latch
+    "_abort_lock": "abort-log",  # Coordinator's explain_abort memory
 }
 
 #: bare names recognised as latches (module-level singletons)
@@ -102,6 +120,18 @@ SUSPEND_CALLS = {
 
 #: receiver attribute names whose ``wait`` releases its own lock
 CONDITION_RECEIVERS = {"_cv", "_condition"}
+
+#: receiver names that denote a shard backend or wire link: calling
+#: through one is a blocking RPC to another process (rule 3).
+RPC_RECEIVERS = {"backend", "backends", "link", "shard_link"}
+
+#: files where the RPC-under-latch rule applies (the sharding layer)
+RPC_FILES = {
+    "src/repro/shard/coordinator.py",
+    "src/repro/shard/backend.py",
+    "src/repro/shard/process.py",
+    "src/repro/shard/stress.py",
+}
 
 #: files checked by default, with the shared attributes each latch
 #: protects: attr -> rank-name of the required latch.
@@ -135,6 +165,16 @@ DEFAULT_RULES = {
     "src/repro/engine/waits.py": {},
     "src/repro/session/__init__.py": {},
     "src/repro/server/core.py": {},
+    # Sharding layer: the commit-sequence vector and the explain_abort
+    # memory are mutated under their own coordinator-process latches;
+    # the RPC-under-latch rule (rule 3) covers every function here.
+    "src/repro/shard/coordinator.py": {
+        "_csn": "vis",
+        "_aborts": "abort-log",
+    },
+    "src/repro/shard/backend.py": {},
+    "src/repro/shard/process.py": {},
+    "src/repro/shard/stress.py": {},
 }
 
 
@@ -153,6 +193,16 @@ def latch_rank_of(node: ast.expr, aliases: dict) -> str | None:
         if isinstance(target, ast.Name) and target.id in LATCH_COLLECTIONS:
             return LATCH_COLLECTIONS[target.id]
     return None
+
+
+def is_rpc_receiver(node: ast.expr) -> bool:
+    """True when ``node`` names a shard backend or wire link — e.g.
+    ``self.link``, ``backend``, ``self.backends[s]``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr in RPC_RECEIVERS:
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in RPC_RECEIVERS
 
 
 def self_attr_name(node: ast.expr) -> str | None:
@@ -176,6 +226,7 @@ class FunctionChecker(ast.NodeVisitor):
         self.problems: list[str] = []
         self.held: list[str] = []  # rank names, acquisition order
         self.aliases: dict = {}  # local name -> rank name
+        self.check_rpc = path in RPC_FILES
 
     # ------------------------------------------------------------ plumbing
 
@@ -303,6 +354,18 @@ class FunctionChecker(ast.NodeVisitor):
                     f"calls suspension point {name}() while holding the "
                     f"{self.held[-1]} latch — the waker may need that latch",
                 )
+        if (
+            self.check_rpc
+            and self.held
+            and isinstance(func, ast.Attribute)
+            and is_rpc_receiver(func.value)
+        ):
+            self.report(
+                node,
+                f"blocking RPC {func.attr}() while holding the "
+                f"{self.held[-1]} latch — remote round trips must not "
+                "stall local latch holders",
+            )
         self.generic_visit(node)
 
     def visit_Await(self, node: ast.Await) -> None:

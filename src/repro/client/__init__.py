@@ -28,7 +28,7 @@ from repro.server.protocol import (
     send_frame_sock,
 )
 
-__all__ = ["AsyncClient", "BlockingClient", "ServerError"]
+__all__ = ["AsyncClient", "BlockingClient", "PipelinedClient", "ServerError"]
 
 
 class ServerError(ReproError):
@@ -275,3 +275,7 @@ class BlockingClient:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.close()
         return False
+
+
+# Imported last: link.py resolves _raise_reply from this module.
+from repro.client.link import PipelinedClient  # noqa: E402

@@ -1,0 +1,162 @@
+"""Pipelined client link: many outstanding ops on one connection.
+
+The :class:`~repro.client.BlockingClient` is strictly request/response —
+fine for one interactive session, too slow for a sharding coordinator
+that must fan a PREPARE out to several shards and collect the votes in
+one round trip.  :class:`PipelinedClient` tags every frame with an
+``id`` (see :mod:`repro.server.protocol`), sends without waiting, and a
+single receiver thread matches the (possibly out-of-order) replies back
+to per-call slots.  Frames may also carry a ``txn`` global id, routing
+them to the server-wide session for that distributed transaction, so
+one link multiplexes every transaction the coordinator runs against a
+shard.
+
+The server bounds in-flight frames per connection (``max_inbox``) by
+not reading the socket when full; the link inherits that backpressure
+naturally — ``submit`` blocks in ``send`` once the kernel buffers fill.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any
+
+from repro.server.protocol import read_frame_sock, send_frame_sock
+
+__all__ = ["PipelinedClient", "PendingReply"]
+
+
+class PendingReply:
+    """One in-flight call: an event the receiver thread fires plus the
+    raw reply frame.  ``wait()`` parks the caller; the link's ``result``
+    maps error replies onto the engine's exception classes."""
+
+    __slots__ = ("_event", "reply")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reply: dict[str, Any] | None = None
+
+    def wait(self, timeout: float | None = None) -> dict[str, Any] | None:
+        self._event.wait(timeout)
+        return self.reply
+
+    def settle(self, reply: dict[str, Any] | None) -> None:
+        self.reply = reply
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class PipelinedClient:
+    """A thread-safe pipelined connection to a :class:`ReproServer`.
+
+    ``submit(frame) -> PendingReply`` sends immediately and returns a
+    waitable slot; ``result(slot)`` blocks and re-raises server errors
+    as the same exception classes :mod:`repro.client` raises (with
+    ``.explanation`` attached); ``call(frame)`` is submit+result.
+    Any thread may submit; one receiver thread drains the socket.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.create_connection((host, port))
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._table_lock = threading.Lock()
+        self._pending: dict[int, PendingReply] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._recv_error: BaseException | None = None
+        self._receiver = threading.Thread(
+            target=self._recv_loop, name=f"link-{host}:{port}", daemon=True
+        )
+        self._receiver.start()
+
+    # --------------------------------------------------------- sending
+
+    def submit(self, frame: dict[str, Any]) -> PendingReply:
+        """Send ``frame`` with a fresh id; return its reply slot."""
+        slot = PendingReply()
+        message = dict(frame)
+        message["id"] = next(self._ids)
+        with self._table_lock:
+            if self._closed:
+                raise ConnectionError("pipelined link is closed")
+            self._pending[message["id"]] = slot
+        try:
+            with self._send_lock:
+                send_frame_sock(self._sock, message)
+        except BaseException:
+            with self._table_lock:
+                self._pending.pop(message["id"], None)
+            raise
+        return slot
+
+    def result(self, slot: PendingReply) -> dict[str, Any]:
+        """Wait for a slot and return its reply, raising server errors
+        as engine exception classes."""
+        reply = slot.wait()
+        if reply is None:
+            raise self._recv_error or ConnectionError(
+                "pipelined link closed before the reply arrived"
+            )
+        if not reply.get("ok"):
+            from repro.client import _raise_reply
+
+            _raise_reply(reply)
+        return reply
+
+    def call(self, frame: dict[str, Any]) -> dict[str, Any]:
+        return self.result(self.submit(frame))
+
+    def ping(self) -> dict[str, Any]:
+        return self.call({"op": "ping"})
+
+    # ------------------------------------------------------- receiving
+
+    def _recv_loop(self) -> None:
+        try:
+            while True:
+                reply = read_frame_sock(self._sock)
+                if reply is None:
+                    break
+                slot = None
+                with self._table_lock:
+                    slot = self._pending.pop(reply.get("id"), None)
+                if slot is not None:
+                    slot.settle(reply)
+        except (OSError, ValueError) as error:
+            # ValueError: reads racing close() on some platforms.
+            self._recv_error = error
+        finally:
+            with self._table_lock:
+                self._closed = True
+                stranded = list(self._pending.values())
+                self._pending.clear()
+            for slot in stranded:
+                slot.settle(None)
+
+    # --------------------------------------------------------- closing
+
+    def close(self) -> None:
+        with self._table_lock:
+            if self._closed and not self._receiver.is_alive():
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._receiver.join(timeout=5.0)
+        self._sock.close()
+
+    def __enter__(self) -> "PipelinedClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

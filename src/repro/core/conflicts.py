@@ -77,7 +77,7 @@ class ConflictTracker:
         #: A CounterGroup so the engine's MetricsRegistry can adopt it.
         self.stats = CounterGroup(
             {"marked": 0, "unsafe_at_mark": 0, "unsafe_at_commit": 0,
-             "excused": 0}
+             "excused": 0, "prepared_wins": 0}
         )
 
     def init_transaction(self, txn) -> None:
@@ -109,8 +109,30 @@ class ConflictTracker:
         ]
         if not candidates:
             return None
-        self.stats["unsafe_at_mark"] += 1
-        return self.victim_policy(candidates, reader, writer)
+        return self._choose_victim(candidates, reader, writer)
+
+    def _choose_victim(self, candidates, reader, writer) -> Optional[object]:
+        """Prepared-transaction-wins: a transaction that has voted yes in
+        a two-phase commit can no longer be aborted locally — its fate
+        belongs to the coordinator.  When every dangerous candidate is
+        prepared, the edge's other (still-unprepared) party aborts
+        instead; the victim-restore in mark_conflict then removes the
+        edge that endangered the prepared pivot."""
+        eligible = [
+            txn for txn in candidates if not getattr(txn, "prepared", False)
+        ]
+        if eligible:
+            self.stats["unsafe_at_mark"] += 1
+            return self.victim_policy(eligible, reader, writer)
+        # New edges always originate from an operation of an unprepared
+        # transaction, so the counterparty of a prepared candidate is
+        # the other endpoint of (reader, writer).
+        counterparty = writer if candidates[0] is reader else reader
+        if counterparty.is_active and not getattr(counterparty, "prepared", False):
+            self.stats["unsafe_at_mark"] += 1
+            self.stats["prepared_wins"] += 1
+            return counterparty
+        return None
 
     @staticmethod
     def _has_in(txn) -> bool:
@@ -294,8 +316,7 @@ class EnhancedConflictTracker(ConflictTracker):
         ]
         if not candidates:
             return None
-        self.stats["unsafe_at_mark"] += 1
-        return self.victim_policy(candidates, reader, writer)
+        return self._choose_victim(candidates, reader, writer)
 
     @staticmethod
     def _out_bound(txn) -> float | None:

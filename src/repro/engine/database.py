@@ -59,6 +59,7 @@ from repro.errors import (
     TableError,
     TransactionAbortedError,
     TransactionStateError,
+    UnsafeError,
     UpdateConflictError,
 )
 from repro.locking.deadlock import DeadlockDetector
@@ -84,6 +85,11 @@ from repro.obs.trace import EventTrace, EventType
 from repro.sgt.history import HistoryRecorder
 from repro.storage.btree import SUPREMUM
 from repro.storage.table import Table
+
+#: PREPARE summary of a transaction with clean conflict slots (also the
+#: whole summary for non-certifying levels: SI/S2PL export no rw state).
+_EMPTY_SUMMARY = {"in": False, "out": False,
+                  "in_partner": None, "out_partner": None}
 
 
 class Database:
@@ -147,6 +153,11 @@ class Database:
         #: snapshot could ignore their versions.  Swept with the same
         #: horizon as the suspended list.
         self._retired_writers: list[Transaction] = []
+        #: two-phase-commit participants: transactions that passed local
+        #: certification via prepare_for_commit() and now await the
+        #: coordinator's verdict.  Guarded by the tracker latch (the
+        #: prepared flag is part of victim selection).
+        self._prepared: set[Transaction] = set()
         #: PAGE granularity: last commit timestamp per (table, page) —
         #: Berkeley DB versions whole pages, so first-committer-wins
         #: fires on page conflicts between unrelated rows (Section 4.2).
@@ -337,6 +348,7 @@ class Database:
         deferrable: bool = False,
         *,
         wait: bool = True,
+        global_id: int | None = None,
     ) -> Transaction:
         """Start a transaction at the given isolation level (Fig 3.1).
 
@@ -367,6 +379,7 @@ class Database:
                 policy=policy,
             )
             txn.read_only = read_only
+            txn.global_id = global_id
             self._next_txn_id += 1
             self._registry[txn.id] = txn
             self._active[txn.id] = txn
@@ -470,6 +483,11 @@ class Database:
             # COMMITTED without being serialised before the check.
             with self._tracker_latch:
                 error = txn.policy.before_commit(txn)
+                if error is None and self._prepared:
+                    # Committing now must not complete a dangerous
+                    # structure around a prepared pivot: the pivot can no
+                    # longer abort locally, so this transaction yields.
+                    error = self._endangering_prepared(txn)
                 if error is None:
                     self._logical_commit(txn, page_mode)
                     if self.safe_snapshots is not None:
@@ -505,6 +523,187 @@ class Database:
             self.history.on_commit(txn.id, txn.commit_ts)
         if self.trace is not None:
             self.trace.emit(EventType.COMMIT, txn.id, commit_ts=txn.commit_ts)
+
+    # --------------------------------------------- two-phase commit seam
+
+    def prepare_for_commit(self, txn: Transaction) -> dict:
+        """First phase of a coordinator-driven two-phase commit.
+
+        Runs local certification (the same unsafe check a plain commit
+        would run) but installs nothing: the transaction stays ACTIVE,
+        keeps its write locks (first-committer-wins still fires against
+        it) and is marked *prepared* — from here on it cannot be chosen
+        as an SSI or deadlock victim (prepared-transaction-wins; see
+        :meth:`doom` and the trackers' ``_choose_victim``), and any
+        local transaction whose commit would complete a dangerous
+        structure around it aborts instead
+        (:meth:`_endangering_prepared`).
+
+        Returns the shard's rw-antidependency summary for the PREPARE
+        response::
+
+            {"in": bool, "out": bool,
+             "in_partner": gtid | "unknown" | None,
+             "out_partner": gtid | "unknown" | None}
+
+        ``in``/``out`` are the transaction's conflict-slot states at
+        prepare time (SIREAD-vs-write conflicts discovered here are
+        already folded in — marking happens at operation time, under the
+        same tracker latch this check takes).  Partners are rendered as
+        coordinator global ids when known; ``"unknown"`` covers boolean
+        flags, self-references (order lost) and partners without a
+        global id.  A failed certification aborts the transaction and
+        raises, exactly like :meth:`prepare_commit`.
+        """
+        self._check_doom(txn)
+        if not txn.is_active:
+            raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
+        summary = _EMPTY_SUMMARY.copy()
+        if txn.policy.certifies:
+            with self._tracker_latch:
+                error = txn.policy.before_commit(txn)
+                if error is None and self._prepared:
+                    error = self._endangering_prepared(txn)
+                if error is None:
+                    txn.prepared = True
+                    self._prepared.add(txn)
+                    summary = self._conflict_summary(txn)
+        else:
+            error = None
+            with self._tracker_latch:
+                txn.prepared = True
+                self._prepared.add(txn)
+        if error is not None:
+            self._abort_internal(txn, error.reason)
+            raise error
+        if self.trace is not None:
+            self.trace.emit(EventType.PREPARE, txn.id, **summary)
+        return summary
+
+    def commit_prepared(
+        self, txn: Transaction, *, import_in: bool = False,
+        import_out: bool = False,
+    ) -> None:
+        """Second phase: commit a prepared transaction unconditionally.
+
+        The coordinator's verdict is final — atomicity across shards
+        forbids re-certification here, so unlike :meth:`prepare_commit`
+        this never runs ``before_commit``.  Soundness is preserved by
+        three rules that bracketed the window since prepare: new edges
+        abort the unprepared counterparty (prepared-transaction-wins),
+        a local committer that would endanger a prepared pivot aborts
+        itself (:meth:`_endangering_prepared`), and the merged
+        cross-shard flags are imported here so post-commit edges against
+        this transaction see the global dangerous structure (Ports &
+        Grittner: the flags travel with the commit record).
+
+        ``import_in``/``import_out`` fold the coordinator's *merged*
+        conflict flags into slots this shard saw empty; the conservative
+        self-reference/boolean encoding makes later local checks treat
+        the partner as uncommitted-order-unknown.  Callers still run
+        :meth:`finalize_commit` afterwards.
+        """
+        if not txn.is_active:
+            raise TransactionStateError(f"transaction {txn.id} is {txn.status.value}")
+        if not txn.prepared:
+            raise TransactionStateError(
+                f"commit_prepared of transaction {txn.id} before prepare"
+            )
+        page_mode = self.config.granularity is LockGranularity.PAGE
+        if txn.policy.certifies:
+            with self._tracker_latch:
+                self._prepared.discard(txn)
+                txn.prepared = False
+                # Merged flags land in slots this shard saw empty, as the
+                # most conservative encoding the slot type admits: True
+                # for the boolean tracker (empty value False), a
+                # self-reference (order lost, bounds pinned open) for the
+                # reference tracker (empty value None).
+                if import_in and not txn.in_conflict:
+                    txn.in_conflict = True if txn.in_conflict is False else txn
+                if import_out and not txn.out_conflict:
+                    txn.out_conflict = True if txn.out_conflict is False else txn
+                self._logical_commit(txn, page_mode)
+                if self.safe_snapshots is not None:
+                    self.safe_snapshots.on_commit(txn)
+                txn.policy.after_commit(txn)
+        else:
+            with self._tracker_latch:
+                self._prepared.discard(txn)
+                txn.prepared = False
+            self._logical_commit(txn, page_mode)
+        self.stats.inc("commits")
+        if self.wal is not None and txn.write_set:
+            for (table_name, key), value in txn.write_set.items():
+                self.wal.log_write(
+                    txn.id, table_name, key,
+                    None if value is TOMBSTONE else value,
+                    tombstone=value is TOMBSTONE,
+                    kind=txn.write_kinds.get((table_name, key), "write"),
+                )
+            self.wal.log_commit(txn.id, txn.commit_ts)
+            if self.config.wal_flush_on_commit:
+                self.wal.flush()
+        if self.history is not None:
+            self.history.on_commit(txn.id, txn.commit_ts)
+        if self.trace is not None:
+            self.trace.emit(EventType.COMMIT, txn.id, commit_ts=txn.commit_ts)
+
+    def _endangering_prepared(
+        self, txn: Transaction
+    ) -> TransactionAbortedError | None:
+        """Tracker-latched: would committing ``txn`` now complete a
+        dangerous structure around a prepared pivot?
+
+        A prepared pivot P with both slots occupied is unsafe once its
+        outgoing side commits no later than its incoming side (the
+        enhanced tracker's bound test).  P itself can no longer abort,
+        so if ``txn`` *is* (or may be) P's outgoing side and P's
+        incoming bound is still open (+inf: uncommitted or order lost),
+        ``txn`` must yield.  Conservative for boolean trackers (any
+        ``True`` flag counts)."""
+        for pivot in self._prepared:
+            if pivot is txn or not pivot.is_active:
+                continue
+            out_ref = pivot.out_conflict
+            in_ref = pivot.in_conflict
+            if not out_ref or not in_ref:
+                continue
+            if not (out_ref is txn or out_ref is pivot or out_ref is True):
+                continue
+            if (
+                in_ref is not True
+                and in_ref is not pivot
+                and getattr(in_ref, "is_committed", False)
+            ):
+                # in-bound = partner's commit_ts, strictly before txn's
+                # prospective commit_ts -> out_bound > in_bound -> safe.
+                continue
+            return UnsafeError(
+                f"commit of {txn.id} would endanger prepared pivot {pivot.id}",
+                txn_id=txn.id,
+            )
+        return None
+
+    @staticmethod
+    def _conflict_summary(txn: Transaction) -> dict:
+        """Render the conflict slots JSON-safe for a PREPARE response."""
+        def render(ref):
+            if ref is None or ref is False:
+                return False, None
+            if ref is True or ref is txn:
+                return True, "unknown"
+            if getattr(ref, "is_aborted", False):
+                # The edge died with its victim (Fig 3.10's restore rule);
+                # an aborted partner must not vote a flag at PREPARE.
+                return False, None
+            gid = getattr(ref, "global_id", None)
+            return True, gid if gid is not None else "unknown"
+
+        has_in, in_partner = render(txn.in_conflict)
+        has_out, out_partner = render(txn.out_conflict)
+        return {"in": has_in, "out": has_out,
+                "in_partner": in_partner, "out_partner": out_partner}
 
     def _logical_commit(self, txn: Transaction, page_mode: bool) -> None:
         """Allocate the commit timestamp, flip the status, install the
@@ -1584,6 +1783,12 @@ class Database:
         its next operation."""
         if not victim.is_active or victim.doom_error is not None:
             return
+        if victim.prepared:
+            # Prepared-transaction-wins: a two-phase-commit participant
+            # that voted yes cannot be unilaterally aborted — only its
+            # coordinator decides.  (It also holds no waits to cancel:
+            # prepared transactions run no further operations.)
+            return
         victim.doom_error = error
         self.locks.cancel_waits(victim, error)
 
@@ -1738,6 +1943,8 @@ class Database:
             if not txn.is_active:
                 return
             txn.status = TransactionStatus.ABORTED
+            self._prepared.discard(txn)
+            txn.prepared = False
             txn.policy.on_abort(txn)
             if self.safe_snapshots is not None:
                 self.safe_snapshots.on_abort(txn)

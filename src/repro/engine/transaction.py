@@ -58,6 +58,8 @@ class Transaction:
         "snapshot_safe",
         "coarse_sireads",
         "_safe_event",
+        "prepared",
+        "global_id",
     )
 
     def __init__(
@@ -116,6 +118,16 @@ class Transaction:
         #: completion the safe-snapshot monitor fires (via ``.set()``) to
         #: wake or reschedule a deferrable begin().
         self._safe_event: Completion | None = None
+        #: True between prepare_for_commit() and the coordinator's
+        #: commit/abort decision (two-phase commit participant state).
+        #: A prepared transaction has passed local certification and
+        #: can no longer be chosen as an SSI or deadlock victim — its
+        #: fate belongs to the coordinator (prepared-transaction-wins).
+        self.prepared = False
+        #: coordinator-assigned global transaction id, or None for a
+        #: purely local transaction.  Rendered into cross-shard conflict
+        #: summaries so the coordinator can name conflict partners.
+        self.global_id: int | None = None
 
     # ----------------------------------------------------------- state
 

@@ -33,6 +33,7 @@ class EventType:
     VICTIM = "victim"
     UNSAFE = "unsafe"
     COMMIT = "commit"
+    PREPARE = "prepare"
     SUSPEND = "suspend"
     CLEANUP = "cleanup"
     ABORT = "abort"
@@ -40,8 +41,8 @@ class EventType:
 
     ALL = (
         BEGIN, SNAPSHOT, LOCK_WAIT, LOCK_GRANT, LOCK_DENY, RW_CONFLICT,
-        MIXED_EDGE, VICTIM, UNSAFE, COMMIT, SUSPEND, CLEANUP, ABORT,
-        CALLBACK_ERROR,
+        MIXED_EDGE, VICTIM, UNSAFE, COMMIT, PREPARE, SUSPEND, CLEANUP,
+        ABORT, CALLBACK_ERROR,
     )
 
 

@@ -9,8 +9,16 @@ resolver threads) and the event loop.  While a session is suspended on a
 lock or safe-snapshot wait, neither an OS thread nor the event loop is
 held: 1024 connections cost 1024 suspended sessions, not 1024 threads.
 
-The protocol is request/response per connection (one outstanding op);
-see :mod:`repro.server.protocol` for framing.  Operations:
+Bare frames keep the original request/response discipline (one
+outstanding op per connection).  A frame carrying an ``"id"`` opts into
+**pipelining**: the reply echoes the id and may arrive out of order;
+at most ``max_inbox`` id-tagged frames are in flight per connection —
+beyond that the server stops reading the socket, which is TCP
+backpressure.  A frame carrying ``"txn": <gtid>`` is addressed to a
+server-wide session keyed by that coordinator-assigned global id
+instead of the connection's own session, so one pipelined connection
+multiplexes many distributed transactions (the coordinator<->shard
+links).  Operations:
 
 ======================  ====================================================
 ``begin``               ``isolation``/``read_only``/``deferrable`` -> txn id
@@ -19,19 +27,24 @@ see :mod:`repro.server.protocol` for framing.  Operations:
 ``put``/``insert``/``delete``  writes (``put`` = blind upsert)
 ``scan``/``index_scan``/``index_lookup``  predicate reads
 ``commit``/``abort``    finish the open transaction
+``prepare``             2PC phase one -> conflict summary (sharding)
+``commit_prepared``     2PC phase two; ``import_in``/``import_out`` flags
 ``create_table``/``load``  schema/bulk-load admin (no open txn required)
+``dump_history``/``audit``/``metrics``  shard-oracle and telemetry admin
 ``ping``                liveness + server info
 ======================  ====================================================
 
 Abort responses carry the machine-readable ``reason`` and, when the
 database has tracing enabled, the ``explanation`` payload built from
 :meth:`Database.explain_abort` (pivot triple and rw-antidependency list
-rendered JSON-safe).
+rendered JSON-safe, plus a local-id -> global-id table for the
+coordinator to relabel).
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 from typing import Any
 
 from repro.engine.database import Database
@@ -63,6 +76,7 @@ class ReproServer:
         *,
         workers: int = 8,
         scheduler: SessionScheduler | None = None,
+        max_inbox: int = 32,
     ) -> None:
         self.db = db
         self.host = host
@@ -71,7 +85,20 @@ class ReproServer:
         self.scheduler = scheduler or SessionScheduler(db, workers=workers)
         self._server: asyncio.AbstractServer | None = None
         self._connections = 0
+        #: bound on in-flight pipelined (id-tagged) frames per connection;
+        #: once full the reader coroutine stops pulling from the socket.
+        self.max_inbox = max_inbox
+        #: distributed transactions: coordinator global id -> the
+        #: server-wide session running that transaction's local part.
+        #: Guarded by a plain leaf lock (touched from dispatch tasks).
+        self._dtxns: dict[int, Session] = {}
+        #: local txn id -> global id, kept for the server's lifetime so
+        #: history dumps and abort explanations can be relabelled (shard
+        #: processes are per-run; the map is bounded by run size).
+        self._gtids: dict[int, int] = {}
+        self._dtxn_lock = threading.Lock()
         db.metrics.register_gauge("server_connections", lambda: self._connections)
+        db.metrics.register_gauge("server_dtxns", lambda: len(self._dtxns))
 
     # ------------------------------------------------------- lifecycle
 
@@ -96,10 +123,14 @@ class ReproServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        loop = asyncio.get_running_loop()
+        with self._dtxn_lock:
+            leftovers = list(self._dtxns.values())
+            self._dtxns.clear()
+        for session in leftovers:
+            await self._close_session(loop, session)
         if self._own_scheduler:
-            await asyncio.get_running_loop().run_in_executor(
-                None, self.scheduler.shutdown
-            )
+            await loop.run_in_executor(None, self.scheduler.shutdown)
 
     @property
     def connections(self) -> int:
@@ -113,25 +144,47 @@ class ReproServer:
         session = self.scheduler.session()
         self._connections += 1
         loop = asyncio.get_running_loop()
+        inbox = asyncio.Semaphore(self.max_inbox)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(reply: dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode_frame(reply))
+                await writer.drain()
+
         try:
             while True:
                 try:
                     frame = await read_frame_async(reader)
                 except FrameError as error:
-                    writer.write(encode_frame(
+                    await respond(
                         {"ok": False, "error": "FrameError", "message": str(error)}
-                    ))
-                    await writer.drain()
+                    )
                     break
                 if frame is None:
                     break
-                reply = await self._dispatch(loop, session, frame)
-                writer.write(encode_frame(reply))
-                await writer.drain()
+                frame_id = frame.get("id")
+                if frame_id is None:
+                    # Sequential path: one outstanding op, unnumbered reply.
+                    await respond(await self._dispatch(loop, session, frame))
+                    continue
+                # Pipelined path: bounded in-flight dispatch tasks; the
+                # semaphore acquired *here* stops the read loop (and so
+                # the socket) when the inbox is full.
+                await inbox.acquire()
+                task = loop.create_task(
+                    self._pipelined(loop, session, frame, frame_id,
+                                    respond, inbox)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
             self._connections -= 1
+            if tasks:
+                await asyncio.gather(*tuple(tasks), return_exceptions=True)
             await self._close_session(loop, session)
             writer.close()
             try:
@@ -143,6 +196,20 @@ class ReproServer:
             except (ConnectionResetError, BrokenPipeError,
                     asyncio.CancelledError):
                 pass
+
+    async def _pipelined(
+        self, loop, session: Session, frame: dict[str, Any],
+        frame_id: Any, respond, inbox: asyncio.Semaphore,
+    ) -> None:
+        try:
+            reply = dict(await self._dispatch(loop, session, frame))
+            reply["id"] = frame_id
+            try:
+                await respond(reply)
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            inbox.release()
 
     async def _close_session(self, loop, session: Session) -> None:
         """Abort whatever the connection left open and retire the session.
@@ -165,7 +232,7 @@ class ReproServer:
     # -------------------------------------------------------- dispatch
 
     async def _dispatch(
-        self, loop, session: Session, frame: dict[str, Any]
+        self, loop, conn_session: Session, frame: dict[str, Any]
     ) -> dict[str, Any]:
         op = frame.get("op")
         if op == "ping":
@@ -175,6 +242,12 @@ class ReproServer:
             }
         if op in ("create_table", "load"):
             return self._admin(op, frame)
+        if op == "dump_history":
+            return self._dump_history()
+        if op == "audit":
+            return self._audit()
+        if op == "metrics":
+            return {"ok": True, "metrics": self.db.metrics.snapshot()}
         method = _OPS.get(op)
         if method is None:
             return {"ok": False, "error": "ProtocolError",
@@ -184,6 +257,28 @@ class ReproServer:
         except KeyError as error:
             return {"ok": False, "error": "ProtocolError",
                     "message": f"op {op!r} missing field {error}"}
+        # A "txn" field addresses a server-wide distributed-transaction
+        # session keyed by the coordinator's global id instead of the
+        # connection's own session.
+        gtid = frame.get("txn")
+        session = conn_session
+        if gtid is not None:
+            if op == "begin":
+                session = self.scheduler.session()
+                with self._dtxn_lock:
+                    duplicate = gtid in self._dtxns
+                    if not duplicate:
+                        self._dtxns[gtid] = session
+                if duplicate:
+                    await self._close_session(loop, session)
+                    return {"ok": False, "error": "ProtocolError",
+                            "message": f"duplicate txn {gtid}"}
+            else:
+                with self._dtxn_lock:
+                    session = self._dtxns.get(gtid)
+                if session is None:
+                    return {"ok": False, "error": "ProtocolError",
+                            "message": f"unknown txn {gtid}"}
         future: asyncio.Future = loop.create_future()
 
         def on_done(result: Any, error: BaseException | None) -> None:
@@ -197,18 +292,42 @@ class ReproServer:
         try:
             result = await future
         except BaseException as error:  # noqa: BLE001 - mapped onto the wire
-            return self._error_reply(error, txn_id)
+            if gtid is not None and (
+                op in ("commit", "abort", "commit_prepared")
+                or isinstance(error, TransactionAbortedError)
+            ):
+                await self._retire_dtxn(loop, gtid)
+            reply = self._error_reply(error, txn_id)
+            if gtid is not None:
+                reply["gtid"] = gtid
+            return reply
+        if gtid is not None and op in ("commit", "abort", "commit_prepared"):
+            await self._retire_dtxn(loop, gtid)
         if op == "begin":
+            if gtid is not None:
+                with self._dtxn_lock:
+                    self._gtids[result] = gtid
             return {"ok": True, "txn": result}
+        if op == "prepare":
+            return {"ok": True, "summary": result}
         if op == "scan":
             return {"ok": True, "rows": [[key, value] for key, value in result]}
         if op == "index_scan":
             return {"ok": True, "rows": [[key, pk] for key, pk in result]}
         if op == "index_lookup":
             return {"ok": True, "keys": list(result)}
-        if op in ("commit", "abort", "put", "insert", "delete"):
+        if op in ("commit", "abort", "put", "insert", "delete",
+                  "commit_prepared"):
             return {"ok": True}
         return {"ok": True, "value": result}
+
+    async def _retire_dtxn(self, loop, gtid: int) -> None:
+        """A distributed transaction reached a terminal state: unregister
+        and close its session (idempotent — races with stop() are fine)."""
+        with self._dtxn_lock:
+            session = self._dtxns.pop(gtid, None)
+        if session is not None:
+            await self._close_session(loop, session)
 
     def _admin(self, op: str, frame: dict[str, Any]) -> dict[str, Any]:
         try:
@@ -256,12 +375,71 @@ class ReproServer:
                 for reader, writer, ts in explanation.conflicts
             ],
         }
+        mentioned: set[Any] = {txn_id}
+        for reader, writer, _ts in explanation.conflicts:
+            mentioned.add(reader)
+            mentioned.add(writer)
         pivot = explanation.pivot
         if pivot is not None:
             payload["pivot"] = {
                 "t_in": pivot.t_in, "pivot": pivot.pivot, "t_out": pivot.t_out,
             }
+            mentioned.update((pivot.t_in, pivot.pivot, pivot.t_out))
+        # Local-id -> global-id table for every transaction the payload
+        # names, so a sharding coordinator can relabel the triple.
+        with self._dtxn_lock:
+            gtids = {
+                str(local): self._gtids[local]
+                for local in mentioned
+                if isinstance(local, int) and local in self._gtids
+            }
+        if gtids:
+            payload["gtids"] = gtids
         return payload
+
+    # ----------------------------------------------------- shard admin
+
+    def _dump_history(self) -> dict[str, Any]:
+        """The recorded execution history, JSON-safe, each transaction
+        labelled with its global id when it has one — the raw material
+        for the coordinator's merged-MVSG serializability oracle."""
+        history = self.db.history
+        if history is None:
+            return {"ok": False, "error": "ProtocolError",
+                    "message": "history recording is disabled on this shard"}
+        with self._dtxn_lock:
+            gtids = dict(self._gtids)
+        txns = []
+        for record in history.snapshot_records():
+            txns.append({
+                "id": record.txn_id,
+                "gtid": gtids.get(record.txn_id),
+                "begin_ts": record.begin_ts,
+                "commit_ts": record.commit_ts,
+                "status": record.status,
+                "ops": [
+                    [op.kind, op.table,
+                     list(op.key) if isinstance(op.key, tuple) else op.key,
+                     op.version_ts, list(op.seen_keys)]
+                    for op in record.ops
+                ],
+            })
+        return {"ok": True, "txns": txns}
+
+    def _audit(self) -> dict[str, Any]:
+        """Residual engine state after quiesce — the sharded stress
+        runner's clean-lock-table check, over the wire."""
+        self.db.cleanup_suspended()
+        lm = self.db.locks
+        return {
+            "ok": True,
+            "granted": lm.table_size(),
+            "owners": len(lm._by_owner),
+            "waiters": len(lm._waiting),
+            "suspended": len(self.db._suspended),
+            "siread": lm.siread_lock_count(),
+            "prepared": len(self.db._prepared),
+        }
 
 
 def _settle(future: asyncio.Future, result: Any,
@@ -278,6 +456,9 @@ def _op_begin(frame):
     return (frame.get("isolation", "ssi"),), {
         "read_only": bool(frame.get("read_only", False)),
         "deferrable": bool(frame.get("deferrable", False)),
+        # A gtid-addressed begin tags the engine transaction with the
+        # coordinator's global id (rendered into conflict summaries).
+        "global_id": frame.get("txn"),
     }
 
 
@@ -309,6 +490,13 @@ def _op_bare(_frame):
     return (), {}
 
 
+def _op_commit_prepared(frame):
+    return (
+        bool(frame.get("import_in", False)),
+        bool(frame.get("import_out", False)),
+    ), {}
+
+
 #: op name -> frame parser returning (args, kwargs) for the Session method
 _OPS = {
     "begin": _op_begin,
@@ -323,4 +511,6 @@ _OPS = {
     "index_lookup": _op_index_lookup,
     "commit": _op_bare,
     "abort": _op_bare,
+    "prepare": _op_bare,
+    "commit_prepared": _op_commit_prepared,
 }

@@ -6,11 +6,26 @@ protocol dependency-free; the framing is identical, so a msgpack codec
 could be swapped in behind :func:`encode_frame`/:func:`decode_frame`.
 
 Requests are objects with an ``op`` field (``begin``/``get``/``put``/
-``scan``/``commit``/``abort``/...); responses carry ``ok: true`` plus a
-result payload, or ``ok: false`` plus ``error`` (exception class name),
-``reason`` (abort classification, see :data:`repro.errors.ABORT_REASONS`),
-``message``, and — when server-side tracing is enabled — an
-``explanation`` object from :meth:`repro.engine.database.Database.explain_abort`.
+``scan``/``commit``/``abort``/``prepare``/``commit_prepared``/...);
+responses carry ``ok: true`` plus a result payload, or ``ok: false``
+plus ``error`` (exception class name), ``reason`` (abort
+classification, see :data:`repro.errors.ABORT_REASONS`), ``message``,
+and — when server-side tracing is enabled — an ``explanation`` object
+from :meth:`repro.engine.database.Database.explain_abort`.
+
+Two optional request fields change dispatch, not framing:
+
+* ``id`` — any JSON value; opts the frame into pipelining.  The reply
+  echoes it and may arrive out of order with other id-tagged replies on
+  the same connection.  The server keeps at most ``max_inbox`` of them
+  in flight per connection (backpressure by not reading the socket).
+* ``txn`` — a coordinator-assigned global transaction id; the frame is
+  routed to a server-wide session for that distributed transaction
+  rather than the connection's own session.  ``begin`` creates it,
+  ``commit``/``abort``/``commit_prepared`` (or any abort error)
+  retire it.  ``prepare`` returns the shard's rw-antidependency
+  summary (``{"in", "out", "in_partner", "out_partner"}``) — the
+  PREPARE vote of the cross-shard SSI protocol.
 
 Keys and values must be JSON-representable; that is the wire format's
 restriction, not the engine's.

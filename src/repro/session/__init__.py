@@ -120,12 +120,14 @@ class Session:
         isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
         read_only: bool = False,
         deferrable: bool = False,
+        global_id: int | None = None,
         *,
         on_done: OnDone,
     ) -> None:
         """Begin a transaction; delivers its id.  A deferrable begin
         suspends the session (no worker thread is held) until the
-        safe-snapshot monitor fires a safe verdict."""
+        safe-snapshot monitor fires a safe verdict.  ``global_id`` tags
+        the transaction with a coordinator-assigned id (sharding)."""
         state: dict = {"txn": None, "defer": False}
 
         def fn():
@@ -135,6 +137,7 @@ class Session:
                     state["txn"] = self._db.begin(
                         isolation, read_only=read_only,
                         deferrable=deferrable, wait=False,
+                        global_id=global_id,
                     )
                 except SafeSnapshotWaitRequired as wait:
                     # The transaction exists and is being watched; expose
@@ -220,6 +223,38 @@ class Session:
             if txn is not None:
                 self._db.abort(txn)
         self._submit(fn, on_done, "abort")
+
+    def prepare(self, *, on_done: OnDone) -> None:
+        """Two-phase commit phase one: certify locally, keep the
+        transaction open and prepared, deliver the shard's conflict
+        summary.  A failed certification aborts and raises, so the
+        session forgets the transaction exactly as commit() would."""
+        def fn():
+            txn = self._need_txn()
+            try:
+                return self._db.prepare_for_commit(txn)
+            finally:
+                if not txn.is_active:
+                    self.txn = None
+        self._submit(fn, on_done, "prepare")
+
+    def commit_prepared(
+        self, import_in: bool = False, import_out: bool = False,
+        *, on_done: OnDone,
+    ) -> None:
+        """Two-phase commit phase two: commit the prepared transaction
+        unconditionally, folding in the coordinator's merged flags."""
+        def fn():
+            txn = self._need_txn()
+            try:
+                self._db.commit_prepared(
+                    txn, import_in=import_in, import_out=import_out,
+                )
+                self._db.finalize_commit(txn)
+            finally:
+                if not txn.is_active:
+                    self.txn = None
+        self._submit(fn, on_done, "commit_prepared")
 
     def run_program(
         self,

@@ -118,6 +118,21 @@ class HistoryRecorder:
     def committed(self) -> list[TxnRecord]:
         return [record for record in self.transactions.values() if record.committed]
 
+    def snapshot_records(self) -> list[TxnRecord]:
+        """Consistent copies of every record (op lists copied too) —
+        safe to serialise or relabel while the engine keeps running."""
+        with self._lock:
+            return [
+                TxnRecord(
+                    txn_id=record.txn_id,
+                    begin_ts=record.begin_ts,
+                    commit_ts=record.commit_ts,
+                    status=record.status,
+                    ops=list(record.ops),
+                )
+                for record in self.transactions.values()
+            ]
+
     def __len__(self) -> int:
         return len(self.transactions)
 

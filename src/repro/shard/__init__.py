@@ -1,0 +1,55 @@
+"""Shared-nothing sharded kernel with cross-shard SSI certification.
+
+The monolithic :class:`~repro.engine.database.Database` becomes one
+*shard* of a larger database: a :class:`~repro.shard.partition.PartitionMap`
+routes each key to a shard, each shard runs the unmodified engine
+(in-process behind :class:`~repro.shard.backend.LocalShard`, or in its
+own forked process behind the wire protocol via
+:class:`~repro.shard.backend.RemoteShard`), and a
+:class:`~repro.shard.coordinator.Coordinator` stitches the shards into
+one serializable database:
+
+* transactions whose footprint stays on one shard commit through the
+  **local fast path** — a single ``commit`` round trip, certified
+  entirely by that shard's own SSI machinery;
+* cross-shard transactions run **two-phase commit** where each shard's
+  PREPARE vote carries its rw-antidependency summary, so the
+  coordinator can see the paper's Fig 3.4 dangerous structure even when
+  its two edges live on different shards and abort the pivot before any
+  shard commits.
+
+:mod:`repro.shard.audit` merges the per-shard histories (relabelled to
+global transaction ids) into one MVSG, the oracle that certifies the
+sharded execution; :mod:`repro.shard.stress` drives mixed single- and
+cross-shard workloads against a coordinator and applies that oracle.
+"""
+
+from repro.shard.audit import CrossShardReport, check_merged_serializable, merged_mvsg
+from repro.shard.backend import LocalShard, RemoteShard
+from repro.shard.coordinator import Coordinator, GlobalTransaction
+from repro.shard.partition import (
+    PartitionMap,
+    sibench_partition_map,
+    single_shard_map,
+    smallbank_partition_map,
+)
+from repro.shard.process import ShardCluster, ShardProcess
+from repro.shard.stress import ShardedStressResult, run_sharded_stress
+
+__all__ = [
+    "Coordinator",
+    "CrossShardReport",
+    "GlobalTransaction",
+    "LocalShard",
+    "PartitionMap",
+    "RemoteShard",
+    "ShardCluster",
+    "ShardProcess",
+    "ShardedStressResult",
+    "check_merged_serializable",
+    "merged_mvsg",
+    "run_sharded_stress",
+    "sibench_partition_map",
+    "single_shard_map",
+    "smallbank_partition_map",
+]

@@ -1,0 +1,368 @@
+"""Shard backends: the uniform surface the coordinator drives.
+
+Both backends address transactions by the coordinator's *global id*
+(gtid) — the shard-local :class:`~repro.engine.transaction.Transaction`
+or wire session is an implementation detail behind it.
+
+:class:`LocalShard` embeds a :class:`~repro.engine.database.Database` in
+the coordinator's process.  Engine behaviour is unchanged — in
+particular :class:`~repro.errors.LockWaitRequired` propagates to the
+caller, so the exhaustive interleaving driver can single-step a sharded
+deployment exactly like a monolithic one.
+
+:class:`RemoteShard` speaks the wire protocol to one forked shard
+server over a single :class:`~repro.client.PipelinedClient` link: every
+frame carries ``txn: gtid`` (the server multiplexes all distributed
+transactions on the connection) and the ``*_begin`` methods submit
+without waiting, which is what lets the coordinator fan PREPARE out to
+all shards in one round trip instead of one per shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.client import PipelinedClient, ServerError
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.engine.isolation import IsolationLevel
+from repro.errors import TransactionAbortedError, TransactionStateError
+from repro.sgt.history import OpRecord, TxnRecord
+
+__all__ = ["LocalShard", "RemoteShard"]
+
+#: summaries land in a vote table; votes use these reply waiters
+Waiter = Callable[[], Any]
+
+
+class LocalShard:
+    """One in-process shard: a private engine plus the gtid routing
+    table.  ``config`` defaults to history-recording so the merged-MVSG
+    oracle works out of the box."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 db: Database | None = None) -> None:
+        self.db = db if db is not None else Database(
+            config or EngineConfig(record_history=True)
+        )
+        self._txns: dict[int, Any] = {}
+        #: local txn id -> gtid, kept for history relabelling.
+        self._gtids: dict[int, int] = {}
+
+    # ------------------------------------------------------------ admin
+
+    def create_table(self, name: str) -> None:
+        self.db.create_table(name)
+
+    def load(self, table: str, rows) -> None:
+        self.db.load(table, rows)
+
+    def sweep_deadlocks(self) -> list:
+        return self.db.sweep_deadlocks()
+
+    def metrics(self) -> dict:
+        return self.db.metrics.snapshot()
+
+    def close(self) -> None:
+        pass
+
+    # ------------------------------------------------------- txn ops
+
+    def begin(self, gtid: int, isolation: IsolationLevel | str = "ssi",
+              read_only: bool = False) -> int:
+        txn = self.db.begin(isolation, read_only=read_only, global_id=gtid)
+        self._txns[gtid] = txn
+        self._gtids[txn.id] = gtid
+        return txn.id
+
+    def _run(self, gtid: int, fn):
+        txn = self._txns.get(gtid)
+        if txn is None:
+            raise TransactionStateError(
+                f"shard holds no transaction for global id {gtid}"
+            )
+        try:
+            return fn(txn)
+        finally:
+            # Any terminal outcome — commit, abort, engine-raised abort
+            # error — retires the routing entry; a LockWaitRequired
+            # leaves the transaction active and routable for the retry.
+            if not txn.is_active:
+                self._txns.pop(gtid, None)
+
+    def read(self, gtid: int, table: str, key: Hashable) -> Any:
+        return self._run(gtid, lambda txn: self.db.read(txn, table, key))
+
+    def get(self, gtid: int, table: str, key: Hashable,
+            default: Any = None) -> Any:
+        return self._run(gtid, lambda txn: self.db.get(txn, table, key, default))
+
+    def read_for_update(self, gtid: int, table: str, key: Hashable) -> Any:
+        return self._run(gtid, lambda txn: self.db.read_for_update(txn, table, key))
+
+    def write(self, gtid: int, table: str, key: Hashable, value: Any) -> None:
+        return self._run(gtid, lambda txn: self.db.write(txn, table, key, value))
+
+    def insert(self, gtid: int, table: str, key: Hashable, value: Any) -> None:
+        return self._run(gtid, lambda txn: self.db.insert(txn, table, key, value))
+
+    def delete(self, gtid: int, table: str, key: Hashable) -> None:
+        return self._run(gtid, lambda txn: self.db.delete(txn, table, key))
+
+    def scan(self, gtid: int, table: str, lo: Hashable | None = None,
+             hi: Hashable | None = None) -> list:
+        return self._run(gtid, lambda txn: self.db.scan(txn, table, lo, hi))
+
+    def index_scan(self, gtid: int, index: str, lo: Hashable | None = None,
+                   hi: Hashable | None = None) -> list:
+        return self._run(gtid, lambda txn: self.db.index_scan(txn, index, lo, hi))
+
+    def index_lookup(self, gtid: int, index: str, key: Hashable) -> list:
+        return self._run(gtid, lambda txn: self.db.index_lookup(txn, index, key))
+
+    # -------------------------------------------------------- commit
+
+    def commit(self, gtid: int) -> None:
+        self._run(gtid, lambda txn: self.db.commit(txn))
+
+    def abort(self, gtid: int, reason: str | None = None) -> None:
+        txn = self._txns.pop(gtid, None)
+        if txn is not None and txn.is_active:
+            self.db.abort(txn, reason=reason)
+
+    def prepare(self, gtid: int) -> dict:
+        return self._run(gtid, lambda txn: self.db.prepare_for_commit(txn))
+
+    def commit_prepared(self, gtid: int, import_in: bool = False,
+                        import_out: bool = False) -> None:
+        def apply(txn):
+            self.db.commit_prepared(
+                txn, import_in=import_in, import_out=import_out
+            )
+            self.db.finalize_commit(txn)
+
+        self._run(gtid, apply)
+
+    def prepare_begin(self, gtid: int) -> Waiter:
+        return lambda: self.prepare(gtid)
+
+    def commit_prepared_begin(self, gtid: int, import_in: bool,
+                              import_out: bool) -> Waiter:
+        return lambda: self.commit_prepared(gtid, import_in, import_out)
+
+    # ------------------------------------------------------- oracles
+
+    def describe_abort(self, local_id: int) -> dict | None:
+        """The trace-derived abort explanation for a local transaction,
+        with the ``gtids`` relabelling table — same payload the wire
+        server attaches to error replies (None without tracing)."""
+        if self.db.trace is None:
+            return None
+        try:
+            explanation = self.db.explain_abort(local_id)
+        except Exception:  # noqa: BLE001 - diagnostics must not mask the abort
+            return None
+        payload: dict[str, Any] = {
+            "reason": explanation.reason,
+            "text": explanation.render(),
+            "conflicts": [list(entry) for entry in explanation.conflicts],
+        }
+        mentioned: set[Any] = {local_id}
+        for reader, writer, _ts in explanation.conflicts:
+            mentioned.update((reader, writer))
+        if explanation.pivot is not None:
+            pivot = explanation.pivot
+            payload["pivot"] = {
+                "t_in": pivot.t_in, "pivot": pivot.pivot, "t_out": pivot.t_out,
+            }
+            mentioned.update((pivot.t_in, pivot.pivot, pivot.t_out))
+        payload["gtids"] = {
+            str(local): self._gtids[local]
+            for local in mentioned
+            if isinstance(local, int) and local in self._gtids
+        }
+        return payload
+
+    def history_records(self) -> tuple[list[TxnRecord], dict[int, int]]:
+        """(records, local-id -> gtid) for the merged-MVSG oracle."""
+        history = self.db.history
+        if history is None:
+            raise TransactionStateError(
+                "history recording is disabled on this shard"
+            )
+        return history.snapshot_records(), dict(self._gtids)
+
+    def audit(self) -> dict[str, int]:
+        """Residual engine state after quiesce (all counts should be 0
+        once every transaction has been retired)."""
+        self.db.cleanup_suspended()
+        lm = self.db.locks
+        return {
+            "granted": lm.table_size(),
+            "owners": len(lm._by_owner),
+            "waiters": len(lm._waiting),
+            "suspended": len(self.db._suspended),
+            "siread": lm.siread_lock_count(),
+            "prepared": len(self.db._prepared),
+        }
+
+
+class RemoteShard:
+    """One shard server reached over a pipelined wire link."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.link = PipelinedClient(host, port)
+
+    # ------------------------------------------------------------ admin
+
+    def create_table(self, name: str) -> None:
+        self.link.call({"op": "create_table", "table": name})
+
+    def load(self, table: str, rows) -> None:
+        self.link.call({
+            "op": "load", "table": table,
+            "rows": [[key, value] for key, value in rows],
+        })
+
+    def sweep_deadlocks(self) -> list:
+        # The shard server's scheduler runs its own deadlock ticker.
+        return []
+
+    def metrics(self) -> dict:
+        return self.link.call({"op": "metrics"})["metrics"]
+
+    def close(self) -> None:
+        self.link.close()
+
+    # ------------------------------------------------------- txn ops
+
+    def begin(self, gtid: int, isolation: IsolationLevel | str = "ssi",
+              read_only: bool = False) -> int:
+        return self.link.call({
+            "op": "begin", "txn": gtid,
+            "isolation": IsolationLevel.parse(isolation).value,
+            "read_only": read_only,
+        })["txn"]
+
+    def read(self, gtid: int, table: str, key: Hashable) -> Any:
+        return self.link.call({
+            "op": "read", "txn": gtid, "table": table, "key": key,
+        })["value"]
+
+    def get(self, gtid: int, table: str, key: Hashable,
+            default: Any = None) -> Any:
+        return self.link.call({
+            "op": "get", "txn": gtid, "table": table, "key": key,
+            "default": default,
+        })["value"]
+
+    def read_for_update(self, gtid: int, table: str, key: Hashable) -> Any:
+        return self.link.call({
+            "op": "read_for_update", "txn": gtid, "table": table, "key": key,
+        })["value"]
+
+    def write(self, gtid: int, table: str, key: Hashable, value: Any) -> None:
+        self.link.call({
+            "op": "put", "txn": gtid, "table": table, "key": key, "value": value,
+        })
+
+    def insert(self, gtid: int, table: str, key: Hashable, value: Any) -> None:
+        self.link.call({
+            "op": "insert", "txn": gtid, "table": table, "key": key,
+            "value": value,
+        })
+
+    def delete(self, gtid: int, table: str, key: Hashable) -> None:
+        self.link.call({"op": "delete", "txn": gtid, "table": table, "key": key})
+
+    def scan(self, gtid: int, table: str, lo: Hashable | None = None,
+             hi: Hashable | None = None) -> list:
+        reply = self.link.call({
+            "op": "scan", "txn": gtid, "table": table, "lo": lo, "hi": hi,
+        })
+        return [(key, value) for key, value in reply["rows"]]
+
+    def index_scan(self, gtid: int, index: str, lo: Hashable | None = None,
+                   hi: Hashable | None = None) -> list:
+        reply = self.link.call({
+            "op": "index_scan", "txn": gtid, "index": index, "lo": lo, "hi": hi,
+        })
+        return [(key, pk) for key, pk in reply["rows"]]
+
+    def index_lookup(self, gtid: int, index: str, key: Hashable) -> list:
+        return self.link.call({
+            "op": "index_lookup", "txn": gtid, "index": index, "key": key,
+        })["keys"]
+
+    # -------------------------------------------------------- commit
+
+    def commit(self, gtid: int) -> None:
+        self.link.call({"op": "commit", "txn": gtid})
+
+    def abort(self, gtid: int, reason: str | None = None) -> None:
+        try:
+            self.link.call({"op": "abort", "txn": gtid})
+        except (ServerError, TransactionStateError, TransactionAbortedError):
+            # Already retired server-side (the abort error that triggered
+            # this rollback retired the session); nothing left to do.
+            pass
+
+    def prepare(self, gtid: int) -> dict:
+        return self.link.call({"op": "prepare", "txn": gtid})["summary"]
+
+    def commit_prepared(self, gtid: int, import_in: bool = False,
+                        import_out: bool = False) -> None:
+        self.link.call({
+            "op": "commit_prepared", "txn": gtid,
+            "import_in": import_in, "import_out": import_out,
+        })
+
+    def prepare_begin(self, gtid: int) -> Waiter:
+        slot = self.link.submit({"op": "prepare", "txn": gtid})
+        return lambda: self.link.result(slot)["summary"]
+
+    def commit_prepared_begin(self, gtid: int, import_in: bool,
+                              import_out: bool) -> Waiter:
+        slot = self.link.submit({
+            "op": "commit_prepared", "txn": gtid,
+            "import_in": import_in, "import_out": import_out,
+        })
+
+        def waiter() -> None:
+            self.link.result(slot)
+
+        return waiter
+
+    # ------------------------------------------------------- oracles
+
+    def describe_abort(self, local_id: int) -> dict | None:
+        # Remote abort errors already carry the server's explanation.
+        return None
+
+    def history_records(self) -> tuple[list[TxnRecord], dict[int, int]]:
+        reply = self.link.call({"op": "dump_history"})
+        records: list[TxnRecord] = []
+        gtids: dict[int, int] = {}
+        for txn in reply["txns"]:
+            ops = [
+                OpRecord(
+                    kind, table,
+                    tuple(key) if kind == "scan" else key,
+                    version_ts, tuple(seen),
+                )
+                for kind, table, key, version_ts, seen in txn["ops"]
+            ]
+            records.append(TxnRecord(
+                txn["id"], txn["begin_ts"], txn["commit_ts"], txn["status"], ops,
+            ))
+            if txn["gtid"] is not None:
+                gtids[txn["id"]] = txn["gtid"]
+        return records, gtids
+
+    def audit(self) -> dict[str, int]:
+        reply = self.link.call({"op": "audit"})
+        return {
+            field: reply[field]
+            for field in ("granted", "owners", "waiters", "suspended",
+                          "siread", "prepared")
+        }

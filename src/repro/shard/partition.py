@@ -1,0 +1,148 @@
+"""Key-range partition maps: which shard owns which keys.
+
+A :class:`PartitionMap` assigns every ``(table, key)`` to one of N
+shards by binary search over per-table boundary lists — the classic
+range-partitioning scheme, chosen over hashing because it keeps range
+scans contiguous: a scan touches only the shards whose ranges intersect
+``[lo, hi]``, and an unbounded scan touches all of them.
+
+Tables without boundary lists either route wholesale to
+``default_shard`` (useful to pin a whole deployment onto one shard, or
+to co-locate small dimension tables) or raise
+:class:`~repro.errors.TableError` — the router refuses to guess.
+
+The SmallBank map (:func:`smallbank_partition_map`) exploits that
+``cust0000042``-style account names sort exactly like their integer
+customer ids: cutting both the name-keyed Account table and the
+cid-keyed Saving/Checking/Conflict tables at the same customer indices
+co-locates each customer's entire row set, so every single-customer
+program is single-shard and only Amalgamate(N1, N2) crosses shards.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Hashable, Mapping, Sequence
+
+from repro.errors import TableError
+
+__all__ = [
+    "PartitionMap",
+    "single_shard_map",
+    "smallbank_partition_map",
+    "sibench_partition_map",
+]
+
+
+class PartitionMap:
+    """Range partitioning over ``shards`` shards.
+
+    ``bounds[table]`` is a strictly ascending sequence of ``shards - 1``
+    boundary keys: key ``k`` routes to shard ``bisect_left(bounds, k)``,
+    i.e. shard ``i`` owns ``bounds[i-1] < k <= bounds[i]`` — boundary
+    keys themselves belong to the *lower* shard.
+    """
+
+    __slots__ = ("shards", "bounds", "default_shard")
+
+    def __init__(
+        self,
+        shards: int,
+        bounds: Mapping[str, Sequence[Hashable]] | None = None,
+        default_shard: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a partition map needs at least one shard")
+        if default_shard is not None and not 0 <= default_shard < shards:
+            raise ValueError(
+                f"default_shard {default_shard} out of range for {shards} shards"
+            )
+        self.shards = shards
+        self.default_shard = default_shard
+        self.bounds: dict[str, tuple[Hashable, ...]] = {}
+        for table, cuts in (bounds or {}).items():
+            cuts = tuple(cuts)
+            if len(cuts) != shards - 1:
+                raise ValueError(
+                    f"table {table!r}: {len(cuts)} boundary keys for "
+                    f"{shards} shards (need {shards - 1})"
+                )
+            if any(a >= b for a, b in zip(cuts, cuts[1:])):
+                raise ValueError(
+                    f"table {table!r}: boundary keys must be strictly ascending"
+                )
+            self.bounds[table] = cuts
+
+    def _cuts(self, table: str) -> tuple[Hashable, ...] | None:
+        cuts = self.bounds.get(table)
+        if cuts is None and self.default_shard is None:
+            raise TableError(
+                f"no partition bounds for table {table!r} and no default shard"
+            )
+        return cuts
+
+    def shard_of(self, table: str, key: Hashable) -> int:
+        """The shard owning ``(table, key)``."""
+        cuts = self._cuts(table)
+        if cuts is None:
+            return self.default_shard  # type: ignore[return-value]
+        return bisect_left(cuts, key)
+
+    def shards_for_scan(
+        self, table: str, lo: Hashable | None = None, hi: Hashable | None = None
+    ) -> range:
+        """The contiguous shard range a ``[lo, hi]`` scan must visit
+        (``None`` bounds are unbounded, so they reach the edge shards)."""
+        cuts = self._cuts(table)
+        if cuts is None:
+            assert self.default_shard is not None
+            return range(self.default_shard, self.default_shard + 1)
+        first = 0 if lo is None else bisect_left(cuts, lo)
+        last = len(cuts) if hi is None else bisect_left(cuts, hi)
+        return range(first, last + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionMap(shards={self.shards}, tables={sorted(self.bounds)}, "
+            f"default_shard={self.default_shard})"
+        )
+
+
+def single_shard_map(shards: int = 1, shard: int = 0) -> PartitionMap:
+    """Route every table of a ``shards``-wide deployment to one shard —
+    the degenerate map used to check single-shard fast-path equivalence
+    against the monolithic engine."""
+    return PartitionMap(shards, default_shard=shard)
+
+
+def _even_cuts(cardinality: int, shards: int) -> list[int]:
+    return [cardinality * i // shards for i in range(1, shards)]
+
+
+def smallbank_partition_map(shards: int, customers: int) -> PartitionMap:
+    """Partition SmallBank so each customer's rows are co-located (see
+    module docstring); cuts are even in customer id."""
+    from repro.workloads.smallbank import (
+        ACCOUNT,
+        CHECKING,
+        CONFLICT,
+        SAVING,
+        customer_name,
+    )
+
+    cuts = _even_cuts(customers, shards)
+    return PartitionMap(shards, {
+        ACCOUNT: [customer_name(c) for c in cuts],
+        SAVING: cuts,
+        CHECKING: cuts,
+        CONFLICT: list(cuts),
+    })
+
+
+def sibench_partition_map(shards: int, items: int) -> PartitionMap:
+    """Partition the sibench table evenly by item id.  The sibench query
+    is a full-table scan, so under this map it is inherently cross-shard
+    whenever ``shards > 1``."""
+    from repro.workloads.sibench import TABLE
+
+    return PartitionMap(shards, {TABLE: _even_cuts(items, shards)})

@@ -95,6 +95,7 @@ def run_interleaving(
     order: Sequence[int],
     isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
     engine_config: EngineConfig | None = None,
+    db_factory: Callable[[EngineConfig], Database] | None = None,
 ) -> InterleavingOutcome:
     """Execute the programs in the given step order against a fresh DB.
 
@@ -102,9 +103,13 @@ def run_interleaving(
     transactions run (deferring preserves the relative order of the
     remaining steps); a full pass with no progress means an unresolvable
     wait cycle, which immediate deadlock detection breaks.
+
+    ``db_factory`` substitutes any object with the Database op surface
+    (e.g. a sharding coordinator over LocalShard backends) — the seam
+    the single-shard fast-path equivalence tests step through.
     """
     config = engine_config or EngineConfig(record_history=True)
-    db = Database(config)
+    db = db_factory(config) if db_factory is not None else Database(config)
     setup(db)
     isolation = IsolationLevel.parse(isolation)
 
@@ -148,6 +153,7 @@ def exhaustive_outcomes(
     step_counts: Sequence[int],
     isolation: IsolationLevel | str = IsolationLevel.SERIALIZABLE_SSI,
     engine_config_factory: Callable[[], EngineConfig] | None = None,
+    db_factory: Callable[[EngineConfig], Database] | None = None,
 ) -> list[InterleavingOutcome]:
     """Run every interleaving; returns all outcomes."""
     outcomes = []
@@ -156,7 +162,8 @@ def exhaustive_outcomes(
             engine_config_factory() if engine_config_factory else EngineConfig(record_history=True)
         )
         outcomes.append(
-            run_interleaving(setup, program_factories, order, isolation, config)
+            run_interleaving(setup, program_factories, order, isolation, config,
+                             db_factory=db_factory)
         )
     return outcomes
 

@@ -1,0 +1,105 @@
+"""Router edge cases: boundary keys, scan fan-out, unknown tables."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.shard.partition import (
+    PartitionMap,
+    sibench_partition_map,
+    single_shard_map,
+    smallbank_partition_map,
+)
+from repro.workloads import sibench, smallbank
+
+
+class TestShardOf:
+    def test_boundary_key_belongs_to_lower_shard(self):
+        pmap = PartitionMap(2, {"t": ["m"]})
+        assert pmap.shard_of("t", "m") == 0
+        assert pmap.shard_of("t", "ma") == 1
+        assert pmap.shard_of("t", "a") == 0
+        assert pmap.shard_of("t", "z") == 1
+
+    def test_three_way_split(self):
+        pmap = PartitionMap(3, {"t": [10, 20]})
+        assert [pmap.shard_of("t", k) for k in (0, 10, 11, 20, 21, 99)] == [
+            0, 0, 1, 1, 2, 2,
+        ]
+
+    def test_unknown_table_is_refused(self):
+        pmap = PartitionMap(2, {"t": ["m"]})
+        with pytest.raises(TableError):
+            pmap.shard_of("nope", 1)
+        with pytest.raises(TableError):
+            pmap.shards_for_scan("nope")
+
+    def test_default_shard_catches_unmapped_tables(self):
+        pmap = PartitionMap(4, {"t": [1, 2, 3]}, default_shard=2)
+        assert pmap.shard_of("dimension", "anything") == 2
+        assert list(pmap.shards_for_scan("dimension")) == [2]
+        # Mapped tables still route by range.
+        assert pmap.shard_of("t", 0) == 0
+
+    def test_single_shard_map_routes_everything_to_one_shard(self):
+        pmap = single_shard_map(2)
+        assert pmap.shards == 2
+        assert pmap.shard_of("anything", 42) == 0
+        assert list(pmap.shards_for_scan("anything", None, None)) == [0]
+
+
+class TestShardsForScan:
+    def test_unbounded_scan_spans_all_shards(self):
+        pmap = PartitionMap(4, {"t": [10, 20, 30]})
+        assert list(pmap.shards_for_scan("t")) == [0, 1, 2, 3]
+
+    def test_bounded_scan_touches_only_intersecting_shards(self):
+        pmap = PartitionMap(4, {"t": [10, 20, 30]})
+        assert list(pmap.shards_for_scan("t", 11, 20)) == [1]
+        assert list(pmap.shards_for_scan("t", 5, 25)) == [0, 1, 2]
+        assert list(pmap.shards_for_scan("t", 31, None)) == [3]
+        assert list(pmap.shards_for_scan("t", None, 10)) == [0]
+
+    def test_boundary_endpoints_match_shard_of(self):
+        pmap = PartitionMap(3, {"t": [10, 20]})
+        for lo, hi in ((10, 10), (10, 11), (20, 21)):
+            shards = pmap.shards_for_scan("t", lo, hi)
+            assert shards[0] == pmap.shard_of("t", lo)
+            assert shards[-1] == pmap.shard_of("t", hi)
+
+
+class TestValidation:
+    def test_wrong_cut_count(self):
+        with pytest.raises(ValueError):
+            PartitionMap(3, {"t": [10]})
+
+    def test_cuts_must_be_strictly_ascending(self):
+        with pytest.raises(ValueError):
+            PartitionMap(3, {"t": [20, 10]})
+        with pytest.raises(ValueError):
+            PartitionMap(3, {"t": [10, 10]})
+
+    def test_default_shard_bounds(self):
+        with pytest.raises(ValueError):
+            PartitionMap(2, default_shard=2)
+        with pytest.raises(ValueError):
+            PartitionMap(0)
+
+
+class TestWorkloadMaps:
+    def test_smallbank_customer_rows_are_colocated(self):
+        pmap = smallbank_partition_map(shards=4, customers=64)
+        for customer in range(64):
+            name = smallbank.customer_name(customer)
+            home = pmap.shard_of(smallbank.ACCOUNT, name)
+            assert pmap.shard_of(smallbank.SAVING, customer) == home
+            assert pmap.shard_of(smallbank.CHECKING, customer) == home
+            assert pmap.shard_of(smallbank.CONFLICT, customer) == home
+
+    def test_smallbank_map_uses_every_shard(self):
+        pmap = smallbank_partition_map(shards=4, customers=64)
+        homes = {pmap.shard_of(smallbank.SAVING, c) for c in range(64)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_sibench_full_scan_is_cross_shard(self):
+        pmap = sibench_partition_map(shards=2, items=10)
+        assert list(pmap.shards_for_scan(sibench.TABLE)) == [0, 1]
