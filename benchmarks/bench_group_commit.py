@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Group-commit benchmark (PR 9): batching on vs off under concurrency.
+
+The claim under test: with a file-backed write-ahead log flushed on
+commit, the :class:`~repro.engine.groupcommit.CommitBatcher` amortises
+certification latching and — dominantly — the per-commit WAL flush, so
+commit throughput under concurrent committers beats the one-at-a-time
+path by >= 1.3x at 64 sessions.  At 1 session groups degenerate to
+size 1 and the two paths should be comparable (the collect window is
+skipped for a lone committer only when the queue fills — the 200 us
+window is the worst case).
+
+Workload: disjoint-key small write transactions (2 writes each) driven
+through the session scheduler — committers suspend on their group
+ticket instead of parking worker threads, so 64 sessions ride 4
+workers.  Every benchmarked history is MVSG-certified serializable and
+every lock table must drain clean.
+
+Results land in strict JSON (``--out BENCH_PR9.json``) with the machine
+fingerprint.  The CI gate (``--check``) validates the committed
+document machine-independently: the on/off ratio is within-document,
+so it holds on any machine class.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_group_commit.py --out BENCH_PR9.json
+    PYTHONPATH=src python benchmarks/bench_group_commit.py --quick
+    PYTHONPATH=src python benchmarks/bench_group_commit.py --check BENCH_PR9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import platform
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine.config import EngineConfig  # noqa: E402
+from repro.exec import run_session_stress  # noqa: E402
+from repro.sim.ops import Write  # noqa: E402
+from repro.sim.workload import Mix, Workload  # noqa: E402
+from repro.wal.log import WriteAheadLog  # noqa: E402
+
+SESSION_COUNTS = (1, 8, 64)
+WORKERS = 4
+TXNS_PER_SESSION = {1: 64, 8: 24, 64: 8}
+QUICK_TXNS_PER_SESSION = {1: 16, 8: 8, 64: 4}
+SEED = 20090909
+TABLE = "gc"
+
+#: the 64-session on/off throughput ratio the committed capture must meet
+RATIO_GATE = 1.3
+
+
+def make_workload() -> Workload:
+    """Disjoint-key writers: no ww/rw conflicts, so every difference
+    between the two arms is commit-pipeline cost, not abort noise."""
+    keys = itertools.count()
+
+    def writer(_rng):
+        base = next(keys) * 2
+        yield Write(TABLE, base, base)
+        yield Write(TABLE, base + 1, base)
+
+    return Workload(
+        "group_commit_writes",
+        setup=lambda db: db.create_table(TABLE),
+        mix=Mix(entries=(("write2", 1.0, writer),)),
+    )
+
+
+def run_level(sessions: int, group: bool, txns_per_session: int) -> dict:
+    wal_path = tempfile.NamedTemporaryFile(suffix=".wal", delete=False).name
+    config = EngineConfig(
+        wal_flush_on_commit=True,
+        group_commit=group,
+        group_commit_max=16,
+        group_commit_wait_us=200,
+        record_history=True,
+    )
+    holder = {}
+
+    def attach_wal(db):
+        db.wal = WriteAheadLog(path=wal_path)
+        holder["db"] = db
+
+    try:
+        result = run_session_stress(
+            make_workload(),
+            level="ssi",
+            sessions=sessions,
+            workers=WORKERS,
+            txns_per_session=txns_per_session,
+            seed=SEED,
+            config=config,
+            check_serializability=True,
+            on_database=attach_wal,
+        )
+    finally:
+        if os.path.exists(wal_path):
+            os.unlink(wal_path)
+    db = holder["db"]
+    wal_stats = dict(db.wal.stats)
+    snapshot = db.metrics.snapshot()["counters"]
+    batcher = snapshot.get("group_commit", {})
+    return {
+        "sessions": sessions,
+        "group_commit": group,
+        "txns": result.txns,
+        "commits": result.commits,
+        "aborts": result.aborts,
+        "wall_clock_s": result.wall_clock_s,
+        "throughput_commits_per_s": (
+            result.commits / result.wall_clock_s
+            if result.wall_clock_s > 0 else 0.0
+        ),
+        "serializable": result.serializable,
+        "lock_table_clean": (
+            result.residual_granted == 0
+            and result.residual_waiters == 0
+            and result.residual_siread == 0
+        ),
+        "wal_flushes": wal_stats["flushes"],
+        "wal_appends": wal_stats["appends"],
+        "batches": batcher.get("batches", 0),
+        "batched_txns": batcher.get("batched_txns", 0),
+    }
+
+
+def capture(txns_per_session: dict[int, int]) -> dict:
+    levels = []
+    for sessions in SESSION_COUNTS:
+        for group in (False, True):
+            tag = "group" if group else "serial"
+            print(f"  {sessions} sessions, {tag} ...", flush=True)
+            level = run_level(sessions, group, txns_per_session[sessions])
+            print(
+                f"    {level['commits']} commits "
+                f"({level['throughput_commits_per_s']:.0f}/s, "
+                f"{level['wal_flushes']} flushes)", flush=True,
+            )
+            levels.append(level)
+    return {
+        "benchmark": "group_commit",
+        "workers": WORKERS,
+        "group_commit_max": 16,
+        "group_commit_wait_us": 200,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+        "levels": levels,
+    }
+
+
+def check_document(path: str) -> int:
+    """CI gate over the committed capture.  Correctness claims and the
+    within-document on/off throughput ratio — both machine-independent."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    problems = []
+    for field in ("python", "platform", "cpus"):
+        if field not in document:
+            problems.append(f"metadata field {field!r} missing")
+    levels = document.get("levels", [])
+
+    def find(sessions, group):
+        for level in levels:
+            if (level.get("sessions") == sessions
+                    and level.get("group_commit") is group):
+                return level
+        return None
+
+    for level in levels:
+        tag = (f"{level.get('sessions')} sessions "
+               f"{'group' if level.get('group_commit') else 'serial'}")
+        if not level.get("serializable"):
+            problems.append(f"{tag}: history not MVSG-serializable")
+        if not level.get("lock_table_clean"):
+            problems.append(f"{tag}: lock table dirty after quiesce")
+        if level.get("commits", 0) <= 0:
+            problems.append(f"{tag}: committed nothing")
+        if level.get("commits", 0) + level.get("aborts", 0) != level.get(
+                "txns", -1):
+            problems.append(f"{tag}: lost transactions")
+
+    for sessions in SESSION_COUNTS:
+        for group in (False, True):
+            if find(sessions, group) is None:
+                problems.append(
+                    f"no capture at {sessions} sessions, group={group}"
+                )
+
+    grouped = find(64, True)
+    serial = find(64, False)
+    ratio = None
+    if grouped and serial:
+        if grouped.get("batched_txns", 0) <= 0:
+            problems.append("64-session group arm never batched a commit")
+        if grouped.get("wal_flushes", 0) >= serial.get("wal_flushes", 1):
+            problems.append(
+                "group arm did not amortise WAL flushes "
+                f"({grouped.get('wal_flushes')} vs {serial.get('wal_flushes')})"
+            )
+        ratio = (
+            grouped["throughput_commits_per_s"]
+            / max(serial["throughput_commits_per_s"], 1e-9)
+        )
+        if ratio < RATIO_GATE:
+            problems.append(
+                f"64-session group/serial throughput {ratio:.2f}x "
+                f"< {RATIO_GATE}x"
+            )
+
+    if problems:
+        print(f"{path}: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    note = f", {ratio:.2f}x at 64 sessions" if ratio is not None else ""
+    print(f"{path}: ok — all histories serializable, lock tables "
+          f"clean{note}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", help="write the capture (strict JSON) here")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller per-session counts (CI smoke)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate a committed capture instead of running")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_document(args.check)
+
+    txns = QUICK_TXNS_PER_SESSION if args.quick else TXNS_PER_SESSION
+    print(f"group commit ({WORKERS} scheduler workers, file-backed WAL):")
+    document = capture(txns)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

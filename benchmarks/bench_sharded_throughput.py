@@ -78,6 +78,16 @@ def _level_common(result) -> dict:
     }
 
 
+def _histogram_or_none(histogram: dict | None) -> dict | None:
+    """An unpopulated histogram snapshot reports count 0 with a
+    fabricated mean of 0.0 — on a level that never ran 2PC that reads
+    as a measured zero-latency claim.  Report None instead; the check
+    side rejects zero-count histogram objects outright."""
+    if not histogram or not histogram.get("count"):
+        return None
+    return histogram
+
+
 def run_smallbank(shards: int, cross_ratio: float) -> dict:
     pmap = smallbank_partition_map(shards, CUSTOMERS)
     with ShardCluster(pmap, workers=WORKERS) as cluster:
@@ -101,7 +111,9 @@ def run_smallbank(shards: int, cross_ratio: float) -> dict:
             "cross_shard_unsafe": counters["cross_shard_unsafe"],
             "escalation_conflicts": counters["escalation_conflicts"],
             "shard_txn_counts": result.metrics["gauges"]["shard_txn_counts"],
-            "twopc_latency": result.metrics["histograms"].get("twopc_latency"),
+            "twopc_latency": _histogram_or_none(
+                result.metrics["histograms"].get("twopc_latency")
+            ),
         })
         return level
 
@@ -249,6 +261,12 @@ def check_document(path: str) -> int:
         if level.get("commits", 0) + level.get("aborts", 0) != level.get(
                 "txns", -1):
             problems.append(f"{tag}: lost transactions")
+        histogram = level.get("twopc_latency")
+        if histogram is not None and not histogram.get("count"):
+            problems.append(
+                f"{tag}: empty twopc_latency histogram recorded as data "
+                f"(should be null when no 2PC ran)"
+            )
 
     for shards in (1, 2, 4):
         routable = find("smallbank", shards, cross_ratio=0.0)
@@ -269,6 +287,11 @@ def check_document(path: str) -> int:
         elif mixed.get("cross_shard_commits", 0) <= 0:
             problems.append(
                 f"mixed smallbank x{shards}: no cross-shard 2PC commits"
+            )
+        elif not (mixed.get("twopc_latency") or {}).get("count"):
+            problems.append(
+                f"mixed smallbank x{shards}: 2PC commits ran but no "
+                f"twopc_latency histogram was captured"
             )
 
     ratio_note = ""

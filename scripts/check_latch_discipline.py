@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Static latch-discipline lint (PR 5).
 
-Two AST checks over the engine's concurrency-critical modules, run in CI
+Five AST checks over the engine's concurrency-critical modules, run in CI
 next to ruff/mypy:
 
 1. **Protected-state mutations.**  Each checked module registers the
@@ -36,7 +36,16 @@ next to ruff/mypy:
    by design; see the coordinator's module docstring) and are not
    registered here.
 
-4. **Acquisition order.**  Within a function, nested ``with`` blocks
+4. **No WAL I/O under latch (PR 9).**  A call that appends to or
+   flushes the write-ahead log (``self.wal.log_write(...)``,
+   ``db.wal.flush()``...) is file I/O — the group-commit pipeline's
+   whole point is that it happens *outside* the tracker/commit latched
+   section, so the lint flags any ``wal``-receiver logging call made
+   while a recognised latch is lexically held.  (The WAL's own leaf
+   latch is taken inside the log module and ranks at the bottom of the
+   hierarchy, so it never blocks engine latch holders.)
+
+5. **Acquisition order.**  Within a function, nested ``with`` blocks
    over recognised latch expressions must acquire in non-decreasing rank
    order (``txn < tracker < commit < table < lock-queue < lock-stripe <
    lock-owner < obs < wal``).  Same-rank re-acquisition is legal only
@@ -121,6 +130,15 @@ SUSPEND_CALLS = {
 #: receiver attribute names whose ``wait`` releases its own lock
 CONDITION_RECEIVERS = {"_cv", "_condition"}
 
+#: WAL methods that perform log I/O: never legal under an engine latch
+#: (rule 4) — flush-before-release is sequenced by the commit pipeline,
+#: not by holding latches across file writes.
+WAL_CALLS = {"log_write", "log_commit", "log_abort", "log_begin",
+             "log_checkpoint", "flush"}
+
+#: receiver attribute names that denote the write-ahead log
+WAL_RECEIVERS = {"wal"}
+
 #: receiver names that denote a shard backend or wire link: calling
 #: through one is a blocking RPC to another process (rule 3).
 RPC_RECEIVERS = {"backend", "backends", "link", "shard_link"}
@@ -163,6 +181,10 @@ DEFAULT_RULES = {
     # start or a session can suspend.
     "src/repro/engine/transaction.py": {},
     "src/repro/engine/waits.py": {},
+    # Group-commit batcher: leader-run certification under hoisted
+    # latches, WAL I/O and finalize strictly after they drop — rules 2
+    # and 4 police exactly that split.
+    "src/repro/engine/groupcommit.py": {},
     "src/repro/session/__init__.py": {},
     "src/repro/server/core.py": {},
     # Sharding layer: the commit-sequence vector and the explain_abort
@@ -354,6 +376,23 @@ class FunctionChecker(ast.NodeVisitor):
                     f"calls suspension point {name}() while holding the "
                     f"{self.held[-1]} latch — the waker may need that latch",
                 )
+        if (
+            self.held
+            and isinstance(func, ast.Attribute)
+            and func.attr in WAL_CALLS
+            and (
+                (isinstance(func.value, ast.Attribute)
+                 and func.value.attr in WAL_RECEIVERS)
+                or (isinstance(func.value, ast.Name)
+                    and func.value.id in WAL_RECEIVERS)
+            )
+        ):
+            self.report(
+                node,
+                f"WAL I/O {func.attr}() while holding the "
+                f"{self.held[-1]} latch — log writes and flushes must "
+                "run outside latched sections",
+            )
         if (
             self.check_rpc
             and self.held

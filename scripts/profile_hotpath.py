@@ -14,6 +14,11 @@ Usage::
 
     # sort by total (self) time instead, show 30 rows
     PYTHONPATH=src python scripts/profile_hotpath.py fig6.7 --sort tottime --top 30
+
+    # the commit path: certification vs WAL vs latch-wait breakdown,
+    # with or without group commit (PR 9)
+    PYTHONPATH=src python scripts/profile_hotpath.py commit --threads 8
+    PYTHONPATH=src python scripts/profile_hotpath.py commit --threads 8 --group-commit
 """
 
 from __future__ import annotations
@@ -70,22 +75,128 @@ def run_micro(name: str, level: str, reps: int):
     return job
 
 
+#: commit-path phase attribution: function-name fragments -> category.
+#: Matched against pstats entries (file basename, line, function name).
+COMMIT_CATEGORIES = {
+    "certification": {
+        "before_commit", "check_commit", "_endangering_prepared",
+        "after_commit", "prepare_commit",
+    },
+    "wal": {"log_write", "log_commit", "log_abort", "flush", "_append"},
+    "install": {"_logical_commit", "install", "ensure_chain"},
+    "latch-wait": {"acquire", "__enter__", "wait"},
+}
+
+
+def run_commit(threads: int, reps: int, group_commit: bool):
+    """A threaded small-write commit workload — every transaction writes
+    two disjoint keys and commits, so certification, WAL and install all
+    run on every commit.  With ``--group-commit`` the batcher forms real
+    groups and its phase timings are printed alongside the profile."""
+    import tempfile
+    import threading
+
+    from repro.engine.config import EngineConfig
+    from repro.wal.log import WriteAheadLog
+
+    tmp = tempfile.NamedTemporaryFile(suffix=".wal", delete=False)
+    tmp.close()
+    config = EngineConfig(
+        wal_flush_on_commit=True,
+        group_commit=group_commit,
+        group_commit_max=16,
+        group_commit_wait_us=200,
+    )
+    wal = WriteAheadLog(path=tmp.name)
+    db = Database(config, wal=wal)
+    db.create_table("t")
+    per_thread = max(1, reps // threads)
+
+    def worker(index: int) -> None:
+        for i in range(per_thread):
+            txn = db.begin("ssi")
+            txn.write("t", (index, i, 0), i)
+            txn.write("t", (index, i, 1), i)
+            txn.commit()
+
+    def job():
+        # Worker 0 runs inline: cProfile only observes the calling
+        # thread, so the profiled thread must be a real committer; the
+        # others provide the concurrency that forms groups.
+        workers = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(1, threads)
+        ]
+        for w in workers:
+            w.start()
+        worker(0)
+        for w in workers:
+            w.join()
+        commits = db.metrics.snapshot()["counters"]["engine"]["commits"]
+        mode = "group" if group_commit else "serial"
+        print(f"commit[{mode}] x{threads} threads: {commits} commits, "
+              f"{wal.stats['flushes']} flushes\n")
+        os.unlink(tmp.name)
+
+    return job, db
+
+
+def print_commit_breakdown(stats: pstats.Stats, db) -> None:
+    """Aggregate the profile into commit-path phases.  cProfile only
+    sees the profiled (main) thread, so wall-clock attribution for the
+    whole run comes from the batcher's own phase timings when group
+    commit is on; the pstats aggregation still ranks the code paths."""
+    totals = {category: 0.0 for category in COMMIT_CATEGORIES}
+    calls = {category: 0 for category in COMMIT_CATEGORIES}
+    for (_file, _line, func), (_cc, nc, tt, _ct, _callers) in stats.stats.items():
+        for category, names in COMMIT_CATEGORIES.items():
+            if func in names:
+                totals[category] += tt
+                calls[category] += nc
+                break
+    print("commit-path phases (profiled thread, self time):")
+    for category in COMMIT_CATEGORIES:
+        print(f"  {category:>14}: {totals[category] * 1000:8.2f} ms "
+              f"({calls[category]} calls)")
+    batcher = getattr(db, "_batcher", None)
+    if batcher is not None:
+        print("group-commit leader phases (all leaders, wall clock):")
+        for phase, seconds in batcher.timings.items():
+            print(f"  {phase:>14}: {seconds * 1000:8.2f} ms")
+        snapshot = db.metrics.snapshot()["counters"]["group_commit"]
+        batches = snapshot["batches"] or 1
+        print(f"  {snapshot['batched_txns']} txns in {snapshot['batches']} "
+              f"batches ({snapshot['batched_txns'] / batches:.1f}/batch)")
+    print()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("target", help="fig6.N experiment id, or micro:<case>")
+    parser.add_argument(
+        "target",
+        help="fig6.N experiment id, micro:<case>, or 'commit' "
+             "(commit-path phase breakdown)",
+    )
     parser.add_argument("--level", default="ssi", help="isolation level (default ssi)")
     parser.add_argument("--mpl", type=int, default=10)
     parser.add_argument("--duration", type=float, default=0.3,
                         help="simulated seconds (figure targets)")
     parser.add_argument("--warmup", type=float, default=0.05)
     parser.add_argument("--reps", type=int, default=1000,
-                        help="transactions (micro targets)")
+                        help="transactions (micro and commit targets)")
     parser.add_argument("--top", type=int, default=20, help="rows to print")
     parser.add_argument("--sort", default="cumulative",
                         choices=["cumulative", "tottime", "ncalls"])
+    parser.add_argument("--threads", type=int, default=8,
+                        help="concurrent committers (commit target)")
+    parser.add_argument("--group-commit", action="store_true",
+                        help="enable the commit batcher (commit target)")
     args = parser.parse_args(argv)
 
-    if args.target.startswith("micro:"):
+    commit_db = None
+    if args.target == "commit":
+        job, commit_db = run_commit(args.threads, args.reps, args.group_commit)
+    elif args.target.startswith("micro:"):
         job = run_micro(args.target[len("micro:"):], args.level, args.reps)
     else:
         job = run_figure(args.target, args.level, args.mpl,
@@ -96,6 +207,8 @@ def main(argv=None) -> int:
     job()
     profiler.disable()
     stats = pstats.Stats(profiler, stream=sys.stdout)
+    if commit_db is not None:
+        print_commit_breakdown(stats, commit_db)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
 

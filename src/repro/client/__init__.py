@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import socket
-from typing import Any, Hashable
+from typing import Any, Hashable, Sequence
 
 import repro.errors as _errors
 from repro.errors import ReproError, TransactionAbortedError
@@ -88,17 +88,29 @@ class AsyncClient:
                  writer: asyncio.StreamWriter) -> None:
         self._reader = reader
         self._writer = writer
+        self._codec = "json"
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 7401
-                      ) -> "AsyncClient":
+    async def connect(cls, host: str = "127.0.0.1", port: int = 7401,
+                      codecs: Sequence[str] | None = None) -> "AsyncClient":
+        """Open a connection; ``codecs`` lists preferred frame codecs in
+        order (e.g. ``("msgpack",)``) — the server picks the first it
+        supports, falling back to JSON transparently."""
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if codecs:
+            reply = await client._call({"op": "hello", "codecs": list(codecs)})
+            client._codec = reply.get("codec", "json")
+        return client
+
+    @property
+    def codec(self) -> str:
+        return self._codec
 
     async def _call(self, frame: dict[str, Any]) -> dict[str, Any]:
-        self._writer.write(encode_frame(frame))
+        self._writer.write(encode_frame(frame, self._codec))
         await self._writer.drain()
-        reply = await read_frame_async(self._reader)
+        reply = await read_frame_async(self._reader, self._codec)
         if reply is None:
             raise FrameError("server closed the connection")
         return _result(reply)
@@ -188,17 +200,30 @@ class BlockingClient:
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
+        self._codec = "json"
 
     @classmethod
     def connect(cls, host: str = "127.0.0.1", port: int = 7401,
-                timeout: float | None = 30.0) -> "BlockingClient":
+                timeout: float | None = 30.0,
+                codecs: Sequence[str] | None = None) -> "BlockingClient":
+        """Open a connection; ``codecs`` lists preferred frame codecs in
+        order — the server picks the first it supports, falling back to
+        JSON transparently."""
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return cls(sock)
+        client = cls(sock)
+        if codecs:
+            reply = client._call({"op": "hello", "codecs": list(codecs)})
+            client._codec = reply.get("codec", "json")
+        return client
+
+    @property
+    def codec(self) -> str:
+        return self._codec
 
     def _call(self, frame: dict[str, Any]) -> dict[str, Any]:
-        send_frame_sock(self._sock, frame)
-        reply = read_frame_sock(self._sock)
+        send_frame_sock(self._sock, frame, self._codec)
+        reply = read_frame_sock(self._sock, self._codec)
         if reply is None:
             raise FrameError("server closed the connection")
         return _result(reply)

@@ -11,9 +11,25 @@ them to the server-wide session for that distributed transaction, so
 one link multiplexes every transaction the coordinator runs against a
 shard.
 
+**Coalescing** — submissions land in a send queue; whichever submitter
+finds no active sender becomes the sender and drains the queue,
+wrapping everything queued behind it into one ``batch`` frame (one
+syscall, one length prefix, one server read).  Under contention the
+batching is automatic and unbounded by timers: frames batch exactly
+when they would otherwise have queued behind a peer's ``send``.  A
+lone frame goes out plain — the idle round-trip path pays nothing.
+``submit_many`` queues a whole list atomically, so a sharding
+coordinator's same-shard PREPARE/COMMIT fan-out shares one frame
+deterministically.
+
+**Codec** — pass ``codecs=("msgpack",)`` to request msgpack framing;
+the constructor runs the ``hello`` handshake synchronously (before the
+receiver thread starts) and degrades transparently to JSON when either
+side lacks the codec (:data:`repro.server.protocol.CODECS`).
+
 The server bounds in-flight frames per connection (``max_inbox``) by
 not reading the socket when full; the link inherits that backpressure
-naturally — ``submit`` blocks in ``send`` once the kernel buffers fill.
+naturally — the sender blocks in ``send`` once the kernel buffers fill.
 """
 
 from __future__ import annotations
@@ -21,11 +37,21 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
-from typing import Any
+from collections import deque
+from typing import Any, Iterable, Sequence
 
-from repro.server.protocol import read_frame_sock, send_frame_sock
+from repro.server.protocol import (
+    FrameError,
+    read_frame_sock,
+    send_frame_sock,
+)
 
 __all__ = ["PipelinedClient", "PendingReply"]
+
+#: most messages one sender drain will pack into a single batch frame —
+#: bounds frame size and the latency a queued frame can accrue behind
+#: an enormous batch.
+_MAX_BATCH = 128
 
 
 class PendingReply:
@@ -55,46 +81,120 @@ class PendingReply:
 class PipelinedClient:
     """A thread-safe pipelined connection to a :class:`ReproServer`.
 
-    ``submit(frame) -> PendingReply`` sends immediately and returns a
+    ``submit(frame) -> PendingReply`` queues for send and returns a
     waitable slot; ``result(slot)`` blocks and re-raises server errors
     as the same exception classes :mod:`repro.client` raises (with
-    ``.explanation`` attached); ``call(frame)`` is submit+result.
-    Any thread may submit; one receiver thread drains the socket.
+    ``.explanation`` attached); ``call(frame)`` is submit+result;
+    ``submit_many(frames)`` queues a list in one step (one batch frame
+    when more than one).  Any thread may submit; one receiver thread
+    drains the socket.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        codecs: Sequence[str] | None = None,
+    ) -> None:
         self._sock = socket.create_connection((host, port))
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._send_lock = threading.Lock()
         self._table_lock = threading.Lock()
         self._pending: dict[int, PendingReply] = {}
+        self._sendq: deque[dict[str, Any]] = deque()
+        self._sender_active = False
         self._ids = itertools.count(1)
         self._closed = False
         self._recv_error: BaseException | None = None
+        self._codec = "json"
+        #: send-side telemetry: how much the queue actually coalesced.
+        self.stats = {"frames_sent": 0, "batches_sent": 0, "coalesced_ops": 0}
+        if codecs:
+            # Synchronous handshake on the bare socket — the receiver
+            # thread is not running yet, so the reply is ours to read.
+            send_frame_sock(self._sock, {"op": "hello", "codecs": list(codecs)})
+            reply = read_frame_sock(self._sock)
+            if reply is None:
+                raise ConnectionError("connection closed during codec handshake")
+            self._codec = reply.get("codec", "json")
         self._receiver = threading.Thread(
             target=self._recv_loop, name=f"link-{host}:{port}", daemon=True
         )
         self._receiver.start()
 
+    @property
+    def codec(self) -> str:
+        """The negotiated frame codec (``"json"`` unless the handshake
+        upgraded it)."""
+        return self._codec
+
     # --------------------------------------------------------- sending
 
     def submit(self, frame: dict[str, Any]) -> PendingReply:
-        """Send ``frame`` with a fresh id; return its reply slot."""
-        slot = PendingReply()
-        message = dict(frame)
-        message["id"] = next(self._ids)
+        """Queue ``frame`` for send with a fresh id; return its slot."""
+        return self._enqueue([frame])[0]
+
+    def submit_many(self, frames: Iterable[dict[str, Any]]) -> list[PendingReply]:
+        """Queue several frames in one step — they share a batch frame
+        (when more than one), so a fan-out of same-shard ops costs one
+        wire frame.  Returns slots in argument order."""
+        return self._enqueue(list(frames))
+
+    def _enqueue(self, frames: list[dict[str, Any]]) -> list[PendingReply]:
+        slots = []
         with self._table_lock:
             if self._closed:
                 raise ConnectionError("pipelined link is closed")
-            self._pending[message["id"]] = slot
-        try:
-            with self._send_lock:
-                send_frame_sock(self._sock, message)
-        except BaseException:
+            for frame in frames:
+                message = dict(frame)
+                message["id"] = next(self._ids)
+                slot = PendingReply()
+                self._pending[message["id"]] = slot
+                self._sendq.append(message)
+                slots.append(slot)
+            if self._sender_active or not self._sendq:
+                return slots
+            self._sender_active = True
+        # This thread is now the sender: drain until the queue is empty.
+        # Frames submitted by other threads meanwhile ride its batches.
+        self._drain_sendq()
+        return slots
+
+    def _drain_sendq(self) -> None:
+        while True:
             with self._table_lock:
-                self._pending.pop(message["id"], None)
-            raise
-        return slot
+                if not self._sendq:
+                    self._sender_active = False
+                    return
+                batch = []
+                while self._sendq and len(batch) < _MAX_BATCH:
+                    batch.append(self._sendq.popleft())
+            if len(batch) == 1:
+                message = batch[0]
+            else:
+                message = {"op": "batch", "frames": batch}
+            try:
+                with self._send_lock:
+                    send_frame_sock(self._sock, message, self._codec)
+            except BaseException as error:
+                # The send failed: settle this batch's slots so their
+                # waiters see the error, hand the sender role back, and
+                # surface the failure to whoever was driving the drain.
+                with self._table_lock:
+                    self._sender_active = False
+                    stranded = [
+                        self._pending.pop(frame["id"], None) for frame in batch
+                    ]
+                self._recv_error = self._recv_error or error
+                for slot in stranded:
+                    if slot is not None:
+                        slot.settle(None)
+                raise
+            self.stats["frames_sent"] += 1
+            if len(batch) > 1:
+                self.stats["batches_sent"] += 1
+                self.stats["coalesced_ops"] += len(batch)
 
     def result(self, slot: PendingReply) -> dict[str, Any]:
         """Wait for a slot and return its reply, raising server errors
@@ -121,7 +221,7 @@ class PipelinedClient:
     def _recv_loop(self) -> None:
         try:
             while True:
-                reply = read_frame_sock(self._sock)
+                reply = read_frame_sock(self._sock, self._codec)
                 if reply is None:
                     break
                 slot = None
@@ -129,7 +229,7 @@ class PipelinedClient:
                     slot = self._pending.pop(reply.get("id"), None)
                 if slot is not None:
                     slot.settle(reply)
-        except (OSError, ValueError) as error:
+        except (OSError, ValueError, FrameError) as error:
             # ValueError: reads racing close() on some platforms.
             self._recv_error = error
         finally:

@@ -72,6 +72,16 @@ class EngineConfig:
             ordering the paper enforces in InnoDB (Section 4.4).  Off,
             commits are only durable up to the last explicit flush
             (matching the paper's "without flushing the log" runs).
+        group_commit: route commits through the
+            :class:`~repro.engine.groupcommit.CommitBatcher` — one
+            leader certifies and installs a whole group of
+            concurrently-arriving committers under a single
+            tracker/commit latch acquisition and covers them with one
+            WAL flush (PostgreSQL-style group commit; Ports & Grittner).
+        group_commit_max: largest group one leader pass certifies.
+        group_commit_wait_us: how long (microseconds) a leader holds the
+            collect window open for more committers to arrive before
+            running the batch; 0 batches only what has already queued.
     """
 
     granularity: LockGranularity = LockGranularity.RECORD
@@ -101,6 +111,11 @@ class EngineConfig:
     #: minimum number of record SIREADs on one leaf page before the
     #: page tier replaces them with a single page SIREAD.
     siread_escalation_min_group: int = 2
+    #: group commit (PR 9): batch concurrently-arriving committers
+    #: through one leader-run certification pass and one WAL flush.
+    group_commit: bool = False
+    group_commit_max: int = 16
+    group_commit_wait_us: int = 200
 
     @classmethod
     def berkeleydb_style(cls, page_size: int = 8, **overrides) -> "EngineConfig":

@@ -38,12 +38,14 @@ run outside every engine latch.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Hashable, Iterable, Optional
 
 from repro.cc import build_policies
 from repro.cc.policy import CCPolicy
 from repro.engine.config import DeadlockMode, EngineConfig, LockGranularity
 from repro.engine.indexes import IndexDef, KeyFunc
+from repro.engine.groupcommit import CommitBatcher
 from repro.engine.isolation import IsolationLevel
 from repro.engine.latches import make_latch
 from repro.engine.transaction import Transaction, TransactionStatus
@@ -52,6 +54,7 @@ from repro.errors import (
     ABORT_REASONS,
     DeadlockError,
     DuplicateKeyError,
+    GroupCommitWaitRequired,
     KeyNotFoundError,
     LockTimeoutError,
     LockWaitRequired,
@@ -234,6 +237,18 @@ class Database:
         #: event-trace layer — off (None) by default; every emission site
         #: below is guarded by a single ``is not None`` test.
         self.trace: EventTrace | None = None
+        #: group commit (PR 9): when enabled, Database.commit routes
+        #: through one leader-run batched certification + group WAL
+        #: flush instead of the per-transaction path.
+        self._batcher: CommitBatcher | None = (
+            CommitBatcher(
+                self,
+                self.config.group_commit_max,
+                self.config.group_commit_wait_us,
+            )
+            if self.config.group_commit
+            else None
+        )
 
     # ------------------------------------------------------ observability
 
@@ -456,11 +471,51 @@ class Database:
                 completion = None
         txn._safe_event = None
 
-    def commit(self, txn: Transaction) -> None:
+    def commit(self, txn: Transaction, *, wait: bool = True) -> None:
         """Commit: unsafe check, version install, lock release, suspension
-        and cleanup (Fig 3.2 / Fig 3.10)."""
-        self.prepare_commit(txn)
-        self.finalize_commit(txn)
+        and cleanup (Fig 3.2 / Fig 3.10).
+
+        With group commit enabled the transaction rides a
+        :class:`~repro.engine.groupcommit.CommitBatcher` group instead:
+        the submitting caller either becomes the batch leader (running
+        the group inline) or waits for the leader's verdict —
+        ``wait=False`` turns that wait into
+        :class:`~repro.errors.GroupCommitWaitRequired` so a session can
+        suspend on the ticket's completion and re-invoke this method,
+        which consumes the resolved ticket.  Re-invocation with a
+        pending ticket never re-submits.
+        """
+        batcher = self._batcher
+        if batcher is None or (not txn.policy.certifies and not txn.write_set):
+            # No batching configured — or nothing a group amortizes: a
+            # non-certifying read-only commit takes no tracker latch and
+            # writes no WAL, so the serial path is already minimal.
+            self.prepare_commit(txn)
+            self.finalize_commit(txn)
+            return
+        ticket = txn._commit_ticket
+        if ticket is None:
+            self._check_doom(txn)
+            if not txn.is_active:
+                raise TransactionStateError(
+                    f"transaction {txn.id} is {txn.status.value}"
+                )
+            ticket, is_leader = batcher.submit(txn)
+            txn._commit_ticket = ticket
+            if is_leader:
+                batcher.lead()
+        if not ticket.resolved:
+            if not wait:
+                raise GroupCommitWaitRequired(txn, ticket.done)
+            ticket.done.wait()
+            while not ticket.resolved:
+                # A spurious completion fire (session interrupt) can wake
+                # a waiter before the leader publishes the verdict; the
+                # leader resolves within its current pass.
+                time.sleep(0.0001)
+        txn._commit_ticket = None
+        if ticket.error is not None:
+            raise ticket.error
 
     def prepare_commit(self, txn: Transaction) -> None:
         """The atomic logical commit: checks, commit timestamp, version
@@ -1938,10 +1993,29 @@ class Database:
     def _abort_internal(self, txn: Transaction, reason: str) -> None:
         """Roll back.  Three phases: the abort decision and policy/tracker
         cleanup under the tracker latch; lock release and WAL I/O with no
-        latch held; registry removal under the txn latch."""
+        latch held; registry removal under the txn latch.
+
+        Split into :meth:`_abort_tracker_phase` (decision, latched) and
+        :meth:`_abort_release_phase` (I/O and teardown, unlatched) so the
+        group-commit leader can take the decision for a failed batch
+        member inside the batch's latched section — where later members
+        must certify against it — and defer the release work until the
+        batch latches drop (the release phase acquires the txn latch,
+        which ranks *below* tracker/commit and may not be taken under
+        them)."""
+        bucket = self._abort_tracker_phase(txn, reason)
+        if bucket is None:
+            return
+        self._abort_release_phase(txn, bucket)
+
+    def _abort_tracker_phase(self, txn: Transaction, reason: str) -> str | None:
+        """The abort decision: status flip, policy/tracker/monitor
+        cleanup, abort accounting — one tracker-latch critical section.
+        Returns the stats bucket, or None when the transaction already
+        reached a terminal state (nothing to release)."""
         with self._tracker_latch:
             if not txn.is_active:
-                return
+                return None
             txn.status = TransactionStatus.ABORTED
             self._prepared.discard(txn)
             txn.prepared = False
@@ -1951,6 +2025,12 @@ class Database:
             self._retire(txn)
             bucket = reason if reason in self.stats["aborts"] else "aborted"
             self.stats["aborts"][bucket] += 1
+            return bucket
+
+    def _abort_release_phase(self, txn: Transaction, bucket: str) -> None:
+        """Everything after the abort decision: WAL abort record, write
+        buffer discard, lock release, registry removal, reporting.  Runs
+        with no latch held on entry."""
         had_writes = bool(txn.write_set)
         if self.wal is not None and had_writes:
             self.wal.log_abort(txn.id)

@@ -60,6 +60,7 @@ class Transaction:
         "_safe_event",
         "prepared",
         "global_id",
+        "_commit_ticket",
     )
 
     def __init__(
@@ -128,6 +129,11 @@ class Transaction:
         #: purely local transaction.  Rendered into cross-shard conflict
         #: summaries so the coordinator can name conflict partners.
         self.global_id: int | None = None
+        #: in-flight group-commit ticket (repro.engine.groupcommit);
+        #: non-None between submission to a commit group and the
+        #: consuming re-invocation of Database.commit, making that
+        #: re-invocation idempotent after a session suspension.
+        self._commit_ticket = None
 
     # ----------------------------------------------------------- state
 

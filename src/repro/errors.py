@@ -138,5 +138,25 @@ class SafeSnapshotWaitRequired(ReproError):
         self.completion = completion
 
 
+class GroupCommitWaitRequired(ReproError):
+    """Internal control-flow signal: a commit joined a group and must
+    wait for the batch leader's verdict.
+
+    ``Database.commit(txn, wait=False)`` raises this when group commit
+    is enabled and the transaction's commit ticket was enqueued behind
+    an active batch leader.  ``completion`` fires once the leader has
+    certified (or aborted) the whole group, flushed the WAL and
+    finalized the member; the executor suspends until then and
+    re-invokes the commit, which consumes the resolved ticket — raising
+    the member's abort error if group certification chose it as a
+    victim.  Never escapes to user code.
+    """
+
+    def __init__(self, txn, completion):
+        super().__init__(f"waiting for the commit group of txn {txn.id}")
+        self.txn = txn
+        self.completion = completion
+
+
 #: Every abort classification that the metrics pipeline understands.
 ABORT_REASONS = ("conflict", "unsafe", "deadlock", "timeout", "constraint", "aborted")

@@ -32,7 +32,16 @@ links).  Operations:
 ``create_table``/``load``  schema/bulk-load admin (no open txn required)
 ``dump_history``/``audit``/``metrics``  shard-oracle and telemetry admin
 ``ping``                liveness + server info
+``hello``               codec negotiation (``codecs`` preference list)
+``batch``               many id-tagged frames in one read (``frames`` list)
 ======================  ====================================================
+
+``hello`` and ``batch`` are connection-level frames handled by the read
+loop itself, not session ops: hello switches the connection's codec
+(reply sent in the old codec, everything after in the new one), and
+batch unpacks into individual pipelined dispatches — each inner frame
+must carry an ``id``, replies arrive one per inner frame, and the
+``max_inbox`` backpressure bound applies to the unpacked total.
 
 Abort responses carry the machine-readable ``reason`` and, when the
 database has tracing enabled, the ``explanation`` payload built from
@@ -52,6 +61,7 @@ from repro.errors import TransactionAbortedError
 from repro.server.protocol import (
     FrameError,
     encode_frame,
+    negotiate_codec,
     read_frame_async,
 )
 from repro.session import Session, SessionScheduler
@@ -147,16 +157,37 @@ class ReproServer:
         inbox = asyncio.Semaphore(self.max_inbox)
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        # Per-connection codec, mutable by the hello handshake.  A dict
+        # so the respond closure and the read loop share one cell.
+        conn = {"codec": "json"}
 
         async def respond(reply: dict[str, Any]) -> None:
             async with write_lock:
-                writer.write(encode_frame(reply))
+                writer.write(encode_frame(reply, conn["codec"]))
                 await writer.drain()
+
+        async def accept(frame: dict[str, Any]) -> None:
+            """Route one request frame: sequential or pipelined."""
+            frame_id = frame.get("id")
+            if frame_id is None:
+                # Sequential path: one outstanding op, unnumbered reply.
+                await respond(await self._dispatch(loop, session, frame))
+                return
+            # Pipelined path: bounded in-flight dispatch tasks; the
+            # semaphore acquired *here* stops the read loop (and so
+            # the socket) when the inbox is full.
+            await inbox.acquire()
+            task = loop.create_task(
+                self._pipelined(loop, session, frame, frame_id,
+                                respond, inbox)
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
 
         try:
             while True:
                 try:
-                    frame = await read_frame_async(reader)
+                    frame = await read_frame_async(reader, conn["codec"])
                 except FrameError as error:
                     await respond(
                         {"ok": False, "error": "FrameError", "message": str(error)}
@@ -164,21 +195,38 @@ class ReproServer:
                     break
                 if frame is None:
                     break
-                frame_id = frame.get("id")
-                if frame_id is None:
-                    # Sequential path: one outstanding op, unnumbered reply.
-                    await respond(await self._dispatch(loop, session, frame))
+                op = frame.get("op")
+                if op == "hello":
+                    # Codec negotiation: reply in the *old* codec (the
+                    # client reads the verdict before switching), then
+                    # every later frame uses the picked one.
+                    picked = negotiate_codec(frame.get("codecs"))
+                    reply: dict[str, Any] = {"ok": True, "codec": picked}
+                    if frame.get("id") is not None:
+                        reply["id"] = frame["id"]
+                    await respond(reply)
+                    conn["codec"] = picked
                     continue
-                # Pipelined path: bounded in-flight dispatch tasks; the
-                # semaphore acquired *here* stops the read loop (and so
-                # the socket) when the inbox is full.
-                await inbox.acquire()
-                task = loop.create_task(
-                    self._pipelined(loop, session, frame, frame_id,
-                                    respond, inbox)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
+                if op == "batch":
+                    # One frame, many requests.  Every inner frame needs
+                    # an id (replies are individual and tagged); nested
+                    # batches fall out as unknown ops in _dispatch.
+                    inner = frame.get("frames")
+                    if (
+                        not isinstance(inner, list)
+                        or not all(isinstance(f, dict) for f in inner)
+                        or any(f.get("id") is None for f in inner)
+                    ):
+                        await respond({
+                            "ok": False, "error": "ProtocolError",
+                            "message": "batch needs a frames list of "
+                                       "id-tagged objects",
+                        })
+                        continue
+                    for sub in inner:
+                        await accept(sub)
+                    continue
+                await accept(frame)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:

@@ -1,9 +1,28 @@
-"""Length-prefixed JSON wire protocol shared by server and clients.
+"""Length-prefixed wire protocol shared by server and clients.
 
 Framing: a 4-byte big-endian unsigned length followed by that many
-bytes of UTF-8 JSON.  JSON (stdlib) rather than msgpack keeps the
-protocol dependency-free; the framing is identical, so a msgpack codec
-could be swapped in behind :func:`encode_frame`/:func:`decode_frame`.
+bytes of body.  The body encoding is a per-connection *codec*: JSON
+(stdlib, always available, the default) or msgpack when the ``msgpack``
+package happens to be installed on both ends.  The framing is
+identical for every codec, so the choice is purely a handshake matter.
+
+**Codec negotiation** — a connection starts in JSON.  A client that
+wants another codec sends ``{"op": "hello", "codecs": [...]}`` as its
+first frame, listing codecs in preference order.  The server picks the
+first one it also supports (JSON is always supported, so negotiation
+cannot fail), replies ``{"ok": true, "codec": "<picked>"}`` *in the
+old codec*, and both sides switch for every subsequent frame.  A
+client whose preferred codec is unavailable on either side degrades
+transparently to JSON — no error, no retry.
+
+**Batched frames** — ``{"op": "batch", "frames": [...]}`` carries
+multiple requests in one frame (one syscall, one length prefix).
+Every inner frame must carry an ``id`` (replies are per-inner-frame
+and arrive individually, tagged by those ids, possibly out of order);
+nested batches are rejected.  :class:`repro.client.link.PipelinedClient`
+coalesces its send queue into batch frames automatically, which is how
+the shard coordinator's same-shard PREPARE/COMMIT fan-out shares
+round-trips.
 
 Requests are objects with an ``op`` field (``begin``/``get``/``put``/
 ``scan``/``commit``/``abort``/``prepare``/``commit_prepared``/...);
@@ -27,8 +46,8 @@ Two optional request fields change dispatch, not framing:
   summary (``{"in", "out", "in_partner", "out_partner"}``) — the
   PREPARE vote of the cross-shard SSI protocol.
 
-Keys and values must be JSON-representable; that is the wire format's
-restriction, not the engine's.
+Keys and values must be representable in the negotiated codec; that is
+the wire format's restriction, not the engine's.
 """
 
 from __future__ import annotations
@@ -37,11 +56,13 @@ import asyncio
 import json
 import struct
 import socket
-from typing import Any
+from typing import Any, Callable
 
 __all__ = [
     "MAX_FRAME",
+    "CODECS",
     "FrameError",
+    "negotiate_codec",
     "encode_frame",
     "decode_frame",
     "read_frame_async",
@@ -57,27 +78,71 @@ MAX_FRAME = 16 * 1024 * 1024
 
 
 class FrameError(Exception):
-    """Malformed frame (oversized, truncated, or invalid JSON)."""
+    """Malformed frame (oversized, truncated, or invalid body)."""
 
 
-def encode_frame(message: dict[str, Any]) -> bytes:
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+def _json_dumps(message: dict[str, Any]) -> bytes:
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
+
+
+def _json_loads(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"invalid frame body: {error}") from error
+
+
+#: codec name -> (dumps, loads).  JSON is always present; msgpack joins
+#: only when importable, so a container without it negotiates down to
+#: JSON transparently.
+CODECS: dict[str, tuple[Callable[[dict], bytes], Callable[[bytes], Any]]] = {
+    "json": (_json_dumps, _json_loads),
+}
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack as _msgpack  # type: ignore[import-not-found]
+
+    def _msgpack_loads(body: bytes) -> Any:
+        try:
+            return _msgpack.unpackb(body, strict_map_key=False)
+        except Exception as error:  # msgpack raises a zoo of types
+            raise FrameError(f"invalid frame body: {error}") from error
+
+    CODECS["msgpack"] = (
+        lambda message: _msgpack.packb(message, use_bin_type=True),
+        _msgpack_loads,
+    )
+except ImportError:
+    pass
+
+
+def negotiate_codec(offered: Any) -> str:
+    """Server side of the hello handshake: the first offered codec both
+    sides support, else ``"json"`` (never fails)."""
+    if isinstance(offered, (list, tuple)):
+        for name in offered:
+            if isinstance(name, str) and name in CODECS:
+                return name
+    return "json"
+
+
+def encode_frame(message: dict[str, Any], codec: str = "json") -> bytes:
+    body = CODECS[codec][0](message)
     if len(body) > MAX_FRAME:
         raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
     return _HEADER.pack(len(body)) + body
 
 
-def decode_frame(body: bytes) -> dict[str, Any]:
-    try:
-        message = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise FrameError(f"invalid frame body: {error}") from error
+def decode_frame(body: bytes, codec: str = "json") -> dict[str, Any]:
+    message = CODECS[codec][1](body)
     if not isinstance(message, dict):
-        raise FrameError("frame body must be a JSON object")
+        raise FrameError("frame body must decode to an object")
     return message
 
 
-async def read_frame_async(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+async def read_frame_async(
+    reader: asyncio.StreamReader, codec: str = "json"
+) -> dict[str, Any] | None:
     """Read one frame; None on clean EOF at a frame boundary."""
     try:
         header = await reader.readexactly(_HEADER.size)
@@ -92,7 +157,7 @@ async def read_frame_async(reader: asyncio.StreamReader) -> dict[str, Any] | Non
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as error:
         raise FrameError("connection closed mid-frame") from error
-    return decode_frame(body)
+    return decode_frame(body, codec)
 
 
 def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -107,7 +172,7 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def read_frame_sock(sock: socket.socket) -> dict[str, Any] | None:
+def read_frame_sock(sock: socket.socket, codec: str = "json") -> dict[str, Any] | None:
     """Blocking-socket twin of :func:`read_frame_async`."""
     header = _recv_exactly(sock, _HEADER.size)
     if header is None:
@@ -118,8 +183,10 @@ def read_frame_sock(sock: socket.socket) -> dict[str, Any] | None:
     body = _recv_exactly(sock, length)
     if body is None:
         raise FrameError("connection closed mid-frame")
-    return decode_frame(body)
+    return decode_frame(body, codec)
 
 
-def send_frame_sock(sock: socket.socket, message: dict[str, Any]) -> None:
-    sock.sendall(encode_frame(message))
+def send_frame_sock(
+    sock: socket.socket, message: dict[str, Any], codec: str = "json"
+) -> None:
+    sock.sendall(encode_frame(message, codec))

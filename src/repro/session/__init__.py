@@ -3,8 +3,9 @@
 The blocking client API (:class:`repro.engine.transaction.Transaction`)
 parks one thread per in-flight transaction.  A :class:`Session` instead
 *suspends* whenever the engine reports a pending wait — a lock request
-(:class:`~repro.errors.LockWaitRequired`) or a deferrable safe-snapshot
-wait (:class:`~repro.errors.SafeSnapshotWaitRequired`) — by subscribing
+(:class:`~repro.errors.LockWaitRequired`), a deferrable safe-snapshot
+wait (:class:`~repro.errors.SafeSnapshotWaitRequired`), or a group-commit
+ticket (:class:`~repro.errors.GroupCommitWaitRequired`) — by subscribing
 its own resumption to the wait's completion object and returning the
 worker to the pool.  A :class:`SessionScheduler` drives N sessions over
 M worker threads with M ≪ N; the asyncio wire-protocol server
@@ -42,6 +43,7 @@ from repro.engine.database import Database
 from repro.engine.isolation import IsolationLevel
 from repro.engine.latches import assert_no_latches_held
 from repro.errors import (
+    GroupCommitWaitRequired,
     LockWaitRequired,
     ReproError,
     SafeSnapshotWaitRequired,
@@ -205,15 +207,25 @@ class Session:
                      on_done, "index_lookup")
 
     def commit(self, *, on_done: OnDone) -> None:
+        """Commit the open transaction.  Under group commit a follower
+        suspends on its ticket's completion
+        (:class:`~repro.errors.GroupCommitWaitRequired`), releasing the
+        worker while it rides the group; the retry consumes the
+        resolved ticket.  ``self.txn`` is only cleared on a terminal
+        outcome — the batch leader may flip the transaction COMMITTED
+        while this session is still suspended, so the wait path must
+        not conclude anything from the status alone."""
         def fn():
             txn = self._need_txn()
             try:
-                self._db.commit(txn)
-            except LockWaitRequired:
-                raise
-            finally:
+                self._db.commit(txn, wait=False)
+            except (LockWaitRequired, GroupCommitWaitRequired):
+                raise  # suspend; the retry re-drives (or consumes) it
+            except BaseException:
                 if not txn.is_active:
                     self.txn = None
+                raise
+            self.txn = None
         self._submit(fn, on_done, "commit")
 
     def abort(self, *, on_done: OnDone) -> None:
@@ -267,7 +279,10 @@ class Session:
         to completion in one transaction, committing at the end —
         :func:`repro.sim.direct.run_program`, but suspending instead of
         blocking through waits.  Delivers the program's return value."""
-        state: dict = {"txn": None, "pending": None, "to_send": None}
+        state: dict = {
+            "txn": None, "pending": None, "to_send": None,
+            "done": False, "value": None,
+        }
 
         def fn():
             txn = state["txn"]
@@ -275,19 +290,26 @@ class Session:
                 txn = state["txn"] = self._db.begin(isolation)
                 self.txn = txn
             try:
-                while True:
+                while not state["done"]:
                     if state["pending"] is None:
                         try:
                             state["pending"] = program.send(state["to_send"])
                             state["to_send"] = None
                         except StopIteration as stop:
-                            self._db.commit(txn)
-                            self.txn = None
-                            return stop.value
+                            # Record completion before committing: the
+                            # generator is spent, so a commit that
+                            # suspends must re-enter here, not re-send.
+                            state["done"] = True
+                            state["value"] = stop.value
+                            break
                     state["to_send"] = apply_op(self._db, txn, state["pending"])
                     state["pending"] = None
-            except (LockWaitRequired, SafeSnapshotWaitRequired):
-                raise  # suspend; the retry re-applies the pending op
+                self._db.commit(txn, wait=False)
+                self.txn = None
+                return state["value"]
+            except (LockWaitRequired, SafeSnapshotWaitRequired,
+                    GroupCommitWaitRequired):
+                raise  # suspend; the retry resumes from recorded state
             except BaseException:
                 if txn.is_active:
                     self._db.abort(txn)
@@ -406,6 +428,13 @@ class Session:
                 self._suspend_on_request(wait.request)
                 return
             except SafeSnapshotWaitRequired as wait:
+                self._current = invocation
+                self._suspend_on_completion(wait.completion)
+                return
+            except GroupCommitWaitRequired as wait:
+                # Ride the commit group without occupying a worker: the
+                # batch leader fires the ticket's completion after the
+                # group's certification, flush and finalize.
                 self._current = invocation
                 self._suspend_on_completion(wait.completion)
                 return

@@ -208,10 +208,23 @@ class LocalShard:
 
 
 class RemoteShard:
-    """One shard server reached over a pipelined wire link."""
+    """One shard server reached over a pipelined wire link.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.link = PipelinedClient(host, port)
+    Frame coalescing is the link's job, not this class's: every
+    ``*_begin`` submission lands in the link's send queue, so when
+    several distributed transactions commit concurrently their
+    same-shard PREPARE/COMMIT frames ride one ``batch`` wire frame
+    (see :class:`~repro.client.PipelinedClient`).  Within a single
+    transaction each shard is touched once, so there is nothing to
+    coalesce per-commit — the batching win is cross-transaction.
+
+    ``codecs`` is forwarded to the link's hello handshake (e.g.
+    ``("msgpack",)``), degrading to JSON when unavailable.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 codecs: tuple[str, ...] | None = None) -> None:
+        self.link = PipelinedClient(host, port, codecs=codecs)
 
     # ------------------------------------------------------------ admin
 

@@ -1,0 +1,342 @@
+"""Group commit (PR 9): batched certification and group WAL flush.
+
+Covers the :class:`~repro.engine.groupcommit.CommitBatcher` contracts:
+multi-member batches form under concurrency, intra-batch dangerous
+structures abort the later arrival, doomed members abort inside their
+group, non-certifying empty-write transactions bypass the batcher,
+sessions ride groups while suspended, and the whole pipeline stays
+MVSG-serializable with clean lock tables.
+"""
+
+import threading
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import (
+    TransactionAbortedError,
+    TransactionStateError,
+    UnsafeError,
+)
+from repro.sgt.checker import check_serializable
+from repro.wal.log import WriteAheadLog
+
+
+def make_db(wal=None, **overrides):
+    defaults = dict(
+        group_commit=True,
+        group_commit_max=8,
+        group_commit_wait_us=0,
+        record_history=True,
+    )
+    defaults.update(overrides)
+    db = Database(EngineConfig(**defaults), wal=wal)
+    db.create_table("t")
+    return db
+
+
+def group_counters(db):
+    return db.metrics.snapshot()["counters"]["group_commit"]
+
+
+class TestBatching:
+    def test_single_committer_runs_in_batch_of_one(self):
+        db = make_db()
+        txn = db.begin("ssi")
+        txn.write("t", "a", 1)
+        txn.commit()
+        counters = group_counters(db)
+        assert counters["batches"] == 1
+        assert counters["batched_txns"] == 1
+        check = db.begin("si")
+        assert check.read("t", "a") == 1
+        check.commit()
+
+    def test_concurrent_committers_share_batches(self):
+        db = make_db(group_commit_wait_us=20000)
+        threads = 8
+        barrier = threading.Barrier(threads)
+        failures = []
+
+        def worker(i):
+            barrier.wait()
+            try:
+                for k in range(5):
+                    txn = db.begin("ssi")
+                    txn.write("t", (i, k), k)
+                    txn.commit()
+            except BaseException as error:  # noqa: BLE001
+                failures.append(error)
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert not failures
+        counters = group_counters(db)
+        assert counters["batched_txns"] == threads * 5
+        # The collect window is 20 ms wide: real multi-member batches
+        # must have formed (strictly fewer batches than commits).
+        assert counters["batches"] < counters["batched_txns"]
+        assert check_serializable(db.history).serializable
+        assert db.locks.table_size() == 0
+
+    def test_batch_size_histogram_recorded(self):
+        db = make_db()
+        for i in range(3):
+            txn = db.begin("ssi")
+            txn.write("t", i, i)
+            txn.commit()
+        histogram = db.metrics.snapshot()["histograms"][
+            "group_commit_batch_size"
+        ]
+        assert histogram["count"] == 3
+
+    def test_group_commit_off_means_no_batcher(self):
+        db = Database(EngineConfig())
+        assert db._batcher is None
+
+
+class TestGroupWalFlush:
+    def test_one_flush_per_batch(self):
+        wal = WriteAheadLog()
+        db = make_db(wal=wal, group_commit_wait_us=20000)
+        threads = 4
+        barrier = threading.Barrier(threads)
+
+        def worker(i):
+            barrier.wait()
+            for k in range(6):
+                txn = db.begin("ssi")
+                txn.write("t", (i, k), k)
+                txn.commit()
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        counters = group_counters(db)
+        commits = db.metrics.snapshot()["counters"]["engine"]["commits"]
+        assert commits == threads * 6
+        # Flush count tracks batches (plus any batch that logged nothing),
+        # not commits.
+        assert wal.stats["flushes"] <= counters["batches"]
+        assert wal.stats["flushes"] < commits
+
+    def test_read_only_members_do_not_flush(self):
+        wal = WriteAheadLog()
+        db = make_db(wal=wal)
+        txn = db.begin("ssi")
+        txn.write("t", "a", 1)
+        txn.commit()
+        flushes = wal.stats["flushes"]
+        reader = db.begin("ssi")
+        assert reader.read("t", "a") == 1
+        reader.commit()
+        assert wal.stats["flushes"] == flushes
+
+
+class TestIntraBatchCertification:
+    def test_dangerous_structure_across_batch_members(self):
+        """Classic write skew: T1 reads x writes y, T2 reads y writes x,
+        both commit concurrently.  Whatever the batch composition, at
+        most one may commit; the history stays serializable."""
+        outcomes = []
+        for _attempt in range(10):
+            db = make_db(group_commit_wait_us=20000)
+            db.load("t", [("x", 0), ("y", 0)])
+            barrier = threading.Barrier(2)
+            results = {}
+
+            def worker(name, read_key, write_key):
+                txn = db.begin("ssi")
+                txn.read("t", read_key)
+                txn.write("t", write_key, 1)
+                barrier.wait()
+                try:
+                    txn.commit()
+                    results[name] = "committed"
+                except TransactionAbortedError:
+                    results[name] = "aborted"
+
+            t1 = threading.Thread(target=worker, args=("t1", "x", "y"))
+            t2 = threading.Thread(target=worker, args=("t2", "y", "x"))
+            t1.start(); t2.start(); t1.join(); t2.join()
+            assert check_serializable(db.history).serializable
+            db.cleanup_suspended()  # release retained SIREADs
+            assert db.locks.table_size() == 0
+            outcomes.append(tuple(sorted(results.values())))
+        # SSI admits at most one of the pair whenever both pivots formed.
+        assert all(
+            outcome in (("aborted", "committed"), ("committed", "committed"))
+            for outcome in outcomes
+        )
+        # With a 20 ms collect window the two commits share a batch (or
+        # race closely); at least one attempt must show the abort path.
+        assert ("aborted", "committed") in outcomes
+
+    def test_doom_before_submit_aborts_without_batching(self):
+        """A transaction doomed before its commit call aborts on the
+        pre-submission doom check — it never occupies a group slot."""
+        db = make_db()
+        victim = db.begin("ssi")
+        victim.write("t", "v", 1)
+        victim.doom_error = UnsafeError("doomed by test", txn_id=victim.id)
+        with pytest.raises(UnsafeError):
+            victim.commit()
+        assert victim.is_aborted
+        check = db.begin("si")
+        assert check.get("t", "v") is None
+        check.commit()
+        assert group_counters(db)["batched_txns"] == 0
+
+    def test_doomed_member_aborts_inside_its_group(self):
+        """Doom that lands *after* submission but before the leader's
+        pass: the leader takes the abort decision inside the batch and
+        the ticket carries the doom error out."""
+        db = make_db()
+        victim = db.begin("ssi")
+        victim.write("t", "v", 1)
+        ticket, is_leader = db._batcher.submit(victim)
+        assert is_leader
+        victim.doom_error = UnsafeError("doomed in flight", txn_id=victim.id)
+        db._batcher.lead()
+        assert ticket.resolved
+        assert isinstance(ticket.error, UnsafeError)
+        assert victim.is_aborted
+        assert group_counters(db)["batch_aborts"] == 1
+        check = db.begin("si")
+        assert check.get("t", "v") is None
+        check.commit()
+
+    def test_already_finished_member_raises_state_error(self):
+        db = make_db()
+        txn = db.begin("ssi")
+        txn.write("t", "a", 1)
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            db.commit(txn)
+
+    def test_first_committer_wins_still_enforced(self):
+        """FCW is checked at write time (exclusive locks), so two
+        writers of one key serialize before the batcher ever sees them —
+        the batch path must preserve the abort."""
+        db = make_db(lock_timeout=0.5)
+        db.load("t", [("z", 0)])
+        a = db.begin("ssi")
+        b = db.begin("ssi")
+        b.get("t", "z")  # pin b's (deferred) snapshot before a commits
+        a.write("t", "k", "a")
+        a.commit()
+        with pytest.raises(TransactionAbortedError):
+            b.write("t", "k", "b")
+            b.commit()
+        check = db.begin("si")
+        assert check.read("t", "k") == "a"
+        check.commit()
+
+
+class TestBypass:
+    def test_si_writers_still_batch(self):
+        """SI doesn't certify but does write — its WAL flush amortises
+        through the group too."""
+        db = make_db()
+        txn = db.begin("si")
+        txn.write("t", "a", 1)
+        txn.commit()
+        assert group_counters(db)["batched_txns"] == 1
+
+    def test_read_only_certifying_txn_bypasses_nothing_it_needs(self):
+        """A certifying reader goes through the batcher (its SIREADs
+        feed later members' certification)."""
+        db = make_db()
+        seed = db.begin("ssi")
+        seed.write("t", "a", 1)
+        seed.commit()
+        reader = db.begin("ssi")
+        assert reader.read("t", "a") == 1
+        reader.commit()
+        assert reader.is_committed
+
+    def test_non_certifying_empty_write_bypasses_batcher(self):
+        """An SI read-only transaction neither certifies nor writes:
+        nothing to batch."""
+        db = make_db()
+        txn = db.begin("si")
+        txn.get("t", "missing")
+        txn.commit()
+        assert group_counters(db)["batched_txns"] == 0
+
+
+class TestSessionsRideGroups:
+    def test_session_commit_suspends_on_group(self):
+        """Session committers must not park worker threads: more
+        sessions than workers all commit through groups concurrently."""
+        from repro.session import SessionScheduler
+        from repro.sim.ops import Write
+
+        db = make_db(group_commit_wait_us=5000)
+        scheduler = SessionScheduler(db, workers=2)
+        sessions = 12
+        done = threading.Event()
+        state = {"left": sessions, "errors": []}
+        lock = threading.Lock()
+
+        def drive(index):
+            session = scheduler.session()
+
+            def program():
+                yield Write("t", ("s", index), index)
+
+            def on_done(_result, error):
+                with lock:
+                    if error is not None:
+                        state["errors"].append(error)
+                    state["left"] -= 1
+                    if state["left"] == 0:
+                        done.set()
+                session.close()
+
+            session.run_program(program(), "ssi", on_done=on_done)
+
+        for index in range(sessions):
+            drive(index)
+        assert done.wait(timeout=30), "sessions wedged"
+        scheduler.shutdown()
+        assert not state["errors"], state["errors"]
+        commits = db.metrics.snapshot()["counters"]["engine"]["commits"]
+        assert commits == sessions
+        assert check_serializable(db.history).serializable
+        assert db.locks.table_size() == 0
+
+
+class TestLatchDebugCompat:
+    def test_group_commit_under_checked_latches(self, monkeypatch):
+        """REPRO_LATCH_DEBUG=1 swaps in rank-checking latches; the
+        batcher's hoisted tracker+commit section must satisfy them."""
+        monkeypatch.setenv("REPRO_LATCH_DEBUG", "1")
+        db = make_db(group_commit_wait_us=10000)
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            for k in range(4):
+                txn = db.begin("ssi")
+                txn.write("t", (i, k), k)
+                txn.commit()
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert db.metrics.snapshot()["counters"]["engine"]["commits"] == 16
+        assert check_serializable(db.history).serializable

@@ -51,3 +51,36 @@ def test_outcomes_match_pre_refactor_engine(case):
         assert got == case["outcomes"][level], (
             f"{case['scenario']} seed={case['seed']} diverged at {level}"
         )
+
+
+@pytest.mark.parametrize(
+    "case",
+    CASES,
+    ids=[f"{case['scenario']}-{case['seed']}" for case in CASES],
+)
+def test_outcomes_match_with_group_commit_forced_on(case):
+    """Group certification must admit exactly the histories the serial
+    certifier does: with group commit forced on (single-stepped
+    interleavings commit one at a time, so every batch has one member
+    and arrival-order certification degenerates to the serial check),
+    every golden outcome is unchanged."""
+    factory = FACTORIES[case["scenario"]]
+    for level in LEVELS:
+        setup, programs, _step_counts = factory()
+        outcome = run_interleaving(
+            setup,
+            programs,
+            case["order"],
+            isolation=level,
+            engine_config=EngineConfig(
+                record_history=True,
+                group_commit=True,
+                group_commit_max=8,
+                group_commit_wait_us=0,
+            ),
+        )
+        got = {str(index): status for index, status in outcome.statuses.items()}
+        assert got == case["outcomes"][level], (
+            f"{case['scenario']} seed={case['seed']} diverged at {level} "
+            f"with group commit on"
+        )
