@@ -1,0 +1,391 @@
+#!/usr/bin/env python
+"""Reporting-mix benchmark (PR 10): the vectorized scan kernel under a
+TPC-H-flavored read-mostly workload.
+
+Three sections, one JSON document:
+
+* ``scan_speedup`` — serial wide scans of the scale-factor lineitem
+  table under three arms: the per-row scan path (``scan_kernel=False``),
+  the chunked kernel with record-granularity SIREADs, and the chunked
+  kernel with the page-SIREAD threshold engaged.  The CI gate holds the
+  kernel's wide-scan configuration (chunked + page threshold, the shape
+  every reporting scan crosses) to >= 1.5x over the per-row path, and
+  the record-granularity kernel to no-regression.  Lock-manager grant
+  cost dominates record-granularity scans in either path, which is
+  exactly why the threshold arm is the kernel's headline: it replaces
+  ~2 lock grants per row with ~1 per 32 rows.
+* ``lock_bound`` — peak lock-table size while an SSI scan of width N is
+  live: record-granularity cost is ~2N+1, page-granularity cost is
+  ~N/page_order — the Section 4.6 trade made scan-shaped.
+* ``mixes`` — the reporting mix (5 report queries + order-entry OLTP +
+  a SmallBank side stream) under real threads, swept over reader level
+  (``ssi`` / ``ssi-ro`` / ``deferrable``) x scan arm, with per-query
+  latency; every cell must be MVSG-serializable with a clean lock
+  table.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_reporting_mix.py --out BENCH_PR10.json
+    PYTHONPATH=src python benchmarks/bench_reporting_mix.py --quick
+    PYTHONPATH=src python benchmarks/bench_reporting_mix.py --check BENCH_PR10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine.config import EngineConfig  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.errors import TransactionAbortedError  # noqa: E402
+from repro.sgt.checker import check_serializable  # noqa: E402
+from repro.sim.direct import run_program  # noqa: E402
+from repro.workloads.reporting import (  # noqa: E402
+    LINEITEM,
+    make_reporting_mix,
+    setup_reporting,
+)
+
+SEED = 20100808
+
+#: the wide-scan arm (chunked kernel + page threshold) vs per-row gate
+RATIO_GATE = 1.5
+#: record-granularity kernel must not regress vs per-row
+NO_REGRESSION_GATE = 0.9
+#: page arm must cut lock-table cost at the widest scan by at least this
+LOCK_REDUCTION_GATE = 4.0
+
+PAGE_THRESHOLD = 64
+SCAN_ARMS = {
+    # scan_kernel, scan_page_lock_threshold
+    "per_row": (False, None),
+    "chunked": (True, None),
+    "paged": (True, PAGE_THRESHOLD),
+}
+
+SPEEDUP_SCALE, SPEEDUP_REPS = 8, 5
+LOCK_WIDTHS = (256, 1024, 4096)
+MIX_SCALE, MIX_THREADS, MIX_TXNS = 1, 3, 24
+READER_LEVELS = ("ssi", "ssi-ro", "deferrable")
+REPORT_QUERIES = (
+    "q1_pricing_summary", "q3_top_orders", "q5_region_revenue",
+    "q6_revenue_band", "q_recent_orders",
+)
+
+QUICK = {
+    "speedup_scale": 2, "speedup_reps": 2,
+    "lock_widths": (256, 512), "mix_txns": 6,
+}
+
+
+def arm_config(arm: str, **extra) -> EngineConfig:
+    kernel, threshold = SCAN_ARMS[arm]
+    return EngineConfig(
+        scan_kernel=kernel, scan_page_lock_threshold=threshold, **extra
+    )
+
+
+# ------------------------------------------------------------ scan_speedup
+
+def run_speedup(scale: int, reps: int) -> dict:
+    arms = {}
+    for arm in SCAN_ARMS:
+        db = Database(arm_config(arm))
+        setup_reporting(db, scale)
+        rows = None
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            txn = db.begin("ssi")
+            rows = db.scan(txn, LINEITEM)
+            db.abort(txn)  # release SIREADs so each rep is steady-state
+            best = min(best, time.perf_counter() - start)
+            db.cleanup_suspended()
+        arms[arm] = {"best_scan_s": best, "rows": len(rows)}
+        print(f"    {arm}: {best * 1e3:.2f} ms for {len(rows)} rows",
+              flush=True)
+    per_row = arms["per_row"]["best_scan_s"]
+    return {
+        "scale": scale,
+        "reps": reps,
+        "arms": arms,
+        "chunked_speedup": per_row / max(arms["chunked"]["best_scan_s"], 1e-9),
+        "paged_speedup": per_row / max(arms["paged"]["best_scan_s"], 1e-9),
+    }
+
+
+# -------------------------------------------------------------- lock_bound
+
+def run_lock_bound(widths: tuple[int, ...]) -> dict:
+    sweeps = []
+    for width in widths:
+        entry = {"width": width}
+        for arm in ("chunked", "paged"):
+            db = Database(arm_config(arm))
+            db.create_table("wide")
+            db.load("wide", ((key, key) for key in range(width)))
+            txn = db.begin("ssi")
+            db.scan(txn, "wide")
+            entry["record_locks" if arm == "chunked" else "page_locks"] = (
+                db.locks.table_size()
+            )
+            db.abort(txn)
+        print(f"    width {width}: {entry['record_locks']} record locks "
+              f"vs {entry['page_locks']} page locks", flush=True)
+        sweeps.append(entry)
+    return {"widths": sweeps}
+
+
+# ------------------------------------------------------------------- mixes
+
+def run_mix_cell(arm: str, reader_level: str, txns_per_thread: int) -> dict:
+    """One cell of the mixes grid: the reporting+smallbank mix under
+    real threads; report queries run at ``reader_level``, everything
+    else as plain read-write SSI."""
+    config = arm_config(arm, record_history=True)
+    db = Database(config)
+    workload = make_reporting_mix(scale=MIX_SCALE, oltp="smallbank")
+    workload.setup(db)
+
+    tally = threading.Lock()
+    latency: dict[str, list[float]] = {}
+    counts: dict[str, list[int]] = {}
+    failures: list[BaseException] = []
+    barrier = threading.Barrier(MIX_THREADS)
+
+    def begin_reader():
+        if reader_level == "ssi-ro":
+            return db.begin("ssi", read_only=True)
+        if reader_level == "deferrable":
+            return db.begin("ssi", read_only=True, deferrable=True)
+        return None  # plain rw SSI, run_program begins it
+
+    def client(index: int) -> None:
+        rng = random.Random(SEED * 1000 + index)
+        barrier.wait()
+        try:
+            for _ in range(txns_per_thread):
+                name, program = workload.next_transaction(rng)
+                is_report = name in REPORT_QUERIES
+                start = time.perf_counter()
+                try:
+                    txn = begin_reader() if is_report else None
+                    run_program(db, program, "ssi", txn=txn)
+                    if txn is not None:
+                        # run_program only commits transactions it began
+                        # itself; a passed-in reader is ours to finish.
+                        txn.commit()
+                    committed = True
+                except TransactionAbortedError:
+                    committed = False
+                elapsed = time.perf_counter() - start
+                with tally:
+                    latency.setdefault(name, []).append(elapsed)
+                    bucket = counts.setdefault(name, [0, 0])
+                    bucket[0 if committed else 1] += 1
+        except BaseException as exc:
+            with tally:
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(MIX_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+
+    db.cleanup_suspended()
+    lm = db.locks
+    report = check_serializable(db.history)
+    queries = {}
+    for name, samples in sorted(latency.items()):
+        samples.sort()
+        commits, aborts = counts[name]
+        queries[name] = {
+            "commits": commits,
+            "aborts": aborts,
+            "mean_ms": sum(samples) / len(samples) * 1e3,
+            "p95_ms": samples[min(len(samples) - 1,
+                                  int(len(samples) * 0.95))] * 1e3,
+        }
+    commits = sum(bucket[0] for bucket in counts.values())
+    aborts = sum(bucket[1] for bucket in counts.values())
+    return {
+        "arm": arm,
+        "reader_level": reader_level,
+        "threads": MIX_THREADS,
+        "txns": commits + aborts,
+        "commits": commits,
+        "aborts": aborts,
+        "wall_clock_s": wall,
+        "throughput_commits_per_s": commits / wall if wall > 0 else 0.0,
+        "serializable": report.serializable,
+        "lock_table_clean": (
+            lm.table_size() == 0
+            and len(lm._waiting) == 0
+            and lm.siread_lock_count() == 0
+        ),
+        "queries": queries,
+    }
+
+
+def run_mixes(txns_per_thread: int) -> list[dict]:
+    cells = []
+    for arm in SCAN_ARMS:
+        for reader_level in READER_LEVELS:
+            print(f"    {arm} / {reader_level} ...", flush=True)
+            cell = run_mix_cell(arm, reader_level, txns_per_thread)
+            verdict = "serializable" if cell["serializable"] else "UNSAFE"
+            print(f"      {cell['commits']} commits / {cell['aborts']} "
+                  f"aborts ({verdict})", flush=True)
+            cells.append(cell)
+    return cells
+
+
+def capture(quick: bool) -> dict:
+    scale = QUICK["speedup_scale"] if quick else SPEEDUP_SCALE
+    reps = QUICK["speedup_reps"] if quick else SPEEDUP_REPS
+    widths = QUICK["lock_widths"] if quick else LOCK_WIDTHS
+    mix_txns = QUICK["mix_txns"] if quick else MIX_TXNS
+    print("  scan speedup:", flush=True)
+    speedup = run_speedup(scale, reps)
+    print("  lock bound:", flush=True)
+    lock_bound = run_lock_bound(widths)
+    print("  mixes:", flush=True)
+    mixes = run_mixes(mix_txns)
+    return {
+        "benchmark": "reporting_mix",
+        "page_threshold": PAGE_THRESHOLD,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+        "scan_speedup": speedup,
+        "lock_bound": lock_bound,
+        "mixes": mixes,
+    }
+
+
+# ------------------------------------------------------------------- check
+
+def check_document(path: str) -> int:
+    """CI gate over the committed capture — within-document ratios and
+    correctness verdicts only, so it holds on any machine class."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    problems = []
+    for field in ("python", "platform", "cpus"):
+        if field not in document:
+            problems.append(f"metadata field {field!r} missing")
+
+    speedup = document.get("scan_speedup", {})
+    paged = speedup.get("paged_speedup", 0.0)
+    chunked = speedup.get("chunked_speedup", 0.0)
+    if paged < RATIO_GATE:
+        problems.append(
+            f"kernel wide-scan (paged) speedup {paged:.2f}x < {RATIO_GATE}x"
+        )
+    if chunked < NO_REGRESSION_GATE:
+        problems.append(
+            f"record-granularity kernel regressed: {chunked:.2f}x "
+            f"< {NO_REGRESSION_GATE}x"
+        )
+
+    sweeps = document.get("lock_bound", {}).get("widths", [])
+    if not sweeps:
+        problems.append("lock_bound sweep missing")
+    for entry in sweeps:
+        width = entry.get("width", 0)
+        record = entry.get("record_locks", 0)
+        page = entry.get("page_locks", 0)
+        if page <= 0 or record <= 0:
+            problems.append(f"width {width}: empty lock counts")
+            continue
+        # Page cost is pages-not-rows: bounded by width/page_order (with
+        # half-full-leaf slack), independent of the per-row count.
+        if page > width // 16 + 8:
+            problems.append(
+                f"width {width}: page arm took {page} locks "
+                f"(> {width // 16 + 8})"
+            )
+    if sweeps:
+        widest = max(sweeps, key=lambda entry: entry.get("width", 0))
+        record = widest.get("record_locks", 0)
+        page = max(widest.get("page_locks", 1), 1)
+        if record / page < LOCK_REDUCTION_GATE:
+            problems.append(
+                f"widest scan: record/page lock ratio {record / page:.1f}x "
+                f"< {LOCK_REDUCTION_GATE}x"
+            )
+
+    mixes = document.get("mixes", [])
+    seen_cells = set()
+    for cell in mixes:
+        tag = f"{cell.get('arm')}/{cell.get('reader_level')}"
+        seen_cells.add((cell.get("arm"), cell.get("reader_level")))
+        if not cell.get("serializable"):
+            problems.append(f"mix {tag}: history not MVSG-serializable")
+        if not cell.get("lock_table_clean"):
+            problems.append(f"mix {tag}: lock table dirty after quiesce")
+        if cell.get("commits", 0) <= 0:
+            problems.append(f"mix {tag}: committed nothing")
+        queries = cell.get("queries", {})
+        for query in REPORT_QUERIES:
+            stats = queries.get(query)
+            if stats is None or stats.get("commits", 0) <= 0:
+                problems.append(f"mix {tag}: query {query} never committed")
+    for arm in SCAN_ARMS:
+        for reader_level in READER_LEVELS:
+            if (arm, reader_level) not in seen_cells:
+                problems.append(f"mix cell {arm}/{reader_level} missing")
+
+    if problems:
+        print(f"{path}: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"{path}: ok — paged {paged:.2f}x, chunked {chunked:.2f}x, "
+        f"{len(mixes)} mix cells serializable with clean lock tables"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", help="write the capture (strict JSON) here")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scale/counts (CI smoke)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate a committed capture instead of running")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_document(args.check)
+
+    print("reporting mix (scan kernel arms x reader levels):")
+    document = capture(quick=args.quick)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -117,6 +117,31 @@ def micro_scan_100(level: str, reps: int) -> float:
     return _bench_txn(one_txn, reps)
 
 
+def micro_scan_1000(level: str, reps: int) -> float:
+    """Full-width scan — the chunked kernel's home turf (PR 10)."""
+    db = _make_db()
+
+    def one_txn():
+        txn = db.begin(level)
+        txn.scan("t")
+        txn.commit()
+
+    return _bench_txn(one_txn, reps)
+
+
+def micro_scan_prefix_10(level: str, reps: int) -> float:
+    """Early-terminating prefix scan: first 10 rows of an open range —
+    cost should track the prefix, not the table width (PR 10)."""
+    db = _make_db()
+
+    def one_txn():
+        txn = db.begin(level)
+        txn.scan_prefix("t", 100, None, limit=10)
+        txn.commit()
+
+    return _bench_txn(one_txn, reps)
+
+
 def micro_read_modify_write(level: str, reps: int) -> float:
     db = _make_db()
 
@@ -134,6 +159,10 @@ MICRO_CASES = (
     ("point_read", micro_point_read, "point", ("si", "ssi", "s2pl")),
     ("point_update", micro_point_update, "point", ("si", "ssi", "s2pl")),
     ("scan_100", micro_scan_100, "scan", ("si", "ssi", "s2pl")),
+    # range-scan micros added with the chunked scan kernel (PR 10); the
+    # --compare gate skips metrics absent from an older baseline.
+    ("scan_1000", micro_scan_1000, "scan", ("si", "ssi", "s2pl")),
+    ("scan_prefix_10", micro_scan_prefix_10, "scan", ("si", "ssi", "s2pl")),
     ("read_modify_write", micro_read_modify_write, "rmw", ("si", "ssi", "s2pl")),
 )
 

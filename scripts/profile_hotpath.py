@@ -19,6 +19,11 @@ Usage::
     # with or without group commit (PR 9)
     PYTHONPATH=src python scripts/profile_hotpath.py commit --threads 8
     PYTHONPATH=src python scripts/profile_hotpath.py commit --threads 8 --group-commit
+
+    # the scan path: materialize vs lock vs resolve breakdown across
+    # the kernel arms (PR 10)
+    PYTHONPATH=src python scripts/profile_hotpath.py scan --rows 4000
+    PYTHONPATH=src python scripts/profile_hotpath.py scan --scan-arm paged
 """
 
 from __future__ import annotations
@@ -170,12 +175,82 @@ def print_commit_breakdown(stats: pstats.Stats, db) -> None:
     print()
 
 
+#: scan-path phase attribution: function name -> category.  The three
+#: phases of Database.scan — materialising chains in latch-bounded
+#: chunks, building + acquiring the chunk's lock batch, and resolving
+#: row visibility against the snapshot.
+SCAN_CATEGORIES = {
+    "materialize": {"scan_chunks", "_materialize_chunks", "scan_chains"},
+    "lock": {
+        "_scan_lock_records", "_scan_lock_pages", "acquire_read_batch",
+        "acquire_coarse_sireads", "probe_detection_batch", "leaf_pages",
+        "gap_resource", "record_resource", "page_resource",
+    },
+    "resolve": {"_resolve_scan_rows", "_visible_value", "visible"},
+}
+
+SCAN_ARMS = {
+    # scan target arms: (scan_kernel, scan_page_lock_threshold)
+    "per_row": (False, None),
+    "chunked": (True, None),
+    "paged": (True, 64),
+}
+
+
+def run_scan(rows: int, reps: int, level: str, arm: str):
+    """Wide-scan workload for the phase breakdown: ``reps`` full-range
+    SSI scans over a ``rows``-row table, each in a fresh transaction
+    that aborts afterwards so every rep pays the full lock-acquisition
+    cost (commit would retain SIREADs and flatter later reps)."""
+    from repro.engine.config import EngineConfig
+
+    kernel, threshold = SCAN_ARMS[arm]
+    db = Database(EngineConfig(
+        scan_kernel=kernel, scan_page_lock_threshold=threshold,
+    ))
+    db.create_table("wide")
+    db.load("wide", ((key, key) for key in range(rows)))
+
+    def job():
+        got = 0
+        for _ in range(reps):
+            txn = db.begin(level)
+            got = len(db.scan(txn, "wide"))
+            db.abort(txn)
+            db.cleanup_suspended()
+        print(f"scan[{arm}] x{reps}: {got} rows per scan\n")
+
+    return job
+
+
+def print_scan_breakdown(stats: pstats.Stats) -> None:
+    """Aggregate the profile into scan-path phases (self time, so the
+    categories do not double-count nested calls)."""
+    totals = {category: 0.0 for category in SCAN_CATEGORIES}
+    calls = {category: 0 for category in SCAN_CATEGORIES}
+    other = 0.0
+    for (_file, _line, func), (_cc, nc, tt, _ct, _callers) in stats.stats.items():
+        for category, names in SCAN_CATEGORIES.items():
+            if func in names:
+                totals[category] += tt
+                calls[category] += nc
+                break
+        else:
+            other += tt
+    print("scan-path phases (self time):")
+    for category in SCAN_CATEGORIES:
+        print(f"  {category:>12}: {totals[category] * 1000:8.2f} ms "
+              f"({calls[category]} calls)")
+    print(f"  {'other':>12}: {other * 1000:8.2f} ms")
+    print()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
         "target",
-        help="fig6.N experiment id, micro:<case>, or 'commit' "
-             "(commit-path phase breakdown)",
+        help="fig6.N experiment id, micro:<case>, 'commit' (commit-path "
+             "phase breakdown), or 'scan' (scan-path phase breakdown)",
     )
     parser.add_argument("--level", default="ssi", help="isolation level (default ssi)")
     parser.add_argument("--mpl", type=int, default=10)
@@ -191,10 +266,19 @@ def main(argv=None) -> int:
                         help="concurrent committers (commit target)")
     parser.add_argument("--group-commit", action="store_true",
                         help="enable the commit batcher (commit target)")
+    parser.add_argument("--rows", type=int, default=4000,
+                        help="table width (scan target)")
+    parser.add_argument("--scan-arm", default="chunked",
+                        choices=sorted(SCAN_ARMS),
+                        help="scan kernel arm (scan target)")
     args = parser.parse_args(argv)
 
     commit_db = None
-    if args.target == "commit":
+    scan_target = args.target == "scan"
+    if scan_target:
+        job = run_scan(args.rows, max(1, args.reps // 100), args.level,
+                       args.scan_arm)
+    elif args.target == "commit":
         job, commit_db = run_commit(args.threads, args.reps, args.group_commit)
     elif args.target.startswith("micro:"):
         job = run_micro(args.target[len("micro:"):], args.level, args.reps)
@@ -209,6 +293,8 @@ def main(argv=None) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     if commit_db is not None:
         print_commit_breakdown(stats, commit_db)
+    if scan_target:
+        print_scan_breakdown(stats)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
 

@@ -116,6 +116,27 @@ class EngineConfig:
     group_commit: bool = False
     group_commit_max: int = 16
     group_commit_wait_us: int = 200
+    #: scan execution kernel (PR 10): materialise range scans in
+    #: leaf-page-sized chunks (table latch dropped between chunks),
+    #: batch-resolve visibility against one snapshot, and build/acquire
+    #: a chunk's lock resources in one stripe-grouped batch.  Off falls
+    #: back to the per-row scan loop (the honest benchmark baseline).
+    scan_kernel: bool = True
+    #: rows per scan chunk; 0 uses the table's B+-tree page order.
+    scan_chunk_size: int = 0
+    #: SSI scans that materialise at least this many rows take
+    #: page-granularity SIREADs on the covered leaf pages up front
+    #: instead of one record+gap SIREAD per row (scan-aware granularity
+    #: choice — bounds lock-table growth by scan width / page_size
+    #: rather than scan width).  None disables the page path.  RECORD
+    #: granularity only; detection stays sound because writers already
+    #: probe coarse SIREADs and leaf splits inherit page locks.
+    scan_page_lock_threshold: int | None = None
+    #: chains examined per table-latch hold during vacuum; the latch is
+    #: dropped between holds so reporting scans are not stalled behind a
+    #: full-table GC pass (each drop counts a ``vacuum_pause_events``).
+    #: 0 or None restores the single-hold full pass.
+    vacuum_chunk_size: int | None = 256
 
     @classmethod
     def berkeleydb_style(cls, page_size: int = 8, **overrides) -> "EngineConfig":

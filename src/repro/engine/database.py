@@ -194,6 +194,7 @@ class Database:
             "suspended_peak": 0,
             "cleaned": 0,
             "mixed_edges_dropped": 0,
+            "vacuum_pause_events": 0,
         })
         # The lock manager (and the policy-owned tracker/certifier, below)
         # keep their counters in CounterGroups; adopting them (same
@@ -941,22 +942,59 @@ class Database:
         (Fig 3.6 for SSI; next-key SHARED locks for S2PL).
 
         ``reverse`` returns rows in descending key order; ``limit`` caps
-        the result *after* ordering.  The whole range is still locked —
-        the predicate the transaction logically evaluated covers it.
+        the result *after* ordering.  **The whole range is still
+        materialised and locked even with ``limit=N``**: the predicate
+        the transaction logically evaluated covers [lo, hi], so phantom
+        protection must too — a concurrent insert anywhere in the range
+        could change which rows are "the first N".  Callers that only
+        need a prefix and can accept prefix-only locking (sound because
+        the result then only depends on keys up to the cut point) should
+        use :meth:`scan_prefix`.
 
-        Concurrency: the key set is materialised under the table latch,
-        then each row is locked and resolved without it.  Per-resource
-        lock acquisition is atomic under the lock-manager stripes, so for
-        every row either the scan's SIREAD lands first (a later writer
-        detects it, Fig 3.5) or the writer's lock is already there (the
-        SIREAD acquire reports it, Fig 3.4) — the same pairwise guarantee
-        the old kernel mutex provided, without serialising whole scans.
+        Execution: with ``config.scan_kernel`` (the default) the chunked
+        kernel materialises the key set in leaf-page-sized batches —
+        dropping the table latch between chunks — acquires each lock
+        round's resources in one stripe-grouped batch, optionally covers
+        wide SSI scans with up-front page-granularity SIREADs
+        (``config.scan_page_lock_threshold``), and resolves visibility
+        batch-at-a-time against the one snapshot.  With it off, the
+        original per-row loop runs.  Both arms preserve the same
+        pairwise guarantee and keyset re-probe semantics (commentary in
+        :meth:`_scan_per_row`).
         """
         self._check_op(txn)
         table = self.table(table_name)
         self._ensure_snapshot(txn)
         self.stats.inc("scans")
+        if self.config.scan_kernel:
+            results, seen = self._scan_chunked(txn, table, table_name, lo, hi)
+        else:
+            results, seen = self._scan_per_row(txn, table, table_name, lo, hi)
+        # Own uncommitted writes overlay the scan result.
+        results = self._overlay_write_set(txn, table_name, lo, hi, results)
+        if self.history is not None and txn.read_ts is not None:
+            self.history.on_scan(
+                txn.id, table_name, (lo, hi), tuple(seen), txn.read_ts
+            )
+        if reverse:
+            results = list(reversed(results))
+        if limit is not None:
+            results = results[:limit]
+        return results
 
+    def _scan_per_row(
+        self,
+        txn: Transaction,
+        table,
+        table_name: str,
+        lo: Hashable | None,
+        hi: Hashable | None,
+    ) -> tuple[list[tuple[Hashable, Any]], list[Hashable]]:
+        """The pre-kernel scan path (``config.scan_kernel=False``): one
+        table-latch hold materialises the whole range, then rows are
+        locked and resolved one at a time.  Kept verbatim as the honest
+        benchmark baseline and a behavioural reference for the kernel.
+        """
         read_mode = txn.policy.read_lock_mode(txn)
         keyset_before = table.keyset_version
         chains = table.scan_chains(lo, hi)
@@ -1088,16 +1126,461 @@ class Database:
                 on_read = txn.policy.on_read
                 for key, chain, version in deferred_reads:
                     on_read(txn, table_name, key, chain, version)
-        # Own uncommitted writes overlay the scan result.
-        results = self._overlay_write_set(txn, table_name, lo, hi, results)
-        if self.history is not None and txn.read_ts is not None:
-            self.history.on_scan(
-                txn.id, table_name, (lo, hi), tuple(seen), txn.read_ts
+        return results, seen
+
+    def _materialize_chunks(
+        self, table, lo: Hashable | None, hi: Hashable | None
+    ) -> list:
+        """Materialise [lo, hi] through the chunked walk — the table
+        latch is held per chunk, not across the whole range."""
+        chunk_size = self.config.scan_chunk_size or None
+        return [
+            pair
+            for chunk in table.scan_chunks(lo, hi, chunk_size)
+            for pair in chunk
+        ]
+
+    def _scan_chunked(
+        self,
+        txn: Transaction,
+        table,
+        table_name: str,
+        lo: Hashable | None,
+        hi: Hashable | None,
+    ) -> tuple[list[tuple[Hashable, Any]], list[Hashable]]:
+        """The chunked scan kernel: latch-bounded materialisation, one
+        batched lock round per key-set generation, batch visibility
+        resolution.  Wide SSI scans switch to up-front page-granularity
+        SIREADs (:meth:`_scan_lock_pages`)."""
+        read_mode = txn.policy.read_lock_mode(txn)
+        keyset_before = table.keyset_version
+        chains = self._materialize_chunks(table, lo, hi)
+        if read_mode is not None:
+            threshold = self.config.scan_page_lock_threshold
+            if (
+                read_mode is LockMode.SIREAD
+                and threshold is not None
+                and self.config.granularity is LockGranularity.RECORD
+                and len(chains) >= threshold
+            ):
+                chains = self._scan_lock_pages(
+                    txn, table, table_name, lo, hi, chains, keyset_before
+                )
+            else:
+                chains = self._scan_lock_records(
+                    txn, table, table_name, lo, hi, chains, keyset_before,
+                    read_mode,
+                )
+            if (
+                read_mode is LockMode.SIREAD
+                and self.config.siread_budget is not None
+            ):
+                self._escalate_sireads()
+        return self._resolve_scan_rows(txn, table_name, chains)
+
+    def _scan_lock_records(
+        self,
+        txn: Transaction,
+        table,
+        table_name: str,
+        lo: Hashable | None,
+        hi: Hashable | None,
+        chains: list,
+        keyset_before: int,
+        read_mode: LockMode,
+    ) -> list:
+        """Record-granularity lock rounds of the chunked kernel.
+
+        Same protocol and convergence argument as :meth:`_scan_per_row`
+        (locks land before resolution; the key-set version is re-probed
+        after each batch; ``requested`` only grows), with the per-row
+        overheads hoisted: the granularity branch is taken once, RECORD
+        resources are built as plain tuples with no table-latch traffic,
+        and covered resources are probed through one stripe-grouped
+        batch instead of one latch acquisition each."""
+        lm = self.locks
+        cache = txn._siread_cache if read_mode is LockMode.SIREAD else None
+        page_locked = self.config.granularity is LockGranularity.PAGE
+        requested: set = set()
+        while True:
+            candidates: list = []
+            if page_locked:
+                leaf_page_of = table.leaf_page_of
+                for key, _chain in chains:
+                    candidates.append(
+                        page_resource(table_name, leaf_page_of(key))
+                    )
+                boundary = table.successor(hi) if hi is not None else SUPREMUM
+                candidates.append(
+                    page_resource(table_name, leaf_page_of(boundary))
+                )
+            else:
+                for key, _chain in chains:
+                    candidates.append(gap_resource(table_name, key))
+                    candidates.append(record_resource(table_name, key))
+                boundary = table.successor(hi) if hi is not None else SUPREMUM
+                candidates.append(gap_resource(table_name, boundary))
+            wanted: list = []
+            covered: list = []
+            for resource in candidates:
+                if resource in requested:
+                    continue
+                requested.add(resource)
+                if cache is not None:
+                    if resource in cache:
+                        continue
+                    cache.add(resource)
+                    if self._covered_by_coarse(txn, table_name, resource):
+                        covered.append(resource)
+                        continue
+                wanted.append(resource)
+            if covered:
+                for lock in lm.probe_detection_batch(
+                    txn, covered, read_mode
+                ):
+                    self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            if not wanted:
+                break
+            conflicts, deferred = lm.acquire_read_batch(
+                txn, wanted, read_mode
             )
-        if reverse:
-            results = list(reversed(results))
-        if limit is not None:
-            results = results[:limit]
+            for lock in conflicts:
+                self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            for resource in deferred:
+                result = self._acquire(txn, resource, read_mode)
+                for lock in result.detection_conflicts:
+                    self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            keyset_now = table.keyset_version
+            if keyset_now == keyset_before:
+                break
+            keyset_before = keyset_now
+            chains = self._materialize_chunks(table, lo, hi)
+        return chains
+
+    def _scan_lock_pages(
+        self,
+        txn: Transaction,
+        table,
+        table_name: str,
+        lo: Hashable | None,
+        hi: Hashable | None,
+        chains: list,
+        keyset_before: int,
+    ) -> list:
+        """Page-granularity SIREADs for a wide SSI scan: one coarse lock
+        per covered leaf page instead of a record+gap pair per row, so
+        peak lock-table growth is bounded by scan_width / page_size.
+
+        Soundness.  Write side: every leaf from leaf(lo) through the
+        leaf holding successor(hi) is covered (:meth:`Table.leaf_pages`)
+        — key routing is monotone, so any insert into [lo, hi] or the
+        boundary gap lands on a covered leaf, where the writer's coarse
+        probe (:meth:`_probe_coarse_sireads`, gated on the weight entry
+        :meth:`LockManager.acquire_coarse_sireads` installs before
+        granting) reports the rw edge the fine sentinels would have;
+        leaf splits replicate the page lock (inherit_siread_locks).
+        Read side: a page SIREAD does not collide with a *record*
+        EXCLUSIVE at the manager level, so the Fig 3.4 probe against
+        already-granted fine writer locks is still owed — each round
+        batch-probes the rec+gap resources of the materialised rows
+        plus the boundary gap.  A writer fully released inside the
+        materialise->lock window is caught exactly as in the record
+        path: the key-set re-probe re-materialises, and the snapshot's
+        newer-version check in on_read marks committed writers (which
+        stay registry-findable).  Convergence mirrors the record path:
+        ``requested``/``probed`` only grow, so each extra round needs a
+        key-set move plus a fresh resource.
+        """
+        lm = self.locks
+        cache = txn._siread_cache
+        coarse = txn.coarse_sireads
+        requested_pages: set = set()
+        probed: set = set()
+        while True:
+            wanted_pages: list = []
+            for page in table.leaf_pages(lo, hi):
+                resource = page_resource(table_name, page)
+                if resource in requested_pages:
+                    continue
+                requested_pages.add(resource)
+                if resource in coarse:
+                    continue
+                wanted_pages.append(resource)
+            probe: list = []
+            for key, _chain in chains:
+                for resource in (
+                    gap_resource(table_name, key),
+                    record_resource(table_name, key),
+                ):
+                    if resource in probed:
+                        continue
+                    probed.add(resource)
+                    probe.append(resource)
+            boundary = table.successor(hi) if hi is not None else SUPREMUM
+            resource = gap_resource(table_name, boundary)
+            if resource not in probed:
+                probed.add(resource)
+                probe.append(resource)
+            if wanted_pages:
+                for lock in lm.acquire_coarse_sireads(txn, wanted_pages):
+                    self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+                coarse.update(wanted_pages)
+                cache.update(wanted_pages)
+            if probe:
+                for lock in lm.probe_detection_batch(
+                    txn, probe, LockMode.SIREAD
+                ):
+                    self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            if not wanted_pages and not probe:
+                break
+            keyset_now = table.keyset_version
+            if keyset_now == keyset_before:
+                break
+            keyset_before = keyset_now
+            chains = self._materialize_chunks(table, lo, hi)
+        return chains
+
+    def _resolve_scan_rows(
+        self, txn: Transaction, table_name: str, chains: list
+    ) -> tuple[list[tuple[Hashable, Any]], list[Hashable]]:
+        """Batch visibility resolution for a materialised scan.
+
+        One pass with the per-row branches of :meth:`_visible_value`
+        hoisted out of the loop: the policy flags, write-set presence,
+        history handle and snapshot read_ts are read once, and the
+        snapshot's ts-array tail check is inlined (the one-slot memo is
+        useless on a scan — every chain is distinct).  Semantics are
+        identical to the per-row path: own uncommitted writes
+        short-circuit before any detection or history (a tombstone
+        skips the row entirely), every other row records its read and
+        feeds conflict detection, and the collected (key, chain,
+        version) triples replay through on_read under a single
+        tracker-latch section."""
+        results: list[tuple[Hashable, Any]] = []
+        seen: list[Hashable] = []
+        policy = txn.policy
+        tracks_reads = policy.tracks_reads
+        uses_snapshots = policy.uses_snapshots
+        write_set = txn.write_set
+        history = self.history
+        txn_id = txn.id
+        deferred: list = [] if tracks_reads else None
+        if uses_snapshots:
+            read_ts = txn.snapshot.read_ts
+        for key, chain in chains:
+            if write_set:
+                own = write_set.get((table_name, key), _MISSING)
+                if own is not _MISSING:
+                    if own is not TOMBSTONE:
+                        results.append((key, own))
+                        seen.append(key)
+                    continue
+            if uses_snapshots:
+                # Inlined tail fast path of Snapshot.visible (latch-free
+                # read of the chain's (versions, ts) tuple).
+                versions, stamps = chain._data
+                length = len(stamps)
+                if length and stamps[length - 1] <= read_ts:
+                    version = versions[length - 1]
+                else:
+                    version = chain.visible(read_ts)
+            else:
+                version = chain.latest()
+            if tracks_reads:
+                deferred.append((key, chain, version))
+            if history is not None:
+                history.on_read(
+                    txn_id, table_name, key,
+                    version.commit_ts if version else None,
+                )
+            if version is not None and not version.is_tombstone:
+                results.append((key, version.value))
+                seen.append(key)
+        if chains:
+            self.stats.inc("reads", len(chains))
+        if deferred:
+            # Same single tracker-latch replay as the per-row path.
+            with self._tracker_latch:
+                on_read = policy.on_read
+                for key, chain, version in deferred:
+                    on_read(txn, table_name, key, chain, version)
+        return results, seen
+
+    def scan_prefix(
+        self,
+        txn: Transaction,
+        table_name: str,
+        lo: Hashable | None = None,
+        hi: Hashable | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[Hashable, Any]]:
+        """Early-terminating prefix scan: the first ``limit`` visible
+        rows of [lo, hi] in ascending key order, locking only the
+        visited prefix instead of the whole range.
+
+        Sound because the result of this weaker predicate depends only
+        on keys up to the cut point: for visited keys k_1..k_n (visible
+        or not; k_n is where the limit was reached) the acquired gap
+        locks gap(k_i) cover every insertion interval (pred, k_i], so a
+        concurrent insert at or below the cut — the only kind that can
+        change "the first N visible rows" — collides with a lock and
+        reports the rw edge (Fig 3.6/3.7).  Inserts past the cut cannot
+        change the answer and need no protection; when the range is
+        exhausted before the limit the scan degenerates to a full range
+        scan and the boundary gap beyond [lo, hi] is locked as usual.
+
+        Falls back to a full :meth:`scan` when ``limit`` is None or the
+        transaction has own pending writes inside [lo, hi] (own-write
+        overlay can shift the cut in both directions).
+        """
+        if limit is None:
+            return self.scan(txn, table_name, lo, hi)
+        self._check_op(txn)
+        table = self.table(table_name)
+        self._ensure_snapshot(txn)
+        if self.config.granularity is LockGranularity.PAGE:
+            # Page resources have no gap/record split to exploit; the
+            # full scan's page coverage is already prefix-proportional.
+            return self.scan(txn, table_name, lo, hi, limit=limit)
+        if any(
+            tname == table_name
+            and (lo is None or not key < lo)
+            and (hi is None or not hi < key)
+            for tname, key in txn.write_set
+        ):
+            return self.scan(txn, table_name, lo, hi, limit=limit)
+        if limit <= 0:
+            return []
+        self.stats.inc("scans")
+        read_mode = txn.policy.read_lock_mode(txn)
+        chunk_size = self.config.scan_chunk_size or None
+        lm = self.locks
+        cache = (
+            txn._siread_cache if read_mode is LockMode.SIREAD else None
+        )
+        uses_snapshots = txn.policy.uses_snapshots
+        if uses_snapshots:
+            snapshot = txn.snapshot
+        requested: set = set()
+
+        def lock_batch(resources: list) -> None:
+            wanted: list = []
+            covered: list = []
+            for resource in resources:
+                if resource in requested:
+                    continue
+                requested.add(resource)
+                if cache is not None:
+                    if resource in cache:
+                        continue
+                    cache.add(resource)
+                    if self._covered_by_coarse(txn, table_name, resource):
+                        covered.append(resource)
+                        continue
+                wanted.append(resource)
+            if covered:
+                for lock in lm.probe_detection_batch(
+                    txn, covered, read_mode
+                ):
+                    self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            if not wanted:
+                return
+            nonlocal locked_any
+            locked_any = True
+            conflicts, deferred = lm.acquire_read_batch(
+                txn, wanted, read_mode
+            )
+            for lock in conflicts:
+                self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+            for resource in deferred:
+                result = self._acquire(txn, resource, read_mode)
+                for lock in result.detection_conflicts:
+                    self.dispatch_rw_edge(reader=txn, writer=lock.owner)
+
+        # Re-walk rounds close the same materialise->lock window the
+        # full scan's keyset re-probe closes: a round that saw the key
+        # set move after it acquired something fresh walks again; a
+        # round that locked nothing new proves every visited resource
+        # was already in the table before the walk, so a mid-flight
+        # writer must have collided with one.
+        while True:
+            keyset_before = table.keyset_version
+            locked_any = False
+            visited: list = []
+            visible = 0
+            cut_index = -1
+            for chunk in table.scan_chunks(lo, hi, chunk_size):
+                index = 0
+                while index < len(chunk):
+                    # Probe visibility first (side-effect-free), so only
+                    # the rows up to the cut are ever locked — locking
+                    # whole chunks would protect gaps past the cut and
+                    # forfeit the early-termination win.
+                    batch: list = []
+                    while index < len(chunk):
+                        key, chain = chunk[index]
+                        index += 1
+                        batch.append((key, chain))
+                        if uses_snapshots:
+                            version = snapshot.visible(chain)
+                        else:
+                            version = chain.latest()
+                        if version is not None and not version.is_tombstone:
+                            visible += 1
+                            if visible >= limit:
+                                break
+                    if read_mode is not None:
+                        resources: list = []
+                        for key, _chain in batch:
+                            resources.append(gap_resource(table_name, key))
+                            resources.append(
+                                record_resource(table_name, key)
+                            )
+                        lock_batch(resources)
+                    visited.extend(batch)
+                    if visible < limit:
+                        continue
+                    if uses_snapshots:
+                        # Snapshot visibility is anchored at read_ts:
+                        # the probe cannot go stale, the cut stands.
+                        cut_index = len(visited) - 1
+                        break
+                    # latest()-reading policies (S2PL/SGT): a writer may
+                    # have flipped a row's liveness between the
+                    # latch-free probe and the lock.  Every visited row
+                    # is locked now, so this recount is stable; on a
+                    # shortfall keep walking (the extra locks are merely
+                    # conservative).
+                    visible = 0
+                    for position, (_key, chain) in enumerate(visited):
+                        version = chain.latest()
+                        if version is not None and not version.is_tombstone:
+                            visible += 1
+                            if visible >= limit:
+                                cut_index = position
+                                break
+                    if cut_index >= 0:
+                        break
+                if cut_index >= 0:
+                    break
+            if cut_index >= 0:
+                del visited[cut_index + 1:]
+                cut_key = visited[-1][0]
+            else:
+                cut_key = _MISSING
+            if cut_key is _MISSING and read_mode is not None:
+                boundary = (
+                    table.successor(hi) if hi is not None else SUPREMUM
+                )
+                lock_batch([gap_resource(table_name, boundary)])
+            if table.keyset_version == keyset_before or not locked_any:
+                break
+        results, seen = self._resolve_scan_rows(txn, table_name, visited)
+        if self.history is not None and txn.read_ts is not None:
+            span = (lo, hi if cut_key is _MISSING else cut_key)
+            self.history.on_scan(
+                txn.id, table_name, span, tuple(seen), txn.read_ts
+            )
         return results
 
     # ------------------------------------------------------------- writing
@@ -1389,7 +1872,12 @@ class Database:
             return cleaned
 
     def vacuum(self) -> int:
-        """Garbage-collect versions below every active snapshot."""
+        """Garbage-collect versions below every active snapshot.
+
+        Runs incrementally (``config.vacuum_chunk_size`` chains per
+        table-latch hold) so concurrent scans are not stalled behind a
+        full-table pass; each latch drop counts a ``vacuum_pause_events``.
+        """
         with self._txn_latch:
             horizon = self._oldest_active_read_ts()
             tables = list(self._tables.values())
@@ -1398,7 +1886,12 @@ class Database:
         # Safe outside the txn latch: the horizon only needs to be a lower
         # bound — any snapshot assigned after it is anchored at a clock
         # value >= every timestamp the prune may reclaim.
-        return sum(table.vacuum(int(horizon)) for table in tables)
+        chunk = self.config.vacuum_chunk_size or None
+        on_pause = lambda: self.stats.inc("vacuum_pause_events")  # noqa: E731
+        return sum(
+            table.vacuum(int(horizon), chunk_size=chunk, on_pause=on_pause)
+            for table in tables
+        )
 
     def suspended_count(self) -> int:
         return len(self._suspended)

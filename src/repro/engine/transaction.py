@@ -207,6 +207,20 @@ class Transaction:
             lambda: self._db.scan(self, table, lo, hi, reverse=reverse, limit=limit)
         )
 
+    def scan_prefix(
+        self,
+        table: str,
+        lo: Hashable | None = None,
+        hi: Hashable | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[Hashable, Any]]:
+        """Early-terminating prefix read: the first ``limit`` visible
+        rows of [lo, hi] ascending, locking only the visited prefix
+        plus its boundary gap (see :meth:`Database.scan_prefix`)."""
+        return self._run(
+            lambda: self._db.scan_prefix(self, table, lo, hi, limit=limit)
+        )
+
     def index_scan(
         self,
         index: str,

@@ -1210,6 +1210,84 @@ class LockManager:
                 return _NO_CONFLICTS
             return self._detection_conflicts(head, owner, mode)
 
+    def probe_detection_batch(
+        self, owner: Any, resources: list[Resource], mode: LockMode
+    ) -> list[Lock]:
+        """Batched :meth:`probe_detection`: group by stripe so a scan
+        probing hundreds of covered resources takes one latch per stripe
+        (at most ``_STRIPES``) instead of one per resource."""
+        if not resources:
+            return _NO_CONFLICTS
+        by_stripe: dict[int, list[Resource]] = {}
+        for resource in resources:
+            by_stripe.setdefault(self._stripe_of(resource), []).append(
+                resource
+            )
+        conflicts: list[Lock] = []
+        for stripe_index, group in by_stripe.items():
+            with self._stripe_latches[stripe_index]:
+                heads = self._stripe_heads[stripe_index]
+                for resource in group:
+                    head = heads.get(resource)
+                    if head is not None:
+                        found = self._detection_conflicts(head, owner, mode)
+                        if found:
+                            conflicts.extend(found)
+        return conflicts
+
+    def acquire_coarse_sireads(
+        self, owner: Any, resources: list[Resource]
+    ) -> list[Lock]:
+        """Grant SIREADs directly on coarse (page/table) units — the scan
+        kernel's up-front page-granularity path: a wide scan covers its
+        leaf pages *before* materialising rows instead of flooding the
+        table with record sentinels and escalating after the fact.
+
+        Each coarse lock enters ``_escalated_weights`` (weight 1 — it
+        replaced nothing) *before* it is granted, exactly as
+        :meth:`promote_sireads` gates its grant: a writer that finds no
+        fine sentinels must already see :meth:`has_escalated_locks` and
+        probe the coarse unit, leaf splits inherit the page lock via
+        :meth:`inherit_siread_locks`, and the normal release paths pop
+        the weight entry (weight 1 -> zero surplus in the
+        ``siread_dropped`` accounting).  Never blocks — SIREAD is
+        compatible with every mode.  Returns detection conflicts
+        (granted write-mode holders on the coarse units) for the caller
+        to dispatch as rw-antidependencies.
+        """
+        if not resources:
+            return _NO_CONFLICTS
+        owner_id = owner.id
+        conflicts: list[Lock] = []
+        with self._queue_latch:
+            with self._owner_latch:
+                weights = self._escalated_weights
+                for resource in resources:
+                    weights.setdefault((owner_id, resource), 1)
+            by_stripe: dict[int, list[Resource]] = {}
+            for resource in resources:
+                by_stripe.setdefault(self._stripe_of(resource), []).append(
+                    resource
+                )
+            for stripe_index, group in by_stripe.items():
+                with self._stripe_latches[stripe_index]:
+                    heads = self._stripe_heads[stripe_index]
+                    for resource in group:
+                        head = heads.get(resource)
+                        if head is None:
+                            head = heads[resource] = _LockHead()
+                        found = self._detection_conflicts(
+                            head, owner, LockMode.SIREAD
+                        )
+                        if found:
+                            conflicts.extend(found)
+                        held = self._by_owner.get(owner_id, {}).get(resource)
+                        if held is None:
+                            self._grant(head, owner, resource, LockMode.SIREAD)
+                        elif not held.mask & _SIREAD_BIT:
+                            self._add_mode(head, held, LockMode.SIREAD)
+        return conflicts
+
     def siread_owners_by_count(self) -> list[Any]:
         """SIREAD-holding owners, busiest first — the escalation victim
         order (deterministic tie-break on owner id)."""

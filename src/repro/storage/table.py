@@ -92,13 +92,65 @@ class Table:
         with self.latch:
             return list(self._tree.range(lo, hi))
 
-    def keys(self) -> Iterator[Hashable]:
-        with self.latch:
-            return iter(list(self._tree.keys()))
+    def scan_chunks(
+        self,
+        lo: Hashable | None,
+        hi: Hashable | None,
+        chunk_size: int | None = None,
+    ) -> Iterator[list[tuple[Hashable, VersionChain]]]:
+        """Ordered scan of ``[lo, hi]`` in latch-bounded batches.
+
+        Unlike :meth:`scan_chains`, the table latch is held only while one
+        chunk (at most ``chunk_size`` pairs, default the tree's page
+        order) is collected, then dropped before the chunk is yielded —
+        writers and other scans proceed between chunks.  The walk resumes
+        strictly after the previous chunk's last key, so:
+
+        * a key present for the whole scan is yielded exactly once;
+        * keys added/removed concurrently may or may not appear — the same
+          contract a single-latch-hold materialisation gives a *snapshot*
+          reader, because chains added mid-scan only carry versions newer
+          than any snapshot taken before the scan, and vacuum only removes
+          chains invisible to every active snapshot.
+        """
+        if chunk_size is None or chunk_size <= 0:
+            chunk_size = self._tree.order
+        cursor, include_lo = lo, True
+        while True:
+            chunk: list[tuple[Hashable, VersionChain]] = []
+            with self.latch:
+                for pair in self._tree.range(
+                    cursor, hi, include_lo=include_lo
+                ):
+                    chunk.append(pair)
+                    if len(chunk) >= chunk_size:
+                        break
+            if not chunk:
+                return
+            yield chunk
+            if len(chunk) < chunk_size:
+                return
+            cursor, include_lo = chunk[-1][0], False
+
+    def keys(self, chunk_size: int | None = None) -> Iterator[Hashable]:
+        """Ordered key iterator in latch-bounded chunks (same resume-walk
+        contract as :meth:`scan_chunks` — the latch is *not* held across
+        the whole iteration)."""
+        for chunk in self.scan_chunks(None, None, chunk_size):
+            for key, _chain in chunk:
+                yield key
 
     def leaf_page_of(self, key: Hashable) -> int:
         with self.latch:
             return self._tree.leaf_page_of(key)
+
+    def leaf_pages(
+        self, lo: Hashable | None, hi: Hashable | None
+    ) -> list[int]:
+        """Page ids covering ``[lo, hi]`` plus its boundary successor —
+        the coarse-lock targets for a page-granularity scan."""
+        with self.latch:
+            return self._tree.leaf_pages(lo, hi)
 
     def root_page_id(self) -> int:
         return self._tree.root_page_id
@@ -112,21 +164,59 @@ class Table:
 
     # ----------------------------------------------------------------- GC
 
-    def vacuum(self, horizon_ts: int) -> int:
+    def vacuum(
+        self,
+        horizon_ts: int,
+        chunk_size: int | None = None,
+        on_pause: Any = None,
+    ) -> int:
         """Prune versions invisible to every snapshot at or after
         ``horizon_ts``; drop keys whose chains become empty.
 
+        With ``chunk_size`` set, at most that many chains are examined
+        per latch hold and the latch is dropped between holds (resume
+        walk, like :meth:`scan_chunks`) so concurrent scans are not
+        stalled behind a full-table GC pass; ``on_pause`` is called at
+        each drop (the engine counts them as ``vacuum_pause_events``).
+        ``chunk_size=None`` keeps the legacy single-hold behaviour.
+
         Returns the number of versions removed.
         """
-        with self.latch:
-            removed = 0
-            dead_keys = []
-            for key, chain in self._tree.items():
-                removed += chain.prune(horizon_ts)
-                if len(chain) == 0:
-                    dead_keys.append(key)
-            for key in dead_keys:
-                self._tree.delete(key)
-            if dead_keys:
-                self.keyset_version += 1
+        removed = 0
+        if chunk_size is None or chunk_size <= 0:
+            with self.latch:
+                dead_keys = []
+                for key, chain in self._tree.items():
+                    removed += chain.prune(horizon_ts)
+                    if len(chain) == 0:
+                        dead_keys.append(key)
+                for key in dead_keys:
+                    self._tree.delete(key)
+                if dead_keys:
+                    self.keyset_version += 1
             return removed
+        cursor, include_lo = None, True
+        while True:
+            examined = 0
+            last = None
+            with self.latch:
+                dead_keys = []
+                for key, chain in self._tree.range(
+                    cursor, None, include_lo=include_lo
+                ):
+                    examined += 1
+                    last = key
+                    removed += chain.prune(horizon_ts)
+                    if len(chain) == 0:
+                        dead_keys.append(key)
+                    if examined >= chunk_size:
+                        break
+                for key in dead_keys:
+                    self._tree.delete(key)
+                if dead_keys:
+                    self.keyset_version += 1
+            if examined < chunk_size or last is None:
+                return removed
+            cursor, include_lo = last, False
+            if on_pause is not None:
+                on_pause()

@@ -41,15 +41,20 @@ def take_checkpoint(db: Database, path: str | None = None) -> dict:
         tables: dict[str, list[tuple[Any, Any, int, int, bool]]] = {}
         for name, table in db._tables.items():
             rows = []
-            for key, chain in table.scan_chains(None, None):
-                version = chain.latest()
-                if version is None:
-                    continue
-                rows.append((
-                    key, None if version.is_tombstone else version.value,
-                    version.commit_ts, version.creator_id,
-                    version.is_tombstone,
-                ))
+            # Chunked walk (PR 10): the commit latch above is what makes
+            # the image consistent — version installs are excluded — so
+            # the table latch need not be held across the whole table;
+            # dropping it between chunks lets concurrent readers proceed.
+            for chunk in table.scan_chunks(None, None):
+                for key, chain in chunk:
+                    version = chain.latest()
+                    if version is None:
+                        continue
+                    rows.append((
+                        key, None if version.is_tombstone else version.value,
+                        version.commit_ts, version.creator_id,
+                        version.is_tombstone,
+                    ))
             tables[name] = rows
         checkpoint_lsn = 0
         if db.wal is not None:

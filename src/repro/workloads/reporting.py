@@ -1,0 +1,335 @@
+"""Reporting — a TPC-H-flavored read-mostly OLAP mix (ROADMAP item 5).
+
+Every other workload in this package issues short OLTP transactions;
+this one stresses exactly the paths the paper could not evaluate: long
+predicate reads.  A scale-factor generator populates a customer /
+orders / lineitem schema (orders keyed by a monotonically increasing id,
+so key ranges double as date ranges), and the report queries run large
+range scans, secondary-index joins and aggregation concurrently with an
+order-entry/payment OLTP stream — the workload class Ports & Grittner
+built safe snapshots and the read-only optimization for, and the one
+that makes record-vs-page SIREAD granularity (Cahill Sections 4.1-4.6)
+matter for lock-table cost.
+
+Report queries (parameterized, TPC-H-flavored):
+
+* ``q1_pricing_summary`` — full lineitem scan, aggregate by discount
+  band (TPC-H Q1: the wide-scan stress).
+* ``q3_top_orders`` — customers of one segment joined to their orders
+  through the ``orders_by_customer`` index, top-N by total (Q3).
+* ``q5_region_revenue`` — customer scan filtered by region, index join
+  to orders, revenue sum per region (Q5).
+* ``q6_revenue_band`` — order range scan over a date (key) window with
+  a total/status filter (Q6).
+* ``q_recent_orders`` — the newest-orders prefix via ``ScanPrefix``
+  (early termination: locks only the visited prefix).
+
+OLTP programs: ``order_entry`` (insert order + lineitems, customer
+balance RMW), ``payment`` (balance RMW), ``order_status`` (point reads
+of one order and its lineitems).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Generator
+
+from repro.engine.database import Database
+from repro.sim.ops import (
+    Compute,
+    Get,
+    Insert,
+    IndexLookup,
+    ReadForUpdate,
+    Scan,
+    ScanPrefix,
+    Write,
+)
+from repro.sim.workload import Mix, Workload
+
+CUSTOMER = "rpt_customer"
+ORDERS = "rpt_orders"
+LINEITEM = "rpt_lineitem"
+ORDERS_BY_CUSTOMER = "rpt_orders_by_customer"
+
+REGIONS = ("africa", "america", "asia", "europe", "pacific")
+SEGMENTS = ("automobile", "building", "furniture", "household", "machinery")
+STATUSES = ("open", "shipped", "delivered")
+
+#: rows per unit of scale factor
+CUSTOMERS_PER_SF = 50
+ORDERS_PER_SF = 200
+MAX_LINES_PER_ORDER = 4
+
+#: abstract CPU units charged per aggregated row (simulator accounting)
+AGG_COST_PER_ROW = 0.1
+
+
+def order_count(scale: int) -> int:
+    return ORDERS_PER_SF * max(1, scale)
+
+
+def customer_count(scale: int) -> int:
+    return CUSTOMERS_PER_SF * max(1, scale)
+
+
+def setup_reporting(db: Database, scale: int = 1, seed: int = 20080610) -> None:
+    """Create and deterministically populate the reporting schema at the
+    given scale factor (≈ ``250 + 700`` rows per unit of scale)."""
+    rng = random.Random(seed)
+    db.create_table(CUSTOMER)
+    db.create_table(ORDERS)
+    db.create_table(LINEITEM)
+    customers = customer_count(scale)
+    orders = order_count(scale)
+    db.load(CUSTOMER, (
+        (c_id, {
+            "name": f"customer#{c_id}",
+            "region": REGIONS[c_id % len(REGIONS)],
+            "segment": rng.choice(SEGMENTS),
+            "balance": rng.randrange(0, 10_000),
+        })
+        for c_id in range(customers)
+    ))
+    order_rows = []
+    line_rows = []
+    for o_id in range(orders):
+        lines = rng.randrange(1, MAX_LINES_PER_ORDER + 1)
+        total = 0
+        for n in range(lines):
+            qty = rng.randrange(1, 10)
+            price = rng.randrange(10, 500)
+            discount = rng.randrange(0, 10) / 100.0
+            total += round(qty * price * (1 - discount))
+            line_rows.append(((o_id, n), {
+                "qty": qty, "price": price, "discount": discount,
+            }))
+        order_rows.append((o_id, {
+            "c_id": rng.randrange(customers),
+            "date": o_id,  # ids are handed out in date order
+            "status": rng.choice(STATUSES),
+            "total": total,
+        }))
+    db.load(ORDERS, order_rows)
+    db.load(LINEITEM, line_rows)
+    # Non-unique secondary index: the Q3/Q5 join path.
+    db.create_index(
+        ORDERS_BY_CUSTOMER, ORDERS, lambda pk, row: row["c_id"], unique=False
+    )
+
+
+# ------------------------------------------------------------- report queries
+
+def q1_pricing_summary() -> Generator:
+    """Full lineitem scan; revenue and quantity aggregated by discount
+    band — the widest scan in the mix."""
+    rows = yield Scan(LINEITEM)
+    yield Compute(len(rows) * AGG_COST_PER_ROW)
+    bands: dict[int, list[float]] = {}
+    for _key, item in rows:
+        band = int(item["discount"] * 100) // 5
+        acc = bands.setdefault(band, [0.0, 0])
+        acc[0] += item["qty"] * item["price"] * (1 - item["discount"])
+        acc[1] += item["qty"]
+    return {band: tuple(acc) for band, acc in sorted(bands.items())}
+
+
+def q3_top_orders(segment: str, top_n: int = 10) -> Generator:
+    """Orders of one customer segment, top-N by total value: customer
+    scan -> index join -> order reads -> sort."""
+    customers = yield Scan(CUSTOMER)
+    matches = [
+        c_id for c_id, row in customers if row["segment"] == segment
+    ]
+    found = []
+    for c_id in matches:
+        order_ids = yield IndexLookup(ORDERS_BY_CUSTOMER, c_id)
+        for o_id in order_ids:
+            order = yield Get(ORDERS, o_id)
+            if order is not None and order["status"] != "delivered":
+                found.append((order["total"], o_id))
+    yield Compute(len(found) * AGG_COST_PER_ROW)
+    found.sort(reverse=True)
+    return found[:top_n]
+
+
+def q5_region_revenue(region: str) -> Generator:
+    """Revenue of one region: customer scan filtered on region, index
+    join to each customer's orders, sum of totals."""
+    customers = yield Scan(CUSTOMER)
+    revenue = 0
+    joined = 0
+    for c_id, row in customers:
+        if row["region"] != region:
+            continue
+        order_ids = yield IndexLookup(ORDERS_BY_CUSTOMER, c_id)
+        for o_id in order_ids:
+            order = yield Get(ORDERS, o_id)
+            if order is not None:
+                revenue += order["total"]
+                joined += 1
+    yield Compute(joined * AGG_COST_PER_ROW)
+    return revenue
+
+
+def q6_revenue_band(lo: int, hi: int, min_total: int = 200) -> Generator:
+    """Revenue forecast: order range scan over the date (= key) window
+    [lo, hi], filtered on total and status."""
+    rows = yield Scan(ORDERS, lo, hi)
+    yield Compute(len(rows) * AGG_COST_PER_ROW)
+    return sum(
+        row["total"]
+        for _o_id, row in rows
+        if row["total"] >= min_total and row["status"] != "open"
+    )
+
+
+def q_recent_orders(since: int, limit: int = 10) -> Generator:
+    """The first ``limit`` orders at or after ``since`` — the
+    early-terminating prefix scan (locks only the visited prefix)."""
+    rows = yield ScanPrefix(ORDERS, since, None, limit)
+    return [o_id for o_id, _row in rows]
+
+
+# -------------------------------------------------------------- OLTP programs
+
+def order_entry(o_id: int, c_id: int, lines: list[tuple[int, int, float]],
+                status: str = "open") -> Generator:
+    """Insert one order with its lineitems and settle the customer's
+    balance — the write stream the reports race against."""
+    total = 0
+    for n, (qty, price, discount) in enumerate(lines):
+        total += round(qty * price * (1 - discount))
+        yield Insert(LINEITEM, (o_id, n), {
+            "qty": qty, "price": price, "discount": discount,
+        })
+    yield Insert(ORDERS, o_id, {
+        "c_id": c_id, "date": o_id, "status": status, "total": total,
+    })
+    balance = yield ReadForUpdate(CUSTOMER, c_id)
+    updated = dict(balance)
+    updated["balance"] = balance["balance"] - total
+    yield Write(CUSTOMER, c_id, updated)
+
+
+def payment(c_id: int, amount: int) -> Generator:
+    """Customer balance read-modify-write."""
+    row = yield ReadForUpdate(CUSTOMER, c_id)
+    updated = dict(row)
+    updated["balance"] = row["balance"] + amount
+    yield Write(CUSTOMER, c_id, updated)
+
+
+def order_status(o_id: int) -> Generator:
+    """Point reads of one order and its first lineitem."""
+    order = yield Get(ORDERS, o_id)
+    if order is None:
+        return None
+    line = yield Get(LINEITEM, (o_id, 0))
+    return (order["status"], order["total"], line)
+
+
+# ------------------------------------------------------------------- builders
+
+def make_reporting(
+    scale: int = 1,
+    reports_per_update: float = 1.0,
+    prefix_limit: int = 10,
+) -> Workload:
+    """The reporting mix: the five report queries (equal weight summing
+    to ``reports_per_update``) against an equal-weight OLTP stream of
+    order entry, payments and status checks (weight 1 split 3 ways).
+
+    New order ids are drawn from a shared monotone counter starting past
+    the loaded id range, so order entry never collides with loaded rows
+    and "recent orders" keeps a moving frontier.
+    """
+    customers = customer_count(scale)
+    orders = order_count(scale)
+    next_order = itertools.count(orders)
+    report_w = reports_per_update / 5.0
+
+    def p_q1(rng: random.Random) -> Generator:
+        return q1_pricing_summary()
+
+    def p_q3(rng: random.Random) -> Generator:
+        return q3_top_orders(rng.choice(SEGMENTS))
+
+    def p_q5(rng: random.Random) -> Generator:
+        return q5_region_revenue(rng.choice(REGIONS))
+
+    def p_q6(rng: random.Random) -> Generator:
+        lo = rng.randrange(orders)
+        return q6_revenue_band(lo, lo + max(orders // 4, 1))
+
+    def p_recent(rng: random.Random) -> Generator:
+        return q_recent_orders(rng.randrange(orders), limit=prefix_limit)
+
+    def p_order_entry(rng: random.Random) -> Generator:
+        lines = [
+            (rng.randrange(1, 10), rng.randrange(10, 500),
+             rng.randrange(0, 10) / 100.0)
+            for _ in range(rng.randrange(1, MAX_LINES_PER_ORDER + 1))
+        ]
+        return order_entry(next(next_order), rng.randrange(customers), lines)
+
+    def p_payment(rng: random.Random) -> Generator:
+        return payment(rng.randrange(customers), rng.randrange(1, 500))
+
+    def p_status(rng: random.Random) -> Generator:
+        return order_status(rng.randrange(orders))
+
+    mix = Mix([
+        ("q1_pricing_summary", report_w, p_q1),
+        ("q3_top_orders", report_w, p_q3),
+        ("q5_region_revenue", report_w, p_q5),
+        ("q6_revenue_band", report_w, p_q6),
+        ("q_recent_orders", report_w, p_recent),
+        ("order_entry", 1 / 3, p_order_entry),
+        ("payment", 1 / 3, p_payment),
+        ("order_status", 1 / 3, p_status),
+    ])
+    return Workload(
+        name=f"reporting[sf={scale},r:u={reports_per_update}:1]",
+        setup=lambda db: setup_reporting(db, scale),
+        mix=mix,
+    )
+
+
+def combine_workloads(name: str, *workloads: Workload) -> Workload:
+    """Run several workloads' mixes against one database: setups run in
+    order (schemas must be disjoint), mix entries are concatenated with
+    their weights untouched."""
+    entries: list = []
+    for workload in workloads:
+        entries.extend(workload.mix.entries)
+
+    def setup(db: Database) -> None:
+        for workload in workloads:
+            workload.setup(db)
+
+    return Workload(name=name, setup=setup, mix=Mix(entries))
+
+
+def make_reporting_mix(
+    scale: int = 1,
+    reports_per_update: float = 1.0,
+    oltp: str = "smallbank",
+) -> Workload:
+    """Reporting concurrently with one of the paper's OLTP mixes
+    (``smallbank`` or ``sibench``) — long scans and short writers on the
+    same engine, the regime of ROADMAP item 5."""
+    from repro.workloads.sibench import make_sibench
+    from repro.workloads.smallbank import make_smallbank
+
+    if oltp == "smallbank":
+        side = make_smallbank()
+    elif oltp == "sibench":
+        side = make_sibench()
+    else:
+        raise ValueError(f"unknown oltp mix {oltp!r}")
+    reporting = make_reporting(scale, reports_per_update)
+    return combine_workloads(
+        f"reporting+{oltp}[sf={scale}]", reporting, side
+    )

@@ -24,17 +24,19 @@ from tests.conftest import fill
 
 
 def _inject_committed_insert(db, table, level, key, value, writer_reads=None):
-    """Patch ``table.scan_chains`` so the *first* call materialises the
-    key set, then runs a complete writer lifecycle (begin, optional
-    reads, insert, commit, finalize — every lock acquired *and released*)
-    before returning the now-stale list.  Later calls see the real tree.
-    Returns the writer transactions list (filled on trigger)."""
-    real = table.scan_chains
+    """Patch the table's materialisation entry points — ``scan_chains``
+    (the per-row path) *and* ``scan_chunks`` (the chunked kernel) — so
+    the *first* call materialises the key set, then runs a complete
+    writer lifecycle (begin, optional reads, insert, commit, finalize —
+    every lock acquired *and released*) before returning the now-stale
+    list.  Later calls see the real tree.  Returns the writer
+    transactions list (filled on trigger)."""
+    real_chains = table.scan_chains
+    real_chunks = table.scan_chunks
     state = {"fired": False}
     writers = []
 
-    def patched(lo, hi):
-        stale = real(lo, hi)
+    def fire():
         if not state["fired"]:
             state["fired"] = True
             writer = db.begin(level)
@@ -43,14 +45,30 @@ def _inject_committed_insert(db, table, level, key, value, writer_reads=None):
             db.insert(writer, table.name, key, value)
             db.commit(writer)  # prepare + finalize: all locks released
             writers.append(writer)
+
+    def patched_chains(lo, hi):
+        stale = real_chains(lo, hi)
+        fire()
         return stale
 
-    table.scan_chains = patched
+    def patched_chunks(lo, hi, chunk_size=None):
+        stale = list(real_chunks(lo, hi, chunk_size))
+        fire()
+        return iter(stale)
+
+    table.scan_chains = patched_chains
+    table.scan_chunks = patched_chunks
     return writers
 
 
+@pytest.fixture(params=[True, False], ids=["kernel", "per_row"])
+def scan_kernel(request, db):
+    db.config.scan_kernel = request.param
+    return request.param
+
+
 class TestScanMaterializeWindow:
-    def test_s2pl_scan_sees_insert_committed_in_window(self, db):
+    def test_s2pl_scan_sees_insert_committed_in_window(self, db, scan_kernel):
         """S2PL reads current state: a row committed inside the
         materialise->lock window must appear in the scan result."""
         fill(db, "t", {1: "a", 5: "b"})
@@ -63,7 +81,7 @@ class TestScanMaterializeWindow:
         assert db.locks.holds(scanner, db._rec_resource("t", 3), LockMode.SHARED)
         scanner.commit()
 
-    def test_ssi_scan_marks_rw_edge_for_window_insert(self, db):
+    def test_ssi_scan_marks_rw_edge_for_window_insert(self, db, scan_kernel):
         """SSI: the scanner's snapshot ignores the in-window committed
         insert, but the reader->writer rw-antidependency must still be
         recorded via the newer-version check on the re-materialised
@@ -79,6 +97,27 @@ class TestScanMaterializeWindow:
         )
         rows = db.scan(scanner, "t", 1, 5)
         assert rows == [(1, "a"), (5, "b")]  # snapshot: phantom invisible
+        (writer,) = writers
+        assert scanner.out_conflict, "reader->writer rw edge was lost"
+        assert writer.in_conflict
+        db.abort(scanner)
+
+    def test_ssi_page_path_marks_rw_edge_for_window_insert(self, db):
+        """The page-granularity scan path owes the same window guarantee:
+        with the threshold forced to 0 every SSI scan covers leaf pages
+        up front, and the in-window committed insert must still produce
+        the reader->writer rw edge (keyset re-probe -> re-materialise ->
+        newer-version check)."""
+        db.config.scan_page_lock_threshold = 0
+        fill(db, "t", {1: "a", 5: "b"})
+        table = db.table("t")
+        scanner = db.begin("ssi")
+        db.read(scanner, "t", 1)
+        writers = _inject_committed_insert(
+            db, table, "ssi", 3, "x", writer_reads=[5]
+        )
+        rows = db.scan(scanner, "t", 1, 5)
+        assert rows == [(1, "a"), (5, "b")]
         (writer,) = writers
         assert scanner.out_conflict, "reader->writer rw edge was lost"
         assert writer.in_conflict

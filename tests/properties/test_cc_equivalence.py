@@ -84,3 +84,37 @@ def test_outcomes_match_with_group_commit_forced_on(case):
             f"{case['scenario']} seed={case['seed']} diverged at {level} "
             f"with group commit on"
         )
+
+
+@pytest.mark.parametrize(
+    "case",
+    CASES,
+    ids=[f"{case['scenario']}-{case['seed']}" for case in CASES],
+)
+def test_outcomes_match_with_scan_kernel_forced_on(case):
+    """The chunked scan kernel must admit exactly the histories the
+    per-row scan path admits: with the kernel forced into its most
+    aggressive shape (2-row chunks, so every scan drops the table latch
+    mid-range, and page-granularity SIREADs from the first row), every
+    golden outcome — who committed, who aborted, with which reason —
+    is unchanged at every isolation level."""
+    factory = FACTORIES[case["scenario"]]
+    for level in LEVELS:
+        setup, programs, _step_counts = factory()
+        outcome = run_interleaving(
+            setup,
+            programs,
+            case["order"],
+            isolation=level,
+            engine_config=EngineConfig(
+                record_history=True,
+                scan_kernel=True,
+                scan_chunk_size=2,
+                scan_page_lock_threshold=1,
+            ),
+        )
+        got = {str(index): status for index, status in outcome.statuses.items()}
+        assert got == case["outcomes"][level], (
+            f"{case['scenario']} seed={case['seed']} diverged at {level} "
+            f"with the scan kernel forced on"
+        )
